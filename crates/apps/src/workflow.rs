@@ -1,0 +1,179 @@
+//! The shared case-study driver: the paper's Figure 1 workflow end to end.
+
+use gpa_core::{extract, Analysis, Model, ModelInput};
+use gpa_hw::Machine;
+use gpa_isa::Kernel;
+use gpa_sim::{
+    FunctionalSim, GlobalMemory, LaunchConfig, SimError, TimingResult, TimingSim, TraceSource,
+};
+use std::rc::Rc;
+
+/// How timing traces are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// All blocks behave identically (same instruction stream, conflict
+    /// degrees, and transaction shapes): trace block 0 once and simulate
+    /// only the most-loaded cluster. Exact for homogeneous grids and far
+    /// cheaper.
+    Homogeneous,
+    /// Trace every block (data-dependent kernels, texture-cached gathers).
+    PerBlock,
+}
+
+/// A named global region to attribute traffic to.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region name (e.g. `"vector"`).
+    pub name: String,
+    /// Device base address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Route loads from this region through the texture cache.
+    pub texture: bool,
+}
+
+impl Region {
+    /// A plain (non-texture) region.
+    pub fn new(name: impl Into<String>, base: u64, len: u64) -> Region {
+        Region {
+            name: name.into(),
+            base,
+            len,
+            texture: false,
+        }
+    }
+
+    /// A texture-cached region.
+    pub fn texture(name: impl Into<String>, base: u64, len: u64) -> Region {
+        Region {
+            name: name.into(),
+            base,
+            len,
+            texture: true,
+        }
+    }
+}
+
+/// Everything one workflow run produces: dynamic statistics and model
+/// analysis ("simulated") plus the timing-simulator result ("measured").
+#[derive(Debug, Clone)]
+pub struct CaseRun {
+    /// The extracted model input (launch, occupancy, statistics).
+    pub input: ModelInput,
+    /// The model's analysis.
+    pub analysis: Analysis,
+    /// The timing simulator's end-to-end measurement.
+    pub timing: TimingResult,
+}
+
+impl CaseRun {
+    /// Measured wall time in seconds.
+    pub fn measured_seconds(&self) -> f64 {
+        self.timing.seconds
+    }
+
+    /// Model prediction in seconds.
+    pub fn predicted_seconds(&self) -> f64 {
+        self.analysis.predicted_seconds
+    }
+
+    /// Signed relative model error vs the measurement (the paper reports
+    /// 5–15% magnitudes).
+    pub fn model_error(&self) -> f64 {
+        (self.predicted_seconds() - self.measured_seconds()) / self.measured_seconds()
+    }
+
+    /// GFLOP/s at the measured time for a workload of `flops` operations.
+    pub fn measured_gflops(&self, flops: u64) -> f64 {
+        flops as f64 / self.measured_seconds() / 1e9
+    }
+}
+
+/// Run the full workflow for one kernel launch.
+///
+/// The functional simulation runs every block (verifying memory safety and
+/// producing `gmem` side effects callers can check against references);
+/// timing traces follow `mode`.
+///
+/// # Errors
+///
+/// Propagates functional-simulation errors.
+pub fn run_case(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    regions: &[Region],
+    mode: TraceMode,
+) -> Result<CaseRun, SimError> {
+    // Trace for timing from a pristine copy of memory (the functional pass
+    // below mutates it).
+    let mut trace_mem = gmem.clone();
+    let mut tracer = FunctionalSim::new(machine, kernel, launch)?;
+    tracer.set_params(params).collect_traces(true);
+    for r in regions {
+        if r.texture {
+            tracer.add_texture_region(r.name.clone(), r.base, r.len);
+        } else {
+            tracer.add_region(r.name.clone(), r.base, r.len);
+        }
+    }
+
+    let mut timing = TimingSim::new(machine);
+    let tex: Vec<(u64, u64)> = regions
+        .iter()
+        .filter(|r| r.texture)
+        .map(|r| (r.base, r.len))
+        .collect();
+    if !tex.is_empty() {
+        timing.set_texture_regions(tex);
+    }
+
+    let timing_result = match mode {
+        TraceMode::Homogeneous => {
+            let mut scratch = tracer.fresh_stats();
+            let trace = tracer
+                .run_block(&mut trace_mem, 0, &mut scratch)?
+                .expect("trace collection enabled");
+            timing.assume_uniform_clusters(true);
+            let mut src = TraceSource::Homogeneous(Rc::new(trace));
+            timing.run(&mut src, &launch, kernel.resources)
+        }
+        TraceMode::PerBlock => {
+            let mut scratch = tracer.fresh_stats();
+            let mut traces = Vec::with_capacity(launch.num_blocks() as usize);
+            for b in 0..launch.num_blocks() {
+                let t = tracer
+                    .run_block(&mut trace_mem, b, &mut scratch)?
+                    .expect("trace collection enabled");
+                traces.push(Rc::new(t));
+            }
+            let mut src = TraceSource::PerBlock(traces);
+            timing.run(&mut src, &launch, kernel.resources)
+        }
+    };
+
+    // Functional pass: all blocks, statistics, real side effects.
+    let mut func = FunctionalSim::new(machine, kernel, launch)?;
+    func.set_params(params);
+    for r in regions {
+        if r.texture {
+            func.add_texture_region(r.name.clone(), r.base, r.len);
+        } else {
+            func.add_region(r.name.clone(), r.base, r.len);
+        }
+    }
+    let out = func.run(gmem)?;
+
+    let input = extract(machine, &kernel.name, launch, kernel.resources, out.stats);
+    let analysis = model.analyze(&input);
+
+    Ok(CaseRun {
+        input,
+        analysis,
+        timing: timing_result,
+    })
+}

@@ -1,0 +1,101 @@
+#![warn(missing_docs)]
+
+//! Regeneration harness for every table and figure of the paper.
+//!
+//! Each `src/bin/*.rs` binary reproduces one exhibit:
+//!
+//! | Binary | Paper exhibit |
+//! |--------|---------------|
+//! | `table1` | Table 1: instruction classes, functional units, peaks |
+//! | `fig2_instr` | Figure 2 (left): instruction throughput vs warps/SM |
+//! | `fig2_smem` | Figure 2 (right): shared-memory bandwidth vs warps/SM |
+//! | `fig3_gmem` | Figure 3: global bandwidth vs blocks, eight configs |
+//! | `table2` | Table 2: matmul occupancy |
+//! | `fig4` | Figure 4: matmul counts, breakdown, GFLOPS |
+//! | `fig5` | Figure 5: CR communication pattern / conflict degrees |
+//! | `fig6` | Figure 6: CR and CR-NBC per-step breakdown |
+//! | `fig7` | Figure 7: per-step bandwidth and transaction counts |
+//! | `fig8` | Figure 8: CR vs CR-NBC, measured vs simulated |
+//! | `fig10` | Figure 10: vector-interleaving transaction grouping |
+//! | `fig11` | Figure 11: SpMV bytes/entry and breakdown |
+//! | `fig12` | Figure 12: SpMV GFLOPS, six variants |
+//!
+//! Binaries print the paper's reported values next to ours; run them in
+//! release mode (`cargo run --release -p gpa-bench --bin fig4`). Passing
+//! `--paper` selects the paper's full problem sizes. `EXPERIMENTS.md`
+//! records a full transcript.
+//!
+//! `benches/primitives.rs` holds Criterion microbenchmarks of the
+//! simulator substrate itself (coalescer, bank conflicts, functional and
+//! timing simulation, model analysis).
+
+use gpa_hw::Machine;
+use gpa_ubench::{MeasureOpts, ThroughputCurves};
+use std::fs;
+use std::path::PathBuf;
+
+/// Where figure outputs and cached measurements live.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Load the full-resolution throughput curves, measuring and caching them
+/// on first use (`results/curves.json`).
+pub fn curves(machine: &Machine) -> ThroughputCurves {
+    let path = results_dir().join("curves.json");
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(c) = ThroughputCurves::from_json(&text) {
+            if c.machine_name == machine.name {
+                return c;
+            }
+        }
+    }
+    eprintln!("measuring throughput curves (cached at {})...", path.display());
+    let c = ThroughputCurves::measure_with(machine, MeasureOpts::paper());
+    if let Ok(json) = c.to_json() {
+        let _ = fs::write(&path, json);
+    }
+    c
+}
+
+/// `true` when the binary was invoked with `--paper` (full problem sizes).
+pub fn paper_scale() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// Print a rule line.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format seconds as milliseconds with 3 decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+/// Relative difference `ours` vs `paper` in percent, signed.
+pub fn vs_paper(ours: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.0}%", (ours - paper) / paper * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(0.0123), "12.300");
+        assert_eq!(vs_paper(1.1, 1.0), "+10%");
+        assert_eq!(vs_paper(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,148 @@
+//! What-if estimates: the paper's use of the model to price optimizations
+//! and architectural changes *before* implementing them (§5).
+
+use crate::analysis::{Component, Model};
+use crate::input::ModelInput;
+use gpa_hw::occupancy;
+use gpa_sim::stats::GRAN_GT200;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of a hypothetical change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIf {
+    /// Short identifier (e.g. `"no-bank-conflicts"`).
+    pub name: String,
+    /// Human description of the change.
+    pub description: String,
+    /// Baseline predicted seconds.
+    pub baseline_seconds: f64,
+    /// Predicted seconds with the change applied.
+    pub predicted_seconds: f64,
+    /// `baseline / predicted`.
+    pub speedup: f64,
+    /// The bottleneck after the change.
+    pub new_bottleneck: Component,
+}
+
+impl fmt::Display for WhatIf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: ×{:.2} ({:.3} ms → {:.3} ms), new bottleneck: {}",
+            self.description,
+            self.speedup,
+            self.baseline_seconds * 1e3,
+            self.predicted_seconds * 1e3,
+            self.new_bottleneck
+        )
+    }
+}
+
+impl Model<'_> {
+    fn what_if(
+        &mut self,
+        input: &ModelInput,
+        name: &str,
+        description: &str,
+        modified: ModelInput,
+    ) -> WhatIf {
+        let base = self.analyze(input);
+        let alt = self.analyze(&modified);
+        WhatIf {
+            name: name.to_owned(),
+            description: description.to_owned(),
+            baseline_seconds: base.predicted_seconds,
+            predicted_seconds: alt.predicted_seconds,
+            speedup: base.predicted_seconds / alt.predicted_seconds,
+            new_bottleneck: alt.bottleneck,
+        }
+    }
+
+    /// Predict the benefit of eliminating all shared-memory bank conflicts
+    /// (the paper's CR → CR-NBC estimate, §5.2: ≈1.6×).
+    pub fn what_if_no_bank_conflicts(&mut self, input: &ModelInput) -> WhatIf {
+        let mut modified = input.clone();
+        for s in &mut modified.stats.stages {
+            s.smem_half_txns = s.smem_half_accesses;
+        }
+        self.what_if(
+            input,
+            "no-bank-conflicts",
+            "eliminate shared-memory bank conflicts",
+            modified,
+        )
+    }
+
+    /// Predict the benefit of a smaller global transaction granularity
+    /// (paper §5.3's 16-byte/4-byte experiments). `granularity_index`
+    /// indexes [`gpa_sim::stats::GRANULARITIES`] (1 = 16 B, 2 = 4 B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity_index` is out of range.
+    pub fn what_if_granularity(&mut self, input: &ModelInput, granularity_index: usize) -> WhatIf {
+        assert!(granularity_index < 3, "granularity index out of range");
+        let mut modified = input.clone();
+        for s in &mut modified.stats.stages {
+            s.gmem[GRAN_GT200] = s.gmem[granularity_index];
+        }
+        let bytes = gpa_sim::stats::GRANULARITIES[granularity_index];
+        self.what_if(
+            input,
+            "granularity",
+            &format!("reduce the memory transaction granularity to {bytes} B"),
+            modified,
+        )
+    }
+
+    /// Predict the benefit of perfectly coalesced global accesses: every
+    /// transferred byte is a requested byte.
+    pub fn what_if_perfect_coalescing(&mut self, input: &ModelInput) -> WhatIf {
+        let mut modified = input.clone();
+        for s in &mut modified.stats.stages {
+            s.gmem[GRAN_GT200].bytes = s.gmem_requested_bytes;
+            s.gmem[GRAN_GT200].transactions =
+                s.gmem_requested_bytes.div_ceil(128).max(u64::from(s.gmem_requested_bytes > 0));
+        }
+        self.what_if(
+            input,
+            "perfect-coalescing",
+            "perfectly coalesce all global accesses",
+            modified,
+        )
+    }
+
+    /// Predict the benefit of raising the resident-block ceiling (the
+    /// paper's §5.1 architectural suggestion: 8 → 16 blocks would raise
+    /// warp parallelism for small blocks).
+    pub fn what_if_max_blocks(&mut self, input: &ModelInput, max_blocks: u32) -> WhatIf {
+        let mut machine = self.machine().clone();
+        machine.max_blocks_per_sm = max_blocks;
+        let mut modified = input.clone();
+        modified.occupancy = occupancy(&machine, input.resources);
+        self.what_if(
+            input,
+            "max-blocks",
+            &format!("allow {max_blocks} resident blocks per SM"),
+            modified,
+        )
+    }
+
+    /// Predict the benefit of scaling the per-SM register file and shared
+    /// memory (the paper's §5.1 suggestion for the 32×32 tile: more
+    /// resources ⇒ more resident warps at the same footprint).
+    pub fn what_if_resources_scaled(&mut self, input: &ModelInput, factor: u32) -> WhatIf {
+        let mut machine = self.machine().clone();
+        machine.regs_per_sm *= factor;
+        machine.smem_per_sm *= factor;
+        let mut modified = input.clone();
+        modified.occupancy = occupancy(&machine, input.resources);
+        self.what_if(
+            input,
+            "scaled-resources",
+            &format!("scale per-SM registers and shared memory ×{factor}"),
+            modified,
+        )
+    }
+}

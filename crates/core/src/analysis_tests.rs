@@ -1,0 +1,335 @@
+//! Model tests against synthetic kernels with known bottlenecks.
+
+use super::*;
+use gpa_hw::KernelResources;
+use gpa_isa::builder::KernelBuilder;
+use gpa_isa::instr::{CmpOp, MemAddr, NumTy, Pred, SpecialReg, Src, Width};
+use gpa_isa::Kernel;
+use gpa_sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
+use gpa_ubench::{MeasureOpts, ThroughputCurves};
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+fn machine() -> &'static Machine {
+    static M: OnceLock<Machine> = OnceLock::new();
+    M.get_or_init(Machine::gtx285)
+}
+
+fn curves() -> &'static ThroughputCurves {
+    static C: OnceLock<ThroughputCurves> = OnceLock::new();
+    C.get_or_init(|| ThroughputCurves::measure_with(machine(), MeasureOpts::quick()))
+}
+
+fn model() -> Model<'static> {
+    Model::new(machine(), curves().clone())
+}
+
+/// Run a kernel functionally + on the timing simulator; return the model
+/// input and the measured seconds.
+fn run_case(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+) -> (crate::input::ModelInput, f64) {
+    let m = machine();
+    let mut sim = FunctionalSim::new(m, kernel, launch).unwrap();
+    sim.set_params(params);
+    sim.collect_traces(true);
+    let out = sim.run(gmem).unwrap();
+    let traces: Vec<Rc<gpa_sim::BlockTrace>> =
+        out.traces.unwrap().into_iter().map(Rc::new).collect();
+    let timing = TimingSim::new(m);
+    let mut src = TraceSource::PerBlock(traces);
+    let measured = timing.run(&mut src, &launch, kernel.resources);
+    let input = crate::input::extract(m, &kernel.name, launch, kernel.resources, out.stats);
+    (input, measured.seconds)
+}
+
+/// Dense dependent-MAD loop: clearly instruction-pipeline-bound.
+fn mad_kernel(iters: i32) -> Kernel {
+    let mut b = KernelBuilder::new("mad_loop");
+    b.set_threads(256);
+    let acc = b.alloc_reg().unwrap();
+    let one = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    b.mov_imm_f32(acc, 1.0);
+    b.mov_imm_f32(one, 1.0);
+    b.mov_imm(i, 0);
+    b.label("top");
+    for _ in 0..16 {
+        b.fmad(acc, Src::Reg(acc), Src::Reg(one), Src::Reg(one));
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(iters));
+    b.bra_if(Pred(0), false, "top");
+    b.exit();
+    b.declare_resources(KernelResources::new(8, 0, 256));
+    b.finish().unwrap()
+}
+
+/// Stride-2 shared-memory load/store loop: shared-memory-bound with 2-way
+/// bank conflicts.
+fn conflicted_smem_kernel(iters: i32) -> Kernel {
+    let mut b = KernelBuilder::new("smem_conflict");
+    b.set_threads(256);
+    let src_off = b.smem_alloc(2048, 4).unwrap() as i32;
+    let dst_off = b.smem_alloc(2048, 4).unwrap() as i32;
+    let addr = b.alloc_reg().unwrap();
+    let tid = b.alloc_reg().unwrap();
+    let v = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    b.mov_imm(i, 0);
+    b.s2r(tid, SpecialReg::TidX);
+    // (tid & 63) * 8 bytes: stride-2 words → 2-way conflicts.
+    b.and(addr, Src::Reg(tid), Src::Imm(63));
+    b.shl(addr, Src::Reg(addr), Src::Imm(3));
+    b.label("top");
+    for slot in 0..8 {
+        let byte = slot * 128;
+        b.ld_shared(v, MemAddr::new(Some(addr), src_off + byte), Width::B32);
+        b.st_shared(MemAddr::new(Some(addr), dst_off + byte), v, Width::B32);
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(iters));
+    b.bra_if(Pred(0), false, "top");
+    b.exit();
+    b.declare_resources(KernelResources::new(8, 4352, 256));
+    b.finish().unwrap()
+}
+
+/// Streaming global loads: global-memory-bound.
+fn streaming_kernel(loads_per_thread: u32) -> Kernel {
+    let mut b = KernelBuilder::new("stream");
+    b.set_threads(256);
+    let buf_p = b.param_alloc();
+    let addr = b.alloc_reg().unwrap();
+    let tid = b.alloc_reg().unwrap();
+    let tmp = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    b.mov_imm(i, 0);
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(addr, SpecialReg::CtaIdX);
+    b.s2r(tmp, SpecialReg::NTidX);
+    b.imad(addr, Src::Reg(addr), Src::Reg(tmp), Src::Reg(tid));
+    b.shl(addr, Src::Reg(addr), Src::Imm(2));
+    b.ld_param(tmp, buf_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    let stride = b.alloc_reg().unwrap();
+    b.mov_imm(stride, 0); // patched below via param-free constant
+    let dsts: Vec<_> = (0..4).map(|_| b.alloc_reg().unwrap()).collect();
+    b.label("top");
+    for (j, d) in dsts.iter().enumerate() {
+        b.ld_global(*d, MemAddr::new(Some(addr), j as i32 * 1024), Width::B32);
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(4));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(loads_per_thread as i32));
+    b.bra_if(Pred(0), false, "top");
+    b.exit();
+    b.declare_resources(KernelResources::new(12, 0, 256));
+    b.finish().unwrap()
+}
+
+#[test]
+fn component_times_ordering() {
+    let t = ComponentTimes { instr: 3.0, smem: 2.0, gmem: 1.0 };
+    assert_eq!(t.bottleneck(), Component::InstructionPipeline);
+    assert_eq!(t.second_bottleneck(), Component::SharedMemory);
+    assert_eq!(t.max(), 3.0);
+    let t = ComponentTimes { instr: 1.0, smem: 1.0, gmem: 5.0 };
+    assert_eq!(t.bottleneck(), Component::GlobalMemory);
+    assert_eq!(t.get(Component::SharedMemory), 1.0);
+}
+
+#[test]
+fn mad_loop_is_instruction_bound_and_predicted_accurately() {
+    let k = mad_kernel(40);
+    let launch = LaunchConfig::new_1d(120, 256);
+    let mut gmem = GlobalMemory::new();
+    let (input, measured) = run_case(&k, launch, &[], &mut gmem);
+    let mut model = model();
+    let a = model.analyze(&input);
+    assert_eq!(a.bottleneck, Component::InstructionPipeline);
+    let err = (a.predicted_seconds - measured).abs() / measured;
+    assert!(
+        err < 0.20,
+        "predicted {:.4e}, measured {:.4e}, err {:.0}%",
+        a.predicted_seconds,
+        measured,
+        err * 100.0
+    );
+}
+
+#[test]
+fn conflicted_kernel_is_shared_memory_bound() {
+    let k = conflicted_smem_kernel(30);
+    let launch = LaunchConfig::new_1d(90, 256);
+    let mut gmem = GlobalMemory::new();
+    let (input, measured) = run_case(&k, launch, &[], &mut gmem);
+    let mut model = model();
+    let a = model.analyze(&input);
+    assert_eq!(a.bottleneck, Component::SharedMemory);
+    assert!(a.bank_conflict_factor > 1.8, "factor {}", a.bank_conflict_factor);
+    let err = (a.predicted_seconds - measured).abs() / measured;
+    // Conflict replay costs in the hardware exceed what the transaction ×
+    // bandwidth model charges (the paper's CR prediction ran ~5% high on
+    // the same arithmetic; our synthetic machine exposes a little more).
+    assert!(
+        err < 0.45,
+        "predicted {:.4e}, measured {:.4e}, err {:.0}%",
+        a.predicted_seconds,
+        measured,
+        err * 100.0
+    );
+    // The stage causes should name bank conflicts.
+    assert!(a
+        .stages
+        .iter()
+        .any(|s| s.causes.iter().any(|c| matches!(c, Cause::BankConflicts { .. }))));
+}
+
+#[test]
+fn no_bank_conflict_what_if_predicts_speedup() {
+    let k = conflicted_smem_kernel(30);
+    let launch = LaunchConfig::new_1d(90, 256);
+    let mut gmem = GlobalMemory::new();
+    let (input, _measured) = run_case(&k, launch, &[], &mut gmem);
+    let mut model = model();
+    let w = model.what_if_no_bank_conflicts(&input);
+    assert!(
+        w.speedup > 1.3 && w.speedup < 2.5,
+        "expected ~2× potential, got ×{:.2}",
+        w.speedup
+    );
+}
+
+#[test]
+fn streaming_kernel_is_global_memory_bound() {
+    let k = streaming_kernel(32);
+    let launch = LaunchConfig::new_1d(20, 256);
+    let mut gmem = GlobalMemory::new();
+    let bytes = 20u64 * 256 * 4 + 4 * 1024 + 4096;
+    let buf = gmem.alloc(bytes, 128);
+    let (input, measured) = run_case(&k, launch, &[buf as u32], &mut gmem);
+    let mut model = model();
+    let a = model.analyze(&input);
+    assert_eq!(a.bottleneck, Component::GlobalMemory);
+    let err = (a.predicted_seconds - measured).abs() / measured;
+    assert!(
+        err < 0.30,
+        "predicted {:.4e}, measured {:.4e}, err {:.0}%",
+        a.predicted_seconds,
+        measured,
+        err * 100.0
+    );
+}
+
+#[test]
+fn single_block_occupancy_serializes_stages() {
+    // Two barrier-separated phases with very different character; declared
+    // shared memory forces one block per SM.
+    let mut b = KernelBuilder::new("two_stage");
+    b.set_threads(256);
+    let _ = b.smem_alloc(9000, 4).unwrap();
+    let acc = b.alloc_reg().unwrap();
+    let one = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    b.mov_imm_f32(acc, 1.0);
+    b.mov_imm_f32(one, 1.0);
+    b.mov_imm(i, 0);
+    b.label("p1");
+    for _ in 0..8 {
+        b.fmad(acc, Src::Reg(acc), Src::Reg(one), Src::Reg(one));
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(20));
+    b.bra_if(Pred(0), false, "p1");
+    b.bar();
+    let tid = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    let v = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.and(addr, Src::Reg(tid), Src::Imm(63));
+    b.shl(addr, Src::Reg(addr), Src::Imm(3)); // stride 2: 2-way conflicts
+    b.mov_imm(i, 0);
+    b.label("p2");
+    for slot in 0..8 {
+        b.ld_shared(v, MemAddr::new(Some(addr), slot * 256), Width::B32);
+        b.st_shared(MemAddr::new(Some(addr), 4096 + slot * 256), v, Width::B32);
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(20));
+    b.bra_if(Pred(0), false, "p2");
+    b.exit();
+    b.declare_resources(KernelResources::new(10, 9000, 256));
+    let k = b.finish().unwrap();
+
+    let launch = LaunchConfig::new_1d(60, 256);
+    let mut gmem = GlobalMemory::new();
+    let (input, _measured) = run_case(&k, launch, &[], &mut gmem);
+    assert_eq!(input.occupancy.blocks, 1);
+    let mut model = model();
+    let a = model.analyze(&input);
+    assert_eq!(a.stages.len(), 2);
+    // Serialized prediction: the sum of the per-stage maxima, and that is
+    // what the paper's rule selects for one resident block.
+    let expect: f64 = a.stages.iter().map(|s| s.times.max()).sum();
+    assert!((a.serialized_seconds - expect).abs() < 1e-12);
+    assert_eq!(a.predicted_seconds, a.serialized_seconds);
+    assert!(a.serialized_seconds >= a.overlapped_seconds);
+    // Stage 0 is instruction-bound, stage 1 shared-memory-bound.
+    assert_eq!(a.stages[0].bottleneck, Component::InstructionPipeline);
+    assert_eq!(a.stages[1].bottleneck, Component::SharedMemory);
+}
+
+#[test]
+fn max_blocks_what_if_raises_occupancy() {
+    // 2 warps per 64-thread block, tiny footprint: the 8-block ceiling
+    // caps the SM at 16 warps (paper §5.1). Allowing 16 blocks doubles
+    // warp parallelism and must not slow anything down.
+    let mut b = KernelBuilder::new("small_blocks");
+    b.set_threads(64);
+    let acc = b.alloc_reg().unwrap();
+    let one = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    b.mov_imm_f32(acc, 1.0);
+    b.mov_imm_f32(one, 1.0);
+    b.mov_imm(i, 0);
+    b.label("top");
+    for _ in 0..8 {
+        b.fmad(acc, Src::Reg(acc), Src::Reg(one), Src::Reg(one));
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(30));
+    b.bra_if(Pred(0), false, "top");
+    b.exit();
+    b.declare_resources(KernelResources::new(8, 348, 64));
+    let k = b.finish().unwrap();
+
+    let launch = LaunchConfig::new_1d(240, 64);
+    let mut gmem = GlobalMemory::new();
+    let (input, _measured) = run_case(&k, launch, &[], &mut gmem);
+    assert_eq!(input.occupancy.blocks, 8);
+    assert_eq!(input.occupancy.active_warps, 16);
+    let mut model = model();
+    let w = model.what_if_max_blocks(&input, 16);
+    assert!(w.speedup >= 1.0, "more blocks must not hurt: ×{:.3}", w.speedup);
+}
+
+#[test]
+fn reports_render() {
+    let k = mad_kernel(10);
+    let launch = LaunchConfig::new_1d(30, 256);
+    let mut gmem = GlobalMemory::new();
+    let (input, measured) = run_case(&k, launch, &[], &mut gmem);
+    let mut model = model();
+    let a = model.analyze(&input);
+    let text = crate::report::render(&a);
+    assert!(text.contains("mad_loop"));
+    assert!(text.contains("bottleneck"));
+    let text2 = crate::report::render_with_measured(&a, measured);
+    assert!(text2.contains("error"));
+    let w = model.what_if_no_bank_conflicts(&input);
+    let text3 = crate::report::render_what_ifs(&[w]);
+    assert!(text3.contains("what-if"));
+}

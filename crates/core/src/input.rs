@@ -1,0 +1,85 @@
+//! Model input: the info-extractor output (paper Figure 1).
+
+use gpa_hw::{occupancy, KernelResources, Machine, Occupancy};
+use gpa_sim::{DynamicStats, LaunchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything the model needs about one kernel launch: the launch shape,
+/// the kernel's resource footprint (⇒ occupancy, paper Table 2), and the
+/// dynamic statistics from the functional simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInput {
+    /// Kernel name, for reports.
+    pub kernel_name: String,
+    /// Launch shape.
+    pub launch: LaunchConfig,
+    /// Declared resource usage.
+    pub resources: KernelResources,
+    /// Resident blocks/warps per SM implied by `resources`.
+    pub occupancy: Occupancy,
+    /// Dynamic statistics from the functional simulator.
+    pub stats: DynamicStats,
+}
+
+/// Assemble a [`ModelInput`] — the paper's "info extractor" step.
+///
+/// # Panics
+///
+/// Panics if `stats` is inconsistent with `launch` (different block
+/// count), which indicates the statistics came from a different run.
+pub fn extract(
+    machine: &Machine,
+    kernel_name: impl Into<String>,
+    launch: LaunchConfig,
+    resources: KernelResources,
+    stats: DynamicStats,
+) -> ModelInput {
+    assert_eq!(
+        stats.blocks,
+        u64::from(launch.num_blocks()),
+        "statistics were collected for a different launch"
+    );
+    let occupancy = occupancy(machine, resources);
+    ModelInput {
+        kernel_name: kernel_name.into(),
+        launch,
+        resources,
+        occupancy,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_computes_occupancy() {
+        let m = Machine::gtx285();
+        let mut stats = DynamicStats::default();
+        stats.blocks = 512;
+        let input = extract(
+            &m,
+            "cr",
+            LaunchConfig::new_1d(512, 256),
+            KernelResources::new(12, 8448, 256),
+            stats,
+        );
+        assert_eq!(input.occupancy.blocks, 1);
+        assert_eq!(input.kernel_name, "cr");
+    }
+
+    #[test]
+    #[should_panic(expected = "different launch")]
+    fn mismatched_blocks_rejected() {
+        let m = Machine::gtx285();
+        let stats = DynamicStats::default(); // 0 blocks
+        extract(
+            &m,
+            "x",
+            LaunchConfig::new_1d(4, 64),
+            KernelResources::new(8, 0, 64),
+            stats,
+        );
+    }
+}

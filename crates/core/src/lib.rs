@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! The quantitative GPU performance model (the paper's contribution).
+//!
+//! Workflow (paper Figure 1): run a kernel on the functional simulator to
+//! obtain dynamic statistics, [`extract`] them into a [`ModelInput`], and
+//! feed that to [`Model::analyze`]. The analysis predicts the time spent in
+//! each of the three components — **instruction pipeline**, **shared
+//! memory**, **global memory** — identifies the bottleneck (the component
+//! with the largest time; the others are assumed hidden by overlap), splits
+//! the program into synchronization stages when only one block is resident,
+//! and attaches the paper's §3 cause diagnoses plus what-if estimates
+//! ([`Model::what_if_no_bank_conflicts`] and friends) for the benefit of
+//! removing each bottleneck.
+//!
+//! ```no_run
+//! use gpa_core::{extract, Model};
+//! use gpa_hw::{KernelResources, Machine};
+//! use gpa_ubench::{MeasureOpts, ThroughputCurves};
+//! # fn get_stats() -> gpa_sim::DynamicStats { unimplemented!() }
+//!
+//! let machine = Machine::gtx285();
+//! let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
+//! let mut model = Model::new(&machine, curves);
+//! let stats = get_stats(); // from FunctionalSim::run
+//! let input = extract(
+//!     &machine,
+//!     "my_kernel",
+//!     gpa_sim::LaunchConfig::new_1d(512, 256),
+//!     KernelResources::new(12, 8448, 256),
+//!     stats,
+//! );
+//! let analysis = model.analyze(&input);
+//! println!("{}", gpa_core::report::render(&analysis));
+//! ```
+
+pub mod advisor;
+pub mod analysis;
+pub mod input;
+pub mod report;
+pub mod traditional;
+
+pub use advisor::WhatIf;
+pub use analysis::{Analysis, Cause, Component, ComponentTimes, Model, StageAnalysis};
+pub use input::{extract, ModelInput};
+pub use traditional::{traditional_analysis, TraditionalAnalysis, TraditionalVerdict};

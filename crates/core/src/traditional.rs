@@ -1,0 +1,146 @@
+//! The *traditional* algorithmic-level performance model (paper §3).
+//!
+//! The paper opens by showing why the conventional analysis fails:
+//! programmers compute a sustained FLOP rate and a sustained algorithmic
+//! bandwidth from the measured time, compare both against the machine
+//! peaks, and call the kernel compute-bound or memory-bound. §3 lists the
+//! failure modes — bookkeeping instructions are invisible, hardware
+//! transactions differ from algorithmic bytes, and shared memory does not
+//! appear at all. The cyclic-reduction solver is the motivating example:
+//! "the application is neither computation-bound nor memory-bound, and can
+//! only achieve a computational rate of 6 GFLOPS and a bandwidth of
+//! 7 GB/s".
+//!
+//! This module implements that traditional model so the contrast is
+//! reproducible: feed it the *algorithmic* FLOP and byte counts plus a
+//! measured time, and it renders the verdict a roofline-style analysis
+//! would give — which for CR is an unhelpful "bound by neither".
+
+use gpa_hw::Machine;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The traditional model's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraditionalVerdict {
+    /// Sustained FLOP rate is a large fraction of peak.
+    ComputeBound,
+    /// Sustained algorithmic bandwidth is a large fraction of peak.
+    MemoryBound,
+    /// Neither rate approaches its peak — the model has no explanation
+    /// (the paper's cyclic-reduction situation).
+    Unexplained,
+}
+
+impl fmt::Display for TraditionalVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraditionalVerdict::ComputeBound => "compute-bound",
+            TraditionalVerdict::MemoryBound => "memory-bound",
+            TraditionalVerdict::Unexplained => "bound by neither (unexplained)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Output of the traditional algorithmic analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraditionalAnalysis {
+    /// Sustained FLOP/s from the algorithmic operation count.
+    pub sustained_flops: f64,
+    /// Sustained bytes/s from the algorithmic byte count.
+    pub sustained_bandwidth: f64,
+    /// `sustained_flops / peak_flops`.
+    pub compute_fraction: f64,
+    /// `sustained_bandwidth / peak_bandwidth`.
+    pub memory_fraction: f64,
+    /// The verdict, using `threshold` (default 0.5) on the fractions.
+    pub verdict: TraditionalVerdict,
+}
+
+impl fmt::Display for TraditionalAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GFLOPS ({:.0}% of peak), {:.1} GB/s ({:.0}% of peak) -> {}",
+            self.sustained_flops / 1e9,
+            self.compute_fraction * 100.0,
+            self.sustained_bandwidth / 1e9,
+            self.memory_fraction * 100.0,
+            self.verdict
+        )
+    }
+}
+
+/// Run the traditional analysis: algorithmic `flops` and `bytes` (what a
+/// complexity analysis counts — not hardware transactions), the measured
+/// `seconds`, and a `threshold` on the peak fractions (the paper's
+/// informal "close to peak"; 0.5 is generous).
+pub fn traditional_analysis(
+    machine: &Machine,
+    flops: u64,
+    bytes: u64,
+    seconds: f64,
+    threshold: f64,
+) -> TraditionalAnalysis {
+    let sustained_flops = flops as f64 / seconds;
+    let sustained_bandwidth = bytes as f64 / seconds;
+    let compute_fraction = sustained_flops / machine.peak_flops_sp();
+    let memory_fraction = sustained_bandwidth / machine.peak_global_bandwidth();
+    let verdict = if compute_fraction >= threshold && compute_fraction >= memory_fraction {
+        TraditionalVerdict::ComputeBound
+    } else if memory_fraction >= threshold {
+        TraditionalVerdict::MemoryBound
+    } else {
+        TraditionalVerdict::Unexplained
+    };
+    TraditionalAnalysis {
+        sustained_flops,
+        sustained_bandwidth,
+        compute_fraction,
+        memory_fraction,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Machine {
+        Machine::gtx285()
+    }
+
+    #[test]
+    fn near_peak_flops_is_compute_bound() {
+        // 400 GFLOPS of 710 peak in 1 ms.
+        let a = traditional_analysis(&m(), 400_000_000, 4_000, 1e-3, 0.5);
+        assert_eq!(a.verdict, TraditionalVerdict::ComputeBound);
+        assert!(a.compute_fraction > 0.5);
+    }
+
+    #[test]
+    fn near_peak_bandwidth_is_memory_bound() {
+        // 120 GB/s of 159 peak in 1 ms.
+        let a = traditional_analysis(&m(), 1_000, 120_000_000, 1e-3, 0.5);
+        assert_eq!(a.verdict, TraditionalVerdict::MemoryBound);
+    }
+
+    #[test]
+    fn paper_cyclic_reduction_numbers_are_unexplained() {
+        // §5.2: "a computational rate of 6 GFLOPS and a bandwidth of
+        // 7 GB/s" — the traditional model shrugs.
+        let a = traditional_analysis(&m(), 6_000_000, 7_000_000, 1e-3, 0.5);
+        assert_eq!(a.verdict, TraditionalVerdict::Unexplained);
+        assert!(a.compute_fraction < 0.01);
+        assert!(a.memory_fraction < 0.05);
+        let text = format!("{a}");
+        assert!(text.contains("neither"));
+    }
+
+    #[test]
+    fn ties_break_toward_compute() {
+        let a = traditional_analysis(&m(), 710_400_000, 158_976_000, 1e-3, 0.5);
+        assert_eq!(a.verdict, TraditionalVerdict::ComputeBound);
+    }
+}

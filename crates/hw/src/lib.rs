@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! GT200-class GPU machine description and resource arithmetic.
+//!
+//! This crate is the bottom layer of the `gpa` workspace. It captures the
+//! hardware facts the paper's model depends on:
+//!
+//! * the **machine description** ([`Machine`]) — clocks, functional-unit
+//!   counts, memory-system geometry, and per-SM resource ceilings of an
+//!   NVIDIA GTX 285 (GeForce 200 series);
+//! * the **instruction classification** ([`InstrClass`]) of paper Table 1 —
+//!   instructions are grouped by how many functional units per SM can
+//!   execute them;
+//! * the **peak-rate formulas** of paper §4 (instruction throughput, shared
+//!   memory bandwidth, global memory bandwidth, peak GFLOPS);
+//! * the **occupancy calculator** ([`occupancy`]) reproducing paper Table 2:
+//!   given a kernel's register/shared-memory/thread usage, how many blocks
+//!   (and therefore warps) fit on one streaming multiprocessor.
+//!
+//! # Example
+//!
+//! ```
+//! use gpa_hw::{InstrClass, Machine};
+//!
+//! let m = Machine::gtx285();
+//! // Paper §4.1: peak MAD throughput is 8 · 1.48 GHz · 30 / 32 = 11.1 Ginstr/s.
+//! let peak = m.peak_warp_instruction_throughput(InstrClass::TypeII);
+//! assert!((peak / 1e9 - 11.1).abs() < 0.01);
+//! ```
+
+pub mod machine;
+pub mod occupancy;
+
+pub use machine::{ClusterId, InstrClass, Machine, SmId};
+pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};

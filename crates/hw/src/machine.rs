@@ -1,0 +1,335 @@
+//! The machine description: an NVIDIA GTX 285 (GT200) and its peak rates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Instruction classes of paper Table 1, grouped by how many functional
+/// units per streaming multiprocessor can execute the instruction.
+///
+/// | Class | FUs/SM | Example instructions |
+/// |-------|--------|----------------------|
+/// | I     | 10     | `mul` (8 FPUs + 2 SFU multipliers) |
+/// | II    | 8      | `mov`, `add`, `mad` |
+/// | III   | 4      | `sin`, `cos`, `lg2`, `rcp` |
+/// | IV    | 1      | double-precision floating point |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Single-precision multiply: 10 functional units (8 FPU + 2 SFU).
+    TypeI,
+    /// The common case (`mov`/`add`/`mad`, integer and logic): 8 FPUs.
+    TypeII,
+    /// Transcendentals on the special-function units: 4 lanes.
+    TypeIII,
+    /// Double precision: a single unit per SM.
+    TypeIV,
+}
+
+impl InstrClass {
+    /// All four classes, in Table 1 order.
+    pub const ALL: [InstrClass; 4] = [
+        InstrClass::TypeI,
+        InstrClass::TypeII,
+        InstrClass::TypeIII,
+        InstrClass::TypeIV,
+    ];
+
+    /// Index 0..4, usable for dense per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            InstrClass::TypeI => 0,
+            InstrClass::TypeII => 1,
+            InstrClass::TypeIII => 2,
+            InstrClass::TypeIV => 3,
+        }
+    }
+
+    /// Inverse of [`InstrClass::index`]. Returns `None` for `i >= 4`.
+    pub fn from_index(i: usize) -> Option<InstrClass> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::TypeI => "Type I",
+            InstrClass::TypeII => "Type II",
+            InstrClass::TypeIII => "Type III",
+            InstrClass::TypeIV => "Type IV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a streaming multiprocessor, `0..machine.num_sms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SmId(pub u32);
+
+/// Identifier of a TPC cluster (3 SMs sharing one memory pipeline on GT200),
+/// `0..machine.num_clusters`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl fmt::Display for SmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SM{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TPC{}", self.0)
+    }
+}
+
+/// Description of a GT200-class GPU.
+///
+/// All fields are public: this is a passive record of hardware facts, and
+/// experiments deliberately construct perturbed machines (e.g. "what if the
+/// SM allowed 16 resident blocks?", paper §5.1) by mutating a copy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Marketing name, e.g. `"GeForce GTX 285"`.
+    pub name: String,
+    /// Shader (core) clock in Hz. GTX 285: 1.476 GHz; the paper rounds to
+    /// 1.48 GHz and so do we, to reproduce its arithmetic exactly.
+    pub clock_hz: f64,
+    /// Number of streaming multiprocessors. GTX 285: 30.
+    pub num_sms: u32,
+    /// SMs per TPC cluster sharing one memory pipeline. GT200: 3.
+    pub sms_per_cluster: u32,
+    /// Threads per warp. 32 on all CUDA hardware of this era.
+    pub warp_size: u32,
+    /// Threads per half-warp: the granularity at which shared- and
+    /// global-memory transactions are issued on GT200 (paper §4.3).
+    pub half_warp: u32,
+    /// Functional units per SM able to run each [`InstrClass`]
+    /// (paper Table 1): `[10, 8, 4, 1]`.
+    pub fus_per_class: [u32; 4],
+    /// 32-bit registers per SM. GT200: 16384.
+    pub regs_per_sm: u32,
+    /// Register-file allocation granularity in registers per block.
+    /// GT200 allocates block register footprints in 512-register chunks.
+    pub reg_alloc_unit: u32,
+    /// Bytes of shared memory per SM. GT200: 16 KiB.
+    pub smem_per_sm: u32,
+    /// Shared memory banks per SM. GT200: 16.
+    pub smem_banks: u32,
+    /// Width of one shared-memory bank in bytes. GT200: 4.
+    pub smem_bank_width: u32,
+    /// Maximum threads per block. GT200: 512.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM. GT200: 1024.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM. GT200: 8.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident warps per SM. GT200: 32.
+    pub max_warps_per_sm: u32,
+    /// Effective DRAM clock in Hz. GTX 285: 2.484 GHz (GDDR3 data rate).
+    pub mem_clock_hz: f64,
+    /// DRAM bus width in bits. GTX 285: 512.
+    pub mem_bus_bits: u32,
+    /// Global-memory transaction sizes supported by the coalescer, bytes,
+    /// ascending. GT200: 32, 64, 128 (paper §4.3: minimum segment 32 B).
+    pub gmem_segment_sizes: [u32; 3],
+}
+
+impl Machine {
+    /// The machine studied by the paper: an NVIDIA GeForce GTX 285.
+    pub fn gtx285() -> Machine {
+        Machine {
+            name: "GeForce GTX 285".to_owned(),
+            clock_hz: 1.48e9,
+            num_sms: 30,
+            sms_per_cluster: 3,
+            warp_size: 32,
+            half_warp: 16,
+            fus_per_class: [10, 8, 4, 1],
+            regs_per_sm: 16_384,
+            reg_alloc_unit: 512,
+            smem_per_sm: 16_384,
+            smem_banks: 16,
+            smem_bank_width: 4,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 32,
+            mem_clock_hz: 2.484e9,
+            mem_bus_bits: 512,
+            gmem_segment_sizes: [32, 64, 128],
+        }
+    }
+
+    /// Number of TPC clusters (`num_sms / sms_per_cluster`). GTX 285: 10.
+    #[inline]
+    pub fn num_clusters(&self) -> u32 {
+        self.num_sms / self.sms_per_cluster
+    }
+
+    /// Cluster that a given SM belongs to. Blocks are scheduled to clusters
+    /// round-robin (paper Figure 3's sawtooth has period `num_clusters`).
+    #[inline]
+    pub fn cluster_of(&self, sm: SmId) -> ClusterId {
+        ClusterId(sm.0 / self.sms_per_cluster)
+    }
+
+    /// Number of functional units per SM for an instruction class.
+    #[inline]
+    pub fn fus(&self, class: InstrClass) -> u32 {
+        self.fus_per_class[class.index()]
+    }
+
+    /// Theoretical peak *warp-level* instruction throughput for a class,
+    /// in instructions per second over the whole GPU (paper §4.1):
+    ///
+    /// ```text
+    /// numberFunctionalUnits · frequency · numberSM / warpSize
+    /// ```
+    ///
+    /// For Type II (MAD) on the GTX 285 this is 11.1 G warp-instructions/s.
+    pub fn peak_warp_instruction_throughput(&self, class: InstrClass) -> f64 {
+        self.fus(class) as f64 * self.clock_hz * self.num_sms as f64 / self.warp_size as f64
+    }
+
+    /// Theoretical peak single-precision rate via MAD, in FLOP/s
+    /// (paper §4.1: 11.1 G · 32 · 2 = 710.4 GFLOPS on the GTX 285).
+    pub fn peak_flops_sp(&self) -> f64 {
+        self.peak_warp_instruction_throughput(InstrClass::TypeII) * self.warp_size as f64 * 2.0
+    }
+
+    /// Theoretical peak shared-memory bandwidth in bytes/s (paper §4.2):
+    ///
+    /// ```text
+    /// numberSP · numberSM · frequency · 4 B  =  1420 GB/s on the GTX 285
+    /// ```
+    pub fn peak_shared_bandwidth(&self) -> f64 {
+        self.fus(InstrClass::TypeII) as f64
+            * self.num_sms as f64
+            * self.clock_hz
+            * self.smem_bank_width as f64
+    }
+
+    /// Theoretical peak global-memory bandwidth in bytes/s (paper §4.3):
+    ///
+    /// ```text
+    /// memoryFrequency · busWidth / 8  =  159 GB/s on the GTX 285
+    /// ```
+    pub fn peak_global_bandwidth(&self) -> f64 {
+        self.mem_clock_hz * self.mem_bus_bits as f64 / 8.0
+    }
+
+    /// Bytes moved by one conflict-free warp-wide shared-memory access
+    /// (32 lanes × 4 B = 128 B). This is the unit in which the paper
+    /// counts shared-memory transactions.
+    #[inline]
+    pub fn warp_access_bytes(&self) -> u32 {
+        self.warp_size * self.smem_bank_width
+    }
+
+    /// Warps needed to hold `threads` threads (rounded up; a partial warp
+    /// still occupies a whole warp — paper §2).
+    #[inline]
+    pub fn warps_for_threads(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::gtx285()
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} SMs @ {:.2} GHz, {:.1} GB/s DRAM)",
+            self.name,
+            self.num_sms,
+            self.clock_hz / 1e9,
+            self.peak_global_bandwidth() / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_functional_unit_counts() {
+        let m = Machine::gtx285();
+        assert_eq!(m.fus(InstrClass::TypeI), 10);
+        assert_eq!(m.fus(InstrClass::TypeII), 8);
+        assert_eq!(m.fus(InstrClass::TypeIII), 4);
+        assert_eq!(m.fus(InstrClass::TypeIV), 1);
+    }
+
+    #[test]
+    fn paper_peak_mad_throughput_is_11_1_ginstr() {
+        // §4.1: 8 · 1.48 GHz · 30 / 32 = 11.1 Giga instructions/s.
+        let m = Machine::gtx285();
+        let peak = m.peak_warp_instruction_throughput(InstrClass::TypeII);
+        assert!((peak - 11.1e9).abs() < 1e7, "got {peak}");
+    }
+
+    #[test]
+    fn paper_peak_flops_is_710_4_gflops() {
+        // §4.1: 11.1 · 32 · 2 = 710.4 GFLOPS.
+        let m = Machine::gtx285();
+        assert!((m.peak_flops_sp() - 710.4e9).abs() < 1e8);
+    }
+
+    #[test]
+    fn paper_peak_shared_bandwidth_is_1420_gb() {
+        // §4.2: 1.48 GHz · 8 · 30 · 4 B = 1420.8 GB/s.
+        let m = Machine::gtx285();
+        assert!((m.peak_shared_bandwidth() - 1420.8e9).abs() < 1e8);
+    }
+
+    #[test]
+    fn paper_peak_global_bandwidth_is_160_gb() {
+        // §4.3: 2.484 GHz · 512 bits / 8 = 158.976 GB/s (the paper says "160").
+        let m = Machine::gtx285();
+        assert!((m.peak_global_bandwidth() - 158.976e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn class_index_round_trips() {
+        for c in InstrClass::ALL {
+            assert_eq!(InstrClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(InstrClass::from_index(4), None);
+    }
+
+    #[test]
+    fn clusters() {
+        let m = Machine::gtx285();
+        assert_eq!(m.num_clusters(), 10);
+        assert_eq!(m.cluster_of(SmId(0)), ClusterId(0));
+        assert_eq!(m.cluster_of(SmId(2)), ClusterId(0));
+        assert_eq!(m.cluster_of(SmId(3)), ClusterId(1));
+        assert_eq!(m.cluster_of(SmId(29)), ClusterId(9));
+    }
+
+    #[test]
+    fn warp_rounding() {
+        let m = Machine::gtx285();
+        assert_eq!(m.warps_for_threads(1), 1);
+        assert_eq!(m.warps_for_threads(32), 1);
+        assert_eq!(m.warps_for_threads(33), 2);
+        assert_eq!(m.warps_for_threads(512), 16);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Machine::gtx285();
+        assert!(!format!("{m}").is_empty());
+        assert!(!format!("{m:?}").is_empty());
+        assert_eq!(format!("{}", SmId(4)), "SM4");
+        assert_eq!(format!("{}", ClusterId(2)), "TPC2");
+        assert_eq!(format!("{}", InstrClass::TypeIII), "Type III");
+    }
+}

@@ -1,0 +1,704 @@
+//! Textual assembler and disassembler (decuda-flavoured syntax).
+//!
+//! The disassembly of an instruction is its [`fmt::Display`] form, e.g.
+//!
+//! ```text
+//! @!p1 mad.f32 r4, s[r2+0x10], r5, r4
+//! ld.global.b128 r8, g[r3+0x40]
+//! setp.lt.s32 p0, r0, 512
+//! bra 12
+//! ```
+//!
+//! [`kernel_to_asm`] renders a whole [`Kernel`] with resource directives and
+//! generated labels; [`parse_kernel`] parses that form back. The pair
+//! round-trips: `parse_kernel(kernel_to_asm(k))` reproduces `k`'s
+//! instruction stream exactly.
+
+use crate::instr::{
+    CmpOp, Instruction, MemAddr, NumTy, Op, Pred, PredGuard, Reg, SpecialReg, Src, Width,
+};
+use crate::kernel::Kernel;
+use gpa_hw::KernelResources;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "{g} ")?;
+        }
+        write_op(f, &self.op)
+    }
+}
+
+fn write_op(f: &mut fmt::Formatter<'_>, op: &Op) -> fmt::Result {
+    match *op {
+        Op::FMul { d, a, b } => write!(f, "mul.f32 {d}, {a}, {b}"),
+        Op::FAdd { d, a, b } => write!(f, "add.f32 {d}, {a}, {b}"),
+        Op::FMad { d, a, b, c } => write!(f, "mad.f32 {d}, {a}, {b}, {c}"),
+        Op::IAdd { d, a, b } => write!(f, "add.s32 {d}, {a}, {b}"),
+        Op::ISub { d, a, b } => write!(f, "sub.s32 {d}, {a}, {b}"),
+        Op::IMul { d, a, b } => write!(f, "mul.s32 {d}, {a}, {b}"),
+        Op::IMad { d, a, b, c } => write!(f, "mad.s32 {d}, {a}, {b}, {c}"),
+        Op::IMin { d, a, b } => write!(f, "min.s32 {d}, {a}, {b}"),
+        Op::IMax { d, a, b } => write!(f, "max.s32 {d}, {a}, {b}"),
+        Op::Shl { d, a, b } => write!(f, "shl.b32 {d}, {a}, {b}"),
+        Op::Shr { d, a, b } => write!(f, "shr.b32 {d}, {a}, {b}"),
+        Op::And { d, a, b } => write!(f, "and.b32 {d}, {a}, {b}"),
+        Op::Or { d, a, b } => write!(f, "or.b32 {d}, {a}, {b}"),
+        Op::Xor { d, a, b } => write!(f, "xor.b32 {d}, {a}, {b}"),
+        Op::Mov { d, a } => write!(f, "mov.b32 {d}, {a}"),
+        Op::MovImm { d, imm } => write!(f, "mov32 {d}, {imm:#010x}"),
+        Op::S2R { d, sr } => write!(f, "s2r {d}, {sr}"),
+        Op::SetP { p, cmp, ty, a, b } => {
+            write!(f, "setp.{}.{} {p}, {a}, {b}", cmp.mnemonic(), ty.mnemonic())
+        }
+        Op::Sel { d, p, a, b } => write!(f, "sel.b32 {d}, {p}, {a}, {b}"),
+        Op::I2F { d, a } => write!(f, "i2f {d}, {a}"),
+        Op::F2I { d, a } => write!(f, "f2i {d}, {a}"),
+        Op::Rcp { d, a } => write!(f, "rcp.f32 {d}, {a}"),
+        Op::Rsq { d, a } => write!(f, "rsq.f32 {d}, {a}"),
+        Op::Sin { d, a } => write!(f, "sin.f32 {d}, {a}"),
+        Op::Cos { d, a } => write!(f, "cos.f32 {d}, {a}"),
+        Op::Lg2 { d, a } => write!(f, "lg2.f32 {d}, {a}"),
+        Op::Ex2 { d, a } => write!(f, "ex2.f32 {d}, {a}"),
+        Op::DAdd { d, a, b } => write!(f, "add.f64 {d}, {a}, {b}"),
+        Op::DMul { d, a, b } => write!(f, "mul.f64 {d}, {a}, {b}"),
+        Op::DFma { d, a, b, c } => write!(f, "fma.f64 {d}, {a}, {b}, {c}"),
+        Op::LdShared { d, addr, width } => {
+            write!(f, "ld.shared.{} {d}, s[{addr}]", width.mnemonic())
+        }
+        Op::StShared { addr, src, width } => {
+            write!(f, "st.shared.{} s[{addr}], {src}", width.mnemonic())
+        }
+        Op::LdGlobal { d, addr, width } => {
+            write!(f, "ld.global.{} {d}, g[{addr}]", width.mnemonic())
+        }
+        Op::StGlobal { addr, src, width } => {
+            write!(f, "st.global.{} g[{addr}], {src}", width.mnemonic())
+        }
+        Op::LdParam { d, offset } => write!(f, "ld.param.b32 {d}, c[{offset:#x}]"),
+        Op::Bar => write!(f, "bar.sync"),
+        Op::Bra { target } => write!(f, "bra {target}"),
+        Op::Exit => write!(f, "exit"),
+        Op::Nop => write!(f, "nop"),
+    }
+}
+
+/// An assembly parse error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Render a kernel as assembly text with resource directives and labels at
+/// branch targets.
+pub fn kernel_to_asm(kernel: &Kernel) -> String {
+    use fmt::Write as _;
+    let mut targets: Vec<u32> = kernel
+        .instrs
+        .iter()
+        .filter_map(|i| match i.op {
+            Op::Bra { target } => Some(target),
+            _ => None,
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of: HashMap<u32, String> = targets
+        .iter()
+        .map(|t| (*t, format!("L{t}")))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".kernel {}", kernel.name);
+    let _ = writeln!(out, ".reg {}", kernel.resources.regs_per_thread);
+    let _ = writeln!(out, ".smem {}", kernel.resources.smem_per_block);
+    let _ = writeln!(out, ".threads {}", kernel.resources.threads_per_block);
+    let _ = writeln!(out, ".param {}", kernel.param_bytes);
+    for (idx, ins) in kernel.instrs.iter().enumerate() {
+        if let Some(lbl) = label_of.get(&(idx as u32)) {
+            let _ = writeln!(out, "{lbl}:");
+        }
+        if let Op::Bra { target } = ins.op {
+            let mut line = String::new();
+            if let Some(g) = ins.guard {
+                let _ = write!(line, "{g} ");
+            }
+            let _ = write!(line, "bra {}", label_of[&target]);
+            let _ = writeln!(out, "    {line}");
+        } else {
+            let _ = writeln!(out, "    {ins}");
+        }
+    }
+    out
+}
+
+/// Parse a full kernel in the [`kernel_to_asm`] format.
+///
+/// Branch targets may be labels or absolute instruction indices.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending source line.
+pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
+    let mut name = String::from("kernel");
+    let mut regs = 0u32;
+    let mut smem = 0u32;
+    let mut threads = 32u32;
+    let mut params = 0u32;
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    // Pass 1: directives and label addresses.
+    let mut instr_idx = 0u32;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut it = rest.split_whitespace();
+            let dir = it.next().unwrap_or("");
+            let arg = it.next().unwrap_or("");
+            match dir {
+                "kernel" => name = arg.to_owned(),
+                "reg" => regs = parse_num(arg, ln + 1)? as u32,
+                "smem" => smem = parse_num(arg, ln + 1)? as u32,
+                "threads" => threads = parse_num(arg, ln + 1)? as u32,
+                "param" => params = parse_num(arg, ln + 1)? as u32,
+                other => return Err(AsmError::new(ln + 1, format!("unknown directive .{other}"))),
+            }
+        } else if let Some(lbl) = line.strip_suffix(':') {
+            if labels.insert(lbl.trim().to_owned(), instr_idx).is_some() {
+                return Err(AsmError::new(ln + 1, format!("duplicate label {lbl}")));
+            }
+        } else {
+            instr_idx += 1;
+        }
+    }
+
+    // Pass 2: instructions.
+    let mut instrs = Vec::with_capacity(instr_idx as usize);
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.starts_with('.') || line.ends_with(':') {
+            continue;
+        }
+        instrs.push(parse_instruction_with(line, ln + 1, &labels)?);
+    }
+
+    Ok(Kernel::new(
+        name,
+        instrs,
+        KernelResources::new(regs, smem, threads),
+        params,
+    ))
+}
+
+/// Parse a single instruction (no labels available; branch targets must be
+/// absolute indices).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with line number 1.
+pub fn parse_instruction(line: &str) -> Result<Instruction, AsmError> {
+    parse_instruction_with(line, 1, &HashMap::new())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_num(s: &str, line: usize) -> Result<i64, AsmError> {
+    let (body, neg) = match s.strip_prefix('-') {
+        Some(b) => (b, true),
+        None => (s, false),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError::new(line, format!("bad number `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let n = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse::<u8>().ok())
+        .ok_or_else(|| AsmError::new(line, format!("expected register, got `{tok}`")))?;
+    Ok(Reg(n))
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<Pred, AsmError> {
+    let n = tok
+        .strip_prefix('p')
+        .and_then(|s| s.parse::<u8>().ok())
+        .ok_or_else(|| AsmError::new(line, format!("expected predicate, got `{tok}`")))?;
+    Ok(Pred(n))
+}
+
+fn parse_addr(inner: &str, line: usize) -> Result<MemAddr, AsmError> {
+    // Forms: `r3`, `r3+0x10`, `r3-0x10`, `0x10`, `-0x10`, decimal offsets.
+    let inner = inner.trim();
+    if inner.starts_with('r') {
+        if let Some(pos) = inner[1..].find(['+', '-']).map(|p| p + 1) {
+            let base = parse_reg(&inner[..pos], line)?;
+            let sign = if inner.as_bytes()[pos] == b'-' { -1 } else { 1 };
+            let off = parse_num(&inner[pos + 1..], line)?;
+            Ok(MemAddr::new(Some(base), sign * off as i32))
+        } else {
+            Ok(MemAddr::new(Some(parse_reg(inner, line)?), 0))
+        }
+    } else {
+        Ok(MemAddr::new(None, parse_num(inner, line)? as i32))
+    }
+}
+
+fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
+    let tok = tok.trim();
+    if let Some(inner) = tok.strip_prefix("s[").and_then(|s| s.strip_suffix(']')) {
+        Ok(Src::SMem(parse_addr(inner, line)?))
+    } else if tok.starts_with('r') {
+        Ok(Src::Reg(parse_reg(tok, line)?))
+    } else {
+        Ok(Src::Imm(parse_num(tok, line)? as i32))
+    }
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    // Split on commas that are not inside brackets.
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_owned());
+                cur = String::new();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+fn parse_instruction_with(
+    line: &str,
+    ln: usize,
+    labels: &HashMap<String, u32>,
+) -> Result<Instruction, AsmError> {
+    let mut rest = line.trim();
+    let mut guard = None;
+    if rest.starts_with('@') {
+        let (gtok, r) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| AsmError::new(ln, "guard without instruction"))?;
+        let negate = gtok.starts_with("@!");
+        let ptok = gtok.trim_start_matches("@!").trim_start_matches('@');
+        guard = Some(PredGuard {
+            pred: parse_pred(ptok, ln)?,
+            negate,
+        });
+        rest = r.trim();
+    }
+
+    let (mnemonic, operand_str) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let ops = split_operands(operand_str);
+    let need = |k: usize| -> Result<(), AsmError> {
+        if ops.len() == k {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                ln,
+                format!("`{mnemonic}` expects {k} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    let alu2 = |f: fn(Reg, Src, Src) -> Op| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(f(
+            parse_reg(&ops[0], ln)?,
+            parse_src(&ops[1], ln)?,
+            parse_src(&ops[2], ln)?,
+        ))
+    };
+    let alu3 = |f: fn(Reg, Src, Src, Src) -> Op| -> Result<Op, AsmError> {
+        need(4)?;
+        Ok(f(
+            parse_reg(&ops[0], ln)?,
+            parse_src(&ops[1], ln)?,
+            parse_src(&ops[2], ln)?,
+            parse_src(&ops[3], ln)?,
+        ))
+    };
+    let alu1 = |f: fn(Reg, Src) -> Op| -> Result<Op, AsmError> {
+        need(2)?;
+        Ok(f(parse_reg(&ops[0], ln)?, parse_src(&ops[1], ln)?))
+    };
+    let dreg3 = |f: fn(Reg, Reg, Reg) -> Op| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(f(
+            parse_reg(&ops[0], ln)?,
+            parse_reg(&ops[1], ln)?,
+            parse_reg(&ops[2], ln)?,
+        ))
+    };
+
+    let mem_width = |suffix: &str| -> Result<Width, AsmError> {
+        match suffix {
+            "b32" => Ok(Width::B32),
+            "b64" => Ok(Width::B64),
+            "b128" => Ok(Width::B128),
+            other => Err(AsmError::new(ln, format!("bad width `{other}`"))),
+        }
+    };
+
+    let op = match mnemonic {
+        "mul.f32" => alu2(|d, a, b| Op::FMul { d, a, b })?,
+        "add.f32" => alu2(|d, a, b| Op::FAdd { d, a, b })?,
+        "mad.f32" => alu3(|d, a, b, c| Op::FMad { d, a, b, c })?,
+        "add.s32" => alu2(|d, a, b| Op::IAdd { d, a, b })?,
+        "sub.s32" => alu2(|d, a, b| Op::ISub { d, a, b })?,
+        "mul.s32" => alu2(|d, a, b| Op::IMul { d, a, b })?,
+        "mad.s32" => alu3(|d, a, b, c| Op::IMad { d, a, b, c })?,
+        "min.s32" => alu2(|d, a, b| Op::IMin { d, a, b })?,
+        "max.s32" => alu2(|d, a, b| Op::IMax { d, a, b })?,
+        "shl.b32" => alu2(|d, a, b| Op::Shl { d, a, b })?,
+        "shr.b32" => alu2(|d, a, b| Op::Shr { d, a, b })?,
+        "and.b32" => alu2(|d, a, b| Op::And { d, a, b })?,
+        "or.b32" => alu2(|d, a, b| Op::Or { d, a, b })?,
+        "xor.b32" => alu2(|d, a, b| Op::Xor { d, a, b })?,
+        "mov.b32" => alu1(|d, a| Op::Mov { d, a })?,
+        "mov32" => {
+            need(2)?;
+            Op::MovImm {
+                d: parse_reg(&ops[0], ln)?,
+                imm: parse_num(&ops[1], ln)? as i64 as u32,
+            }
+        }
+        "s2r" => {
+            need(2)?;
+            let sr = SpecialReg::ALL
+                .iter()
+                .find(|s| s.mnemonic() == ops[1])
+                .copied()
+                .ok_or_else(|| AsmError::new(ln, format!("bad special register `{}`", ops[1])))?;
+            Op::S2R { d: parse_reg(&ops[0], ln)?, sr }
+        }
+        "sel.b32" => {
+            need(4)?;
+            Op::Sel {
+                d: parse_reg(&ops[0], ln)?,
+                p: parse_pred(&ops[1], ln)?,
+                a: parse_src(&ops[2], ln)?,
+                b: parse_src(&ops[3], ln)?,
+            }
+        }
+        "i2f" => alu1(|d, a| Op::I2F { d, a })?,
+        "f2i" => alu1(|d, a| Op::F2I { d, a })?,
+        "rcp.f32" => alu1(|d, a| Op::Rcp { d, a })?,
+        "rsq.f32" => alu1(|d, a| Op::Rsq { d, a })?,
+        "sin.f32" => alu1(|d, a| Op::Sin { d, a })?,
+        "cos.f32" => alu1(|d, a| Op::Cos { d, a })?,
+        "lg2.f32" => alu1(|d, a| Op::Lg2 { d, a })?,
+        "ex2.f32" => alu1(|d, a| Op::Ex2 { d, a })?,
+        "add.f64" => dreg3(|d, a, b| Op::DAdd { d, a, b })?,
+        "mul.f64" => dreg3(|d, a, b| Op::DMul { d, a, b })?,
+        "fma.f64" => {
+            need(4)?;
+            Op::DFma {
+                d: parse_reg(&ops[0], ln)?,
+                a: parse_reg(&ops[1], ln)?,
+                b: parse_reg(&ops[2], ln)?,
+                c: parse_reg(&ops[3], ln)?,
+            }
+        }
+        "bar.sync" => {
+            need(0)?;
+            Op::Bar
+        }
+        "exit" => {
+            need(0)?;
+            Op::Exit
+        }
+        "nop" => {
+            need(0)?;
+            Op::Nop
+        }
+        "bra" => {
+            need(1)?;
+            let target = if let Some(t) = labels.get(ops[0].as_str()) {
+                *t
+            } else {
+                parse_num(&ops[0], ln)? as u32
+            };
+            Op::Bra { target }
+        }
+        m if m.starts_with("setp.") => {
+            need(3)?;
+            let mut parts = m.splitn(3, '.');
+            let _ = parts.next();
+            let cmp_s = parts.next().unwrap_or("");
+            let ty_s = parts.next().unwrap_or("");
+            let cmp = CmpOp::ALL
+                .iter()
+                .find(|c| c.mnemonic() == cmp_s)
+                .copied()
+                .ok_or_else(|| AsmError::new(ln, format!("bad comparison `{cmp_s}`")))?;
+            let ty = match ty_s {
+                "s32" => NumTy::S32,
+                "f32" => NumTy::F32,
+                other => return Err(AsmError::new(ln, format!("bad setp type `{other}`"))),
+            };
+            Op::SetP {
+                p: parse_pred(&ops[0], ln)?,
+                cmp,
+                ty,
+                a: parse_src(&ops[1], ln)?,
+                b: parse_src(&ops[2], ln)?,
+            }
+        }
+        m if m.starts_with("ld.shared.") || m.starts_with("st.shared.")
+            || m.starts_with("ld.global.") || m.starts_with("st.global.") =>
+        {
+            need(2)?;
+            let width = mem_width(m.rsplit('.').next().unwrap())?;
+            let is_load = m.starts_with("ld.");
+            let is_shared = m.contains(".shared.");
+            let bracket = if is_shared { "s[" } else { "g[" };
+            let (reg_tok, addr_tok) = if is_load {
+                (&ops[0], &ops[1])
+            } else {
+                (&ops[1], &ops[0])
+            };
+            let inner = addr_tok
+                .strip_prefix(bracket)
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| {
+                    AsmError::new(ln, format!("expected `{bracket}...]`, got `{addr_tok}`"))
+                })?;
+            let addr = parse_addr(inner, ln)?;
+            let reg = parse_reg(reg_tok, ln)?;
+            match (is_load, is_shared) {
+                (true, true) => Op::LdShared { d: reg, addr, width },
+                (false, true) => Op::StShared { addr, src: reg, width },
+                (true, false) => Op::LdGlobal { d: reg, addr, width },
+                (false, false) => Op::StGlobal { addr, src: reg, width },
+            }
+        }
+        "ld.param.b32" => {
+            need(2)?;
+            let inner = ops[1]
+                .strip_prefix("c[")
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| AsmError::new(ln, format!("expected `c[...]`, got `{}`", ops[1])))?;
+            Op::LdParam {
+                d: parse_reg(&ops[0], ln)?,
+                offset: parse_num(inner, ln)? as u16,
+            }
+        }
+        other => return Err(AsmError::new(ln, format!("unknown mnemonic `{other}`"))),
+    };
+
+    Ok(Instruction { guard, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_hw::KernelResources;
+    use proptest::prelude::*;
+
+    fn rt_line(i: Instruction) {
+        let text = format!("{i}");
+        let back = parse_instruction(&text).unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+        assert_eq!(back, i, "text was `{text}`");
+    }
+
+    #[test]
+    fn instruction_text_round_trips() {
+        rt_line(Instruction::new(Op::FMad {
+            d: Reg(4),
+            a: Src::smem(Some(Reg(2)), 16),
+            b: Src::Reg(Reg(5)),
+            c: Src::Reg(Reg(4)),
+        }));
+        rt_line(Instruction::guarded(
+            Pred(1),
+            true,
+            Op::StGlobal {
+                addr: MemAddr::new(Some(Reg(3)), -64),
+                src: Reg(8),
+                width: Width::B128,
+            },
+        ));
+        rt_line(Instruction::new(Op::MovImm { d: Reg(1), imm: 0x3f80_0000 }));
+        rt_line(Instruction::new(Op::SetP {
+            p: Pred(0),
+            cmp: CmpOp::Lt,
+            ty: NumTy::S32,
+            a: Src::Reg(Reg(0)),
+            b: Src::Imm(512),
+        }));
+        rt_line(Instruction::new(Op::Sel {
+            d: Reg(0),
+            p: Pred(2),
+            a: Src::Reg(Reg(1)),
+            b: Src::Imm(-1),
+        }));
+        rt_line(Instruction::new(Op::S2R { d: Reg(0), sr: SpecialReg::NCtaIdX }));
+        rt_line(Instruction::new(Op::DFma { d: Reg(0), a: Reg(2), b: Reg(4), c: Reg(6) }));
+        rt_line(Instruction::new(Op::LdParam { d: Reg(9), offset: 8 }));
+        rt_line(Instruction::new(Op::Bar));
+        rt_line(Instruction::new(Op::Bra { target: 42 }));
+        rt_line(Instruction::new(Op::Exit));
+        rt_line(Instruction::new(Op::Nop));
+    }
+
+    #[test]
+    fn kernel_round_trips_with_labels() {
+        let k = Kernel::new(
+            "loopy",
+            vec![
+                Instruction::new(Op::MovImm { d: Reg(0), imm: 0 }),
+                Instruction::new(Op::IAdd { d: Reg(0), a: Src::Reg(Reg(0)), b: Src::Imm(1) }),
+                Instruction::new(Op::SetP {
+                    p: Pred(0),
+                    cmp: CmpOp::Lt,
+                    ty: NumTy::S32,
+                    a: Src::Reg(Reg(0)),
+                    b: Src::Imm(10),
+                }),
+                Instruction::guarded(Pred(0), false, Op::Bra { target: 1 }),
+                Instruction::new(Op::Exit),
+            ],
+            KernelResources::new(4, 0, 32),
+            0,
+        );
+        let text = kernel_to_asm(&k);
+        assert!(text.contains("L1:"), "disassembly:\n{text}");
+        let back = parse_kernel(&text).unwrap();
+        assert_eq!(back.instrs, k.instrs);
+        assert_eq!(back.name, "loopy");
+        assert_eq!(back.resources, k.resources);
+        assert_eq!(back.param_bytes, k.param_bytes);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n.kernel c\n.reg 2\n.smem 0\n.threads 32\n.param 0\n\n// header\n    nop // trailing\n    exit\n";
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.instrs.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = ".kernel x\n    frobnicate r0\n";
+        let err = parse_kernel(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let text = "a:\n    nop\na:\n    exit\n";
+        let err = parse_kernel(text).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let err = parse_instruction("add.s32 r0, r1").unwrap_err();
+        assert!(err.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn negative_smem_offset_round_trips() {
+        rt_line(Instruction::new(Op::LdShared {
+            d: Reg(1),
+            addr: MemAddr::new(Some(Reg(2)), -8),
+            width: Width::B32,
+        }));
+    }
+
+    // Property: every encodable instruction's text form parses back to itself.
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..128).prop_map(Reg)
+    }
+
+    fn arb_src() -> impl Strategy<Value = Src> {
+        prop_oneof![
+            arb_reg().prop_map(Src::Reg),
+            (Src::MIN_IMM..=Src::MAX_IMM).prop_map(Src::Imm),
+            (proptest::option::of(arb_reg()), 0i32..16384).prop_map(|(b, o)| Src::smem(b, o)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn alu_text_round_trips(d in arb_reg(), a in arb_src(), b in arb_src(), c in arb_src()) {
+            for op in [
+                Op::FMul { d, a, b },
+                Op::FMad { d, a, b, c },
+                Op::IAdd { d, a, b },
+                Op::Shl { d, a, b },
+                Op::Mov { d, a },
+            ] {
+                rt_line(Instruction::new(op));
+            }
+        }
+
+        #[test]
+        fn mem_text_round_trips(r in arb_reg(), base in proptest::option::of(arb_reg()),
+                                off in -1000i32..100000) {
+            let addr = MemAddr::new(base, off);
+            for op in [
+                Op::LdGlobal { d: r, addr, width: Width::B32 },
+                Op::StShared { addr, src: r, width: Width::B64 },
+            ] {
+                rt_line(Instruction::new(op));
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Control-flow analysis: basic blocks and postdominators.
+//!
+//! The functional simulator handles branch divergence with the classic SIMT
+//! reconvergence-stack scheme: when a warp diverges at a conditional branch,
+//! the two lane subsets execute one after the other and reconverge at the
+//! branch's **immediate postdominator**. This module computes those points
+//! once per kernel.
+
+use crate::instr::{Instruction, Op};
+
+/// A maximal straight-line instruction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// Past-the-end instruction index.
+    pub end: usize,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// Control-flow graph of a kernel with postdominator information.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in program order.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from instruction index to its block index.
+    pub block_of_instr: Vec<usize>,
+    /// Immediate postdominator of each block (`None` when only the kernel
+    /// exit postdominates it).
+    ipdom: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Build the CFG and postdominator tree for an instruction stream.
+    ///
+    /// Blocks are split at branch targets and after control instructions.
+    /// The analysis is purely structural — it does not require the kernel
+    /// to have passed [`crate::kernel::Kernel::validate`], but out-of-range
+    /// branch targets are treated as kernel exits.
+    pub fn build(instrs: &[Instruction]) -> Cfg {
+        let n = instrs.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of_instr: Vec::new(),
+                ipdom: Vec::new(),
+            };
+        }
+
+        // Leaders: entry, branch targets, fall-throughs after control flow.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, ins) in instrs.iter().enumerate() {
+            match ins.op {
+                Op::Bra { target } => {
+                    if (target as usize) < n {
+                        leader[target as usize] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Op::Exit => {
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of_instr = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 0..n {
+            if i > start && leader[i] {
+                blocks.push(BasicBlock { start, end: i, succs: Vec::new() });
+                start = i;
+            }
+        }
+        blocks.push(BasicBlock { start, end: n, succs: Vec::new() });
+        for (bi, b) in blocks.iter().enumerate() {
+            for j in b.start..b.end {
+                block_of_instr[j] = bi;
+            }
+        }
+
+        // Successors.
+        let nb = blocks.len();
+        for bi in 0..nb {
+            let last = blocks[bi].end - 1;
+            let succs = match instrs[last] {
+                Instruction { guard, op: Op::Bra { target } } => {
+                    let mut s = Vec::new();
+                    if (target as usize) < n {
+                        s.push(block_of_instr[target as usize]);
+                    }
+                    // A guarded branch can fall through.
+                    if guard.is_some() && bi + 1 < nb {
+                        s.push(bi + 1);
+                    }
+                    s
+                }
+                Instruction { guard: None, op: Op::Exit } => Vec::new(),
+                Instruction { guard: Some(_), op: Op::Exit } => {
+                    // Guarded exit: some lanes fall through.
+                    if bi + 1 < nb {
+                        vec![bi + 1]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => {
+                    if bi + 1 < nb {
+                        vec![bi + 1]
+                    } else {
+                        Vec::new()
+                    }
+                }
+            };
+            blocks[bi].succs = succs;
+        }
+
+        let ipdom = compute_ipdom(&blocks);
+        Cfg {
+            blocks,
+            block_of_instr,
+            ipdom,
+        }
+    }
+
+    /// Immediate postdominator of block `b`, or `None` when only the kernel
+    /// exit postdominates it.
+    pub fn ipdom_block(&self, b: usize) -> Option<usize> {
+        self.ipdom.get(b).copied().flatten()
+    }
+
+    /// The instruction index at which the divergent paths of the (guarded)
+    /// branch at `branch_pc` reconverge, or `None` to reconverge at kernel
+    /// exit.
+    pub fn reconvergence_pc(&self, branch_pc: usize) -> Option<usize> {
+        let b = *self.block_of_instr.get(branch_pc)?;
+        self.ipdom_block(b).map(|p| self.blocks[p].start)
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Set-based iterative postdominator computation with a virtual exit node.
+///
+/// Kernels are small (at most a few thousand instructions, tens of blocks),
+/// so the O(n²) bitset fixpoint is plenty fast and easy to audit.
+fn compute_ipdom(blocks: &[BasicBlock]) -> Vec<Option<usize>> {
+    let nb = blocks.len();
+    let exit = nb; // virtual exit node index
+    let total = nb + 1;
+    let words = total.div_ceil(64);
+
+    // pdom[b] as bitsets; all-ones initially except exit = {exit}.
+    let full = {
+        let mut v = vec![u64::MAX; words];
+        let extra = words * 64 - total;
+        if extra > 0 {
+            v[words - 1] = u64::MAX >> extra;
+        }
+        v
+    };
+    let mut pdom: Vec<Vec<u64>> = (0..total).map(|_| full.clone()).collect();
+    let mut exit_only = vec![0u64; words];
+    exit_only[exit / 64] |= 1 << (exit % 64);
+    pdom[exit] = exit_only;
+
+    let succs_of = |b: usize| -> Vec<usize> {
+        if blocks[b].succs.is_empty() {
+            vec![exit]
+        } else {
+            blocks[b].succs.clone()
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse program order converges fastest for postdominators.
+        for b in (0..nb).rev() {
+            let mut inter = full.clone();
+            for s in succs_of(b) {
+                for w in 0..words {
+                    inter[w] &= pdom[s][w];
+                }
+            }
+            inter[b / 64] |= 1 << (b % 64);
+            if inter != pdom[b] {
+                pdom[b] = inter;
+                changed = true;
+            }
+        }
+    }
+
+    let contains = |set: &[u64], x: usize| set[x / 64] & (1 << (x % 64)) != 0;
+
+    (0..nb)
+        .map(|b| {
+            // Strict postdominators of b, excluding the virtual exit.
+            let cands: Vec<usize> = (0..nb)
+                .filter(|&c| c != b && contains(&pdom[b], c))
+                .collect();
+            // The immediate one is postdominated by every other candidate...
+            // i.e. its own pdom set contains all of them.
+            cands
+                .iter()
+                .copied()
+                .find(|&c| cands.iter().all(|&q| contains(&pdom[c], q)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Pred, Reg, Src};
+
+    fn nop() -> Instruction {
+        Instruction::new(Op::Nop)
+    }
+
+    fn bra(t: u32) -> Instruction {
+        Instruction::new(Op::Bra { target: t })
+    }
+
+    fn bra_if(p: u8, t: u32) -> Instruction {
+        Instruction::guarded(Pred(p), false, Op::Bra { target: t })
+    }
+
+    fn exit() -> Instruction {
+        Instruction::new(Op::Exit)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = Cfg::build(&[nop(), nop(), exit()]);
+        assert_eq!(cfg.num_blocks(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert_eq!(cfg.ipdom_block(0), None);
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        // 0: bra_if p0 -> 3
+        // 1: nop   (else arm)
+        // 2: bra -> 4
+        // 3: nop   (then arm)
+        // 4: exit  (join)
+        let instrs = [bra_if(0, 3), nop(), bra(4), nop(), exit()];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.num_blocks(), 4);
+        // Branch at pc 0 reconverges at the join block (pc 4).
+        assert_eq!(cfg.reconvergence_pc(0), Some(4));
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        // 0: nop        (header/body)
+        // 1: bra_if -> 0
+        // 2: exit
+        let instrs = [nop(), bra_if(0, 0), exit()];
+        let cfg = Cfg::build(&instrs);
+        // The loop branch reconverges at the loop exit (pc 2).
+        assert_eq!(cfg.reconvergence_pc(1), Some(2));
+    }
+
+    #[test]
+    fn if_without_else() {
+        // 0: bra_if p0 -> 2   (skip)
+        // 1: nop              (guarded body)
+        // 2: exit
+        let instrs = [bra_if(0, 2), nop(), exit()];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.reconvergence_pc(0), Some(2));
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        // outer: 0 bra_if->6 | 1 bra_if->4 | 2 nop | 3 bra 5 | 4 nop | 5 bra 7 | 6 nop | 7 exit
+        let instrs = [
+            bra_if(0, 6),
+            bra_if(1, 4),
+            nop(),
+            bra(5),
+            nop(),
+            bra(7),
+            nop(),
+            exit(),
+        ];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.reconvergence_pc(0), Some(7));
+        assert_eq!(cfg.reconvergence_pc(1), Some(5));
+    }
+
+    #[test]
+    fn guarded_exit_falls_through() {
+        let instrs = [
+            Instruction::guarded(Pred(0), false, Op::Exit),
+            nop(),
+            exit(),
+        ];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.num_blocks(), 2);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let cfg = Cfg::build(&[]);
+        assert_eq!(cfg.num_blocks(), 0);
+        assert_eq!(cfg.reconvergence_pc(0), None);
+    }
+
+    #[test]
+    fn real_op_blocks() {
+        // Make sure non-control instructions don't split blocks.
+        let instrs = [
+            Instruction::new(Op::IAdd { d: Reg(0), a: Src::Reg(Reg(0)), b: Src::Imm(1) }),
+            Instruction::new(Op::Bar),
+            Instruction::new(Op::IAdd { d: Reg(1), a: Src::Reg(Reg(1)), b: Src::Imm(1) }),
+            exit(),
+        ];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.num_blocks(), 1);
+    }
+}

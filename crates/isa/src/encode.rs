@@ -1,0 +1,815 @@
+//! Fixed 64-bit binary encoding of the instruction set.
+//!
+//! This is the workspace's "CUBIN generator" substitute: the paper builds
+//! microbenchmarks by assembling *binary* native instructions and embedding
+//! them into executables, bypassing the compiler entirely. [`encode`] and
+//! [`decode`] round-trip every valid [`Instruction`] through a `u64` word;
+//! [`encode_kernel`]/[`decode_kernel`] handle whole instruction streams.
+//!
+//! # Word layout
+//!
+//! ```text
+//!  63......56 55 54 53.52 51...44 43...36 35...28 27...20 19.18 17.16 15.14 13........0
+//!  opcode     PE PN pred  D       A       B       C       kA    kB    kC    imm14
+//! ```
+//!
+//! * `PE`/`PN`/`pred`: predicate enable, negate, register.
+//! * `D`: destination register (or store source, or packed `setp` fields).
+//! * `A`/`B`/`C`: source fields; `kA`..`kC` give each operand's kind
+//!   (0 = register, 1 = immediate, 2 = shared-memory).
+//! * `imm14`: shared immediate field — a signed 14-bit inline immediate or
+//!   an unsigned 14-bit shared-operand byte offset. At most one operand may
+//!   use it.
+//!
+//! Special layouts: `mov32`/`bra` carry a full 32-bit payload in bits 31..0;
+//! memory instructions use an 18-bit signed offset in bits 17..0 with the
+//! access width in bits 19..18.
+
+use crate::instr::{
+    CmpOp, Instruction, MemAddr, NumTy, Op, Pred, PredGuard, Reg, SpecialReg, Src, Width,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when an instruction cannot be represented in the binary
+/// format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An inline immediate does not fit the signed 14-bit field.
+    ImmOutOfRange(i32),
+    /// More than one operand needs the shared immediate field.
+    ImmFieldConflict,
+    /// A shared-operand byte offset is outside `0..16384`.
+    SMemOffsetOutOfRange(i32),
+    /// A load/store byte offset does not fit the signed 18-bit field.
+    MemOffsetOutOfRange(i32),
+    /// A parameter offset does not fit the 14-bit field.
+    ParamOffsetOutOfRange(u16),
+    /// A register index is out of range.
+    BadReg(u8),
+    /// A predicate index is out of range.
+    BadPred(u8),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit the signed 14-bit field")
+            }
+            EncodeError::ImmFieldConflict => {
+                write!(f, "more than one operand requires the immediate field")
+            }
+            EncodeError::SMemOffsetOutOfRange(v) => {
+                write!(f, "shared-operand offset {v} is outside 0..16384")
+            }
+            EncodeError::MemOffsetOutOfRange(v) => {
+                write!(f, "memory offset {v} does not fit the signed 18-bit field")
+            }
+            EncodeError::ParamOffsetOutOfRange(v) => {
+                write!(f, "parameter offset {v} does not fit 14 bits")
+            }
+            EncodeError::BadReg(r) => write!(f, "register index {r} is out of range"),
+            EncodeError::BadPred(p) => write!(f, "predicate index {p} is out of range"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Errors produced when a 64-bit word is not a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode number.
+    BadOpcode(u8),
+    /// An operand kind tag is invalid for this position.
+    BadOperandKind(u8),
+    /// A packed sub-field (comparison, special register, width) is invalid.
+    BadSubfield(&'static str, u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::BadOperandKind(k) => write!(f, "invalid operand kind {k}"),
+            DecodeError::BadSubfield(name, v) => write!(f, "invalid {name} field value {v}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+// Opcode numbers. Stable: the encoding is a wire format.
+const OP_FMUL: u8 = 0;
+const OP_FADD: u8 = 1;
+const OP_FMAD: u8 = 2;
+const OP_IADD: u8 = 3;
+const OP_ISUB: u8 = 4;
+const OP_IMUL: u8 = 5;
+const OP_IMAD: u8 = 6;
+const OP_IMIN: u8 = 7;
+const OP_IMAX: u8 = 8;
+const OP_SHL: u8 = 9;
+const OP_SHR: u8 = 10;
+const OP_AND: u8 = 11;
+const OP_OR: u8 = 12;
+const OP_XOR: u8 = 13;
+const OP_MOV: u8 = 14;
+const OP_MOVIMM: u8 = 15;
+const OP_S2R: u8 = 16;
+const OP_SETP: u8 = 17;
+const OP_SEL: u8 = 18;
+const OP_I2F: u8 = 19;
+const OP_F2I: u8 = 20;
+const OP_RCP: u8 = 21;
+const OP_RSQ: u8 = 22;
+const OP_SIN: u8 = 23;
+const OP_COS: u8 = 24;
+const OP_LG2: u8 = 25;
+const OP_EX2: u8 = 26;
+const OP_DADD: u8 = 27;
+const OP_DMUL: u8 = 28;
+const OP_DFMA: u8 = 29;
+const OP_LDS: u8 = 30;
+const OP_STS: u8 = 31;
+const OP_LDG: u8 = 32;
+const OP_STG: u8 = 33;
+const OP_LDP: u8 = 34;
+const OP_BAR: u8 = 35;
+const OP_BRA: u8 = 36;
+const OP_EXIT: u8 = 37;
+const OP_NOP: u8 = 38;
+
+const KIND_REG: u64 = 0;
+const KIND_IMM: u64 = 1;
+const KIND_SMEM: u64 = 2;
+
+const NO_BASE: u64 = 0xFF;
+
+/// Encoder state for the shared fields of the generic layout.
+#[derive(Default)]
+struct Fields {
+    fields: [u64; 3],
+    kinds: [u64; 3],
+    imm14: Option<u64>,
+}
+
+impl Fields {
+    fn pack_src(&mut self, slot: usize, s: Src) -> Result<(), EncodeError> {
+        match s {
+            Src::Reg(r) => {
+                check_reg(r)?;
+                self.fields[slot] = u64::from(r.0);
+                self.kinds[slot] = KIND_REG;
+            }
+            Src::Imm(v) => {
+                if !(Src::MIN_IMM..=Src::MAX_IMM).contains(&v) {
+                    return Err(EncodeError::ImmOutOfRange(v));
+                }
+                if self.imm14.is_some() {
+                    return Err(EncodeError::ImmFieldConflict);
+                }
+                self.imm14 = Some((v as u64) & 0x3FFF);
+                self.kinds[slot] = KIND_IMM;
+            }
+            Src::SMem(addr) => {
+                if !(0..16384).contains(&addr.offset) {
+                    return Err(EncodeError::SMemOffsetOutOfRange(addr.offset));
+                }
+                if self.imm14.is_some() {
+                    return Err(EncodeError::ImmFieldConflict);
+                }
+                self.imm14 = Some(addr.offset as u64);
+                self.fields[slot] = match addr.base {
+                    Some(r) => {
+                        check_reg(r)?;
+                        u64::from(r.0)
+                    }
+                    None => NO_BASE,
+                };
+                self.kinds[slot] = KIND_SMEM;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, opcode: u8, guard: Option<PredGuard>, d: u64) -> Result<u64, EncodeError> {
+        let mut w = (u64::from(opcode)) << 56;
+        w |= encode_guard(guard)?;
+        w |= (d & 0xFF) << 44;
+        w |= self.fields[0] << 36;
+        w |= self.fields[1] << 28;
+        w |= self.fields[2] << 20;
+        w |= self.kinds[0] << 18;
+        w |= self.kinds[1] << 16;
+        w |= self.kinds[2] << 14;
+        w |= self.imm14.unwrap_or(0);
+        Ok(w)
+    }
+}
+
+fn check_reg(r: Reg) -> Result<(), EncodeError> {
+    if r.is_valid() {
+        Ok(())
+    } else {
+        Err(EncodeError::BadReg(r.0))
+    }
+}
+
+fn encode_guard(guard: Option<PredGuard>) -> Result<u64, EncodeError> {
+    match guard {
+        None => Ok(0),
+        Some(g) => {
+            if !g.pred.is_valid() {
+                return Err(EncodeError::BadPred(g.pred.0));
+            }
+            let mut w = 1u64 << 55;
+            if g.negate {
+                w |= 1 << 54;
+            }
+            w |= u64::from(g.pred.0) << 52;
+            Ok(w)
+        }
+    }
+}
+
+fn decode_guard(w: u64) -> Option<PredGuard> {
+    if (w >> 55) & 1 == 1 {
+        Some(PredGuard {
+            pred: Pred(((w >> 52) & 0x3) as u8),
+            negate: (w >> 54) & 1 == 1,
+        })
+    } else {
+        None
+    }
+}
+
+fn encode_alu2(
+    opcode: u8,
+    guard: Option<PredGuard>,
+    d: Reg,
+    a: Src,
+    b: Src,
+) -> Result<u64, EncodeError> {
+    check_reg(d)?;
+    let mut f = Fields::default();
+    f.pack_src(0, a)?;
+    f.pack_src(1, b)?;
+    f.finish(opcode, guard, u64::from(d.0))
+}
+
+fn encode_alu3(
+    opcode: u8,
+    guard: Option<PredGuard>,
+    d: Reg,
+    a: Src,
+    b: Src,
+    c: Src,
+) -> Result<u64, EncodeError> {
+    check_reg(d)?;
+    let mut f = Fields::default();
+    f.pack_src(0, a)?;
+    f.pack_src(1, b)?;
+    f.pack_src(2, c)?;
+    f.finish(opcode, guard, u64::from(d.0))
+}
+
+fn encode_alu1(opcode: u8, guard: Option<PredGuard>, d: Reg, a: Src) -> Result<u64, EncodeError> {
+    check_reg(d)?;
+    let mut f = Fields::default();
+    f.pack_src(0, a)?;
+    f.finish(opcode, guard, u64::from(d.0))
+}
+
+fn encode_mem(
+    opcode: u8,
+    guard: Option<PredGuard>,
+    reg: Reg,
+    addr: MemAddr,
+    width: Width,
+) -> Result<u64, EncodeError> {
+    check_reg(reg)?;
+    if !addr.offset_encodable() {
+        return Err(EncodeError::MemOffsetOutOfRange(addr.offset));
+    }
+    let mut w = (u64::from(opcode)) << 56;
+    w |= encode_guard(guard)?;
+    w |= u64::from(reg.0) << 44;
+    w |= match addr.base {
+        Some(r) => {
+            check_reg(r)?;
+            u64::from(r.0)
+        }
+        None => NO_BASE,
+    } << 36;
+    let wbits = match width {
+        Width::B32 => 0u64,
+        Width::B64 => 1,
+        Width::B128 => 2,
+    };
+    w |= wbits << 18;
+    w |= (addr.offset as u64) & 0x3FFFF;
+    Ok(w)
+}
+
+fn decode_mem(w: u64) -> Result<(Reg, MemAddr, Width), DecodeError> {
+    let reg = Reg(((w >> 44) & 0xFF) as u8);
+    let base_raw = (w >> 36) & 0xFF;
+    let base = if base_raw == NO_BASE {
+        None
+    } else {
+        Some(Reg(base_raw as u8))
+    };
+    let width = match (w >> 18) & 0x3 {
+        0 => Width::B32,
+        1 => Width::B64,
+        2 => Width::B128,
+        v => return Err(DecodeError::BadSubfield("width", v as u8)),
+    };
+    // Sign-extend the 18-bit offset.
+    let raw = (w & 0x3FFFF) as i32;
+    let offset = (raw << 14) >> 14;
+    Ok((reg, MemAddr::new(base, offset), width))
+}
+
+fn decode_src(w: u64, slot: usize) -> Result<Src, DecodeError> {
+    let field = (w >> (36 - 8 * slot)) & 0xFF;
+    let kind = (w >> (18 - 2 * slot)) & 0x3;
+    let imm14 = w & 0x3FFF;
+    match kind {
+        KIND_REG => Ok(Src::Reg(Reg(field as u8))),
+        KIND_IMM => {
+            let v = ((imm14 as i32) << 18) >> 18;
+            Ok(Src::Imm(v))
+        }
+        KIND_SMEM => {
+            let base = if field == NO_BASE {
+                None
+            } else {
+                Some(Reg(field as u8))
+            };
+            Ok(Src::SMem(MemAddr::new(base, imm14 as i32)))
+        }
+        k => Err(DecodeError::BadOperandKind(k as u8)),
+    }
+}
+
+/// Encode one instruction into its 64-bit binary word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if an operand does not fit its field — e.g. an
+/// inline immediate beyond ±8191, two immediate-class operands, or an
+/// out-of-range memory offset.
+pub fn encode(instr: &Instruction) -> Result<u64, EncodeError> {
+    let g = instr.guard;
+    match instr.op {
+        Op::FMul { d, a, b } => encode_alu2(OP_FMUL, g, d, a, b),
+        Op::FAdd { d, a, b } => encode_alu2(OP_FADD, g, d, a, b),
+        Op::FMad { d, a, b, c } => encode_alu3(OP_FMAD, g, d, a, b, c),
+        Op::IAdd { d, a, b } => encode_alu2(OP_IADD, g, d, a, b),
+        Op::ISub { d, a, b } => encode_alu2(OP_ISUB, g, d, a, b),
+        Op::IMul { d, a, b } => encode_alu2(OP_IMUL, g, d, a, b),
+        Op::IMad { d, a, b, c } => encode_alu3(OP_IMAD, g, d, a, b, c),
+        Op::IMin { d, a, b } => encode_alu2(OP_IMIN, g, d, a, b),
+        Op::IMax { d, a, b } => encode_alu2(OP_IMAX, g, d, a, b),
+        Op::Shl { d, a, b } => encode_alu2(OP_SHL, g, d, a, b),
+        Op::Shr { d, a, b } => encode_alu2(OP_SHR, g, d, a, b),
+        Op::And { d, a, b } => encode_alu2(OP_AND, g, d, a, b),
+        Op::Or { d, a, b } => encode_alu2(OP_OR, g, d, a, b),
+        Op::Xor { d, a, b } => encode_alu2(OP_XOR, g, d, a, b),
+        Op::Mov { d, a } => encode_alu1(OP_MOV, g, d, a),
+        Op::MovImm { d, imm } => {
+            check_reg(d)?;
+            let mut w = (u64::from(OP_MOVIMM)) << 56;
+            w |= encode_guard(g)?;
+            w |= u64::from(d.0) << 44;
+            w |= u64::from(imm);
+            Ok(w)
+        }
+        Op::S2R { d, sr } => {
+            check_reg(d)?;
+            let mut f = Fields::default();
+            f.fields[0] = u64::from(sr.index());
+            f.finish(OP_S2R, g, u64::from(d.0))
+        }
+        Op::SetP { p, cmp, ty, a, b } => {
+            if !p.is_valid() {
+                return Err(EncodeError::BadPred(p.0));
+            }
+            let cmp_num = CmpOp::ALL.iter().position(|c| *c == cmp).unwrap() as u64;
+            let ty_num = match ty {
+                NumTy::S32 => 0u64,
+                NumTy::F32 => 1,
+            };
+            let d = u64::from(p.0) | (cmp_num << 2) | (ty_num << 5);
+            let mut f = Fields::default();
+            f.pack_src(0, a)?;
+            f.pack_src(1, b)?;
+            f.finish(OP_SETP, g, d)
+        }
+        Op::Sel { d, p, a, b } => {
+            check_reg(d)?;
+            if !p.is_valid() {
+                return Err(EncodeError::BadPred(p.0));
+            }
+            let mut f = Fields::default();
+            f.pack_src(0, a)?;
+            f.pack_src(1, b)?;
+            f.fields[2] = u64::from(p.0);
+            f.finish(OP_SEL, g, u64::from(d.0))
+        }
+        Op::I2F { d, a } => encode_alu1(OP_I2F, g, d, a),
+        Op::F2I { d, a } => encode_alu1(OP_F2I, g, d, a),
+        Op::Rcp { d, a } => encode_alu1(OP_RCP, g, d, a),
+        Op::Rsq { d, a } => encode_alu1(OP_RSQ, g, d, a),
+        Op::Sin { d, a } => encode_alu1(OP_SIN, g, d, a),
+        Op::Cos { d, a } => encode_alu1(OP_COS, g, d, a),
+        Op::Lg2 { d, a } => encode_alu1(OP_LG2, g, d, a),
+        Op::Ex2 { d, a } => encode_alu1(OP_EX2, g, d, a),
+        Op::DAdd { d, a, b } => encode_alu2(OP_DADD, g, d, Src::Reg(a), Src::Reg(b)),
+        Op::DMul { d, a, b } => encode_alu2(OP_DMUL, g, d, Src::Reg(a), Src::Reg(b)),
+        Op::DFma { d, a, b, c } => {
+            encode_alu3(OP_DFMA, g, d, Src::Reg(a), Src::Reg(b), Src::Reg(c))
+        }
+        Op::LdShared { d, addr, width } => encode_mem(OP_LDS, g, d, addr, width),
+        Op::StShared { addr, src, width } => encode_mem(OP_STS, g, src, addr, width),
+        Op::LdGlobal { d, addr, width } => encode_mem(OP_LDG, g, d, addr, width),
+        Op::StGlobal { addr, src, width } => encode_mem(OP_STG, g, src, addr, width),
+        Op::LdParam { d, offset } => {
+            check_reg(d)?;
+            if offset >= 16384 {
+                return Err(EncodeError::ParamOffsetOutOfRange(offset));
+            }
+            let mut w = (u64::from(OP_LDP)) << 56;
+            w |= encode_guard(g)?;
+            w |= u64::from(d.0) << 44;
+            w |= u64::from(offset);
+            Ok(w)
+        }
+        Op::Bar => {
+            let mut w = (u64::from(OP_BAR)) << 56;
+            w |= encode_guard(g)?;
+            Ok(w)
+        }
+        Op::Bra { target } => {
+            let mut w = (u64::from(OP_BRA)) << 56;
+            w |= encode_guard(g)?;
+            w |= u64::from(target);
+            Ok(w)
+        }
+        Op::Exit => {
+            let mut w = (u64::from(OP_EXIT)) << 56;
+            w |= encode_guard(g)?;
+            Ok(w)
+        }
+        Op::Nop => {
+            let mut w = (u64::from(OP_NOP)) << 56;
+            w |= encode_guard(g)?;
+            Ok(w)
+        }
+    }
+}
+
+/// Decode a 64-bit binary word back into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown opcodes or malformed fields.
+pub fn decode(w: u64) -> Result<Instruction, DecodeError> {
+    let opcode = (w >> 56) as u8;
+    let guard = decode_guard(w);
+    let d = Reg(((w >> 44) & 0xFF) as u8);
+    let op = match opcode {
+        OP_FMUL => Op::FMul { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_FADD => Op::FAdd { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_FMAD => Op::FMad {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+            c: decode_src(w, 2)?,
+        },
+        OP_IADD => Op::IAdd { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_ISUB => Op::ISub { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_IMUL => Op::IMul { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_IMAD => Op::IMad {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+            c: decode_src(w, 2)?,
+        },
+        OP_IMIN => Op::IMin { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_IMAX => Op::IMax { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_SHL => Op::Shl { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_SHR => Op::Shr { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_AND => Op::And { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_OR => Op::Or { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_XOR => Op::Xor { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_MOV => Op::Mov { d, a: decode_src(w, 0)? },
+        OP_MOVIMM => Op::MovImm { d, imm: (w & 0xFFFF_FFFF) as u32 },
+        OP_S2R => {
+            let idx = ((w >> 36) & 0xFF) as u8;
+            let sr = SpecialReg::from_index(idx)
+                .ok_or(DecodeError::BadSubfield("special register", idx))?;
+            Op::S2R { d, sr }
+        }
+        OP_SETP => {
+            let draw = (w >> 44) & 0xFF;
+            let p = Pred((draw & 0x3) as u8);
+            let cmp_num = ((draw >> 2) & 0x7) as usize;
+            let cmp = *CmpOp::ALL
+                .get(cmp_num)
+                .ok_or(DecodeError::BadSubfield("comparison", cmp_num as u8))?;
+            let ty = if (draw >> 5) & 1 == 1 { NumTy::F32 } else { NumTy::S32 };
+            Op::SetP { p, cmp, ty, a: decode_src(w, 0)?, b: decode_src(w, 1)? }
+        }
+        OP_SEL => {
+            let p = Pred(((w >> 20) & 0x3) as u8);
+            Op::Sel { d, p, a: decode_src(w, 0)?, b: decode_src(w, 1)? }
+        }
+        OP_I2F => Op::I2F { d, a: decode_src(w, 0)? },
+        OP_F2I => Op::F2I { d, a: decode_src(w, 0)? },
+        OP_RCP => Op::Rcp { d, a: decode_src(w, 0)? },
+        OP_RSQ => Op::Rsq { d, a: decode_src(w, 0)? },
+        OP_SIN => Op::Sin { d, a: decode_src(w, 0)? },
+        OP_COS => Op::Cos { d, a: decode_src(w, 0)? },
+        OP_LG2 => Op::Lg2 { d, a: decode_src(w, 0)? },
+        OP_EX2 => Op::Ex2 { d, a: decode_src(w, 0)? },
+        OP_DADD | OP_DMUL | OP_DFMA => {
+            let reg_of = |s: Src| match s {
+                Src::Reg(r) => Ok(r),
+                _ => Err(DecodeError::BadOperandKind(1)),
+            };
+            let a = reg_of(decode_src(w, 0)?)?;
+            let b = reg_of(decode_src(w, 1)?)?;
+            match opcode {
+                OP_DADD => Op::DAdd { d, a, b },
+                OP_DMUL => Op::DMul { d, a, b },
+                _ => {
+                    let c = reg_of(decode_src(w, 2)?)?;
+                    Op::DFma { d, a, b, c }
+                }
+            }
+        }
+        OP_LDS => {
+            let (reg, addr, width) = decode_mem(w)?;
+            Op::LdShared { d: reg, addr, width }
+        }
+        OP_STS => {
+            let (reg, addr, width) = decode_mem(w)?;
+            Op::StShared { addr, src: reg, width }
+        }
+        OP_LDG => {
+            let (reg, addr, width) = decode_mem(w)?;
+            Op::LdGlobal { d: reg, addr, width }
+        }
+        OP_STG => {
+            let (reg, addr, width) = decode_mem(w)?;
+            Op::StGlobal { addr, src: reg, width }
+        }
+        OP_LDP => Op::LdParam { d, offset: (w & 0x3FFF) as u16 },
+        OP_BAR => Op::Bar,
+        OP_BRA => Op::Bra { target: (w & 0xFFFF_FFFF) as u32 },
+        OP_EXIT => Op::Exit,
+        OP_NOP => Op::Nop,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(Instruction { guard, op })
+}
+
+/// Encode a whole instruction stream.
+///
+/// # Errors
+///
+/// Returns the first [`EncodeError`] along with its instruction index.
+pub fn encode_kernel(instrs: &[Instruction]) -> Result<Vec<u64>, (usize, EncodeError)> {
+    instrs
+        .iter()
+        .enumerate()
+        .map(|(i, ins)| encode(ins).map_err(|e| (i, e)))
+        .collect()
+}
+
+/// Decode a whole instruction stream.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] along with its word index.
+pub fn decode_kernel(words: &[u64]) -> Result<Vec<Instruction>, (usize, DecodeError)> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| decode(*w).map_err(|e| (i, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rt(i: Instruction) {
+        let w = encode(&i).expect("encodable");
+        let back = decode(w).expect("decodable");
+        assert_eq!(i, back, "word was {w:#018x}");
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let r0 = Reg(0);
+        let r1 = Reg(1);
+        let r7 = Reg(7);
+        rt(Instruction::new(Op::FMad {
+            d: r0,
+            a: Src::smem(Some(r7), 1024),
+            b: Src::Reg(r1),
+            c: Src::Reg(r0),
+        }));
+        rt(Instruction::new(Op::MovImm { d: r1, imm: 0x3f80_0000 }));
+        rt(Instruction::new(Op::IAdd { d: r0, a: Src::Reg(r1), b: Src::Imm(-4) }));
+        rt(Instruction::guarded(
+            Pred(2),
+            true,
+            Op::StGlobal {
+                addr: MemAddr::new(Some(r7), -128),
+                src: r0,
+                width: Width::B128,
+            },
+        ));
+        rt(Instruction::new(Op::SetP {
+            p: Pred(3),
+            cmp: CmpOp::Ge,
+            ty: NumTy::F32,
+            a: Src::Reg(r0),
+            b: Src::Reg(r1),
+        }));
+        rt(Instruction::new(Op::Sel { d: r0, p: Pred(1), a: Src::Reg(r1), b: Src::Imm(0) }));
+        rt(Instruction::new(Op::S2R { d: r0, sr: SpecialReg::CtaIdY }));
+        rt(Instruction::new(Op::DFma { d: Reg(0), a: Reg(2), b: Reg(4), c: Reg(6) }));
+        rt(Instruction::new(Op::LdParam { d: r0, offset: 12 }));
+        rt(Instruction::new(Op::Bar));
+        rt(Instruction::new(Op::Bra { target: 123_456 }));
+        rt(Instruction::guarded(Pred(0), false, Op::Bra { target: 7 }));
+        rt(Instruction::new(Op::Exit));
+        rt(Instruction::new(Op::Nop));
+    }
+
+    #[test]
+    fn negative_mem_offsets_round_trip() {
+        rt(Instruction::new(Op::LdShared {
+            d: Reg(3),
+            addr: MemAddr::new(Some(Reg(4)), -16),
+            width: Width::B32,
+        }));
+        rt(Instruction::new(Op::LdGlobal {
+            d: Reg(3),
+            addr: MemAddr::new(None, MemAddr::MAX_OFFSET),
+            width: Width::B64,
+        }));
+        rt(Instruction::new(Op::LdGlobal {
+            d: Reg(3),
+            addr: MemAddr::new(None, MemAddr::MIN_OFFSET),
+            width: Width::B32,
+        }));
+    }
+
+    #[test]
+    fn imm_out_of_range_rejected() {
+        let i = Instruction::new(Op::IAdd {
+            d: Reg(0),
+            a: Src::Reg(Reg(1)),
+            b: Src::Imm(9000),
+        });
+        assert_eq!(encode(&i), Err(EncodeError::ImmOutOfRange(9000)));
+    }
+
+    #[test]
+    fn two_imm_operands_rejected() {
+        let i = Instruction::new(Op::IAdd {
+            d: Reg(0),
+            a: Src::Imm(1),
+            b: Src::Imm(2),
+        });
+        assert_eq!(encode(&i), Err(EncodeError::ImmFieldConflict));
+    }
+
+    #[test]
+    fn smem_plus_imm_rejected() {
+        let i = Instruction::new(Op::FMad {
+            d: Reg(0),
+            a: Src::smem(None, 4),
+            b: Src::Imm(2),
+            c: Src::Reg(Reg(0)),
+        });
+        assert_eq!(encode(&i), Err(EncodeError::ImmFieldConflict));
+    }
+
+    #[test]
+    fn bad_reg_rejected() {
+        let i = Instruction::new(Op::Mov { d: Reg(200), a: Src::Reg(Reg(0)) });
+        assert_eq!(encode(&i), Err(EncodeError::BadReg(200)));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(0xFF00_0000_0000_0000), Err(DecodeError::BadOpcode(0xFF)));
+    }
+
+    #[test]
+    fn kernel_stream_round_trips() {
+        let prog = vec![
+            Instruction::new(Op::S2R { d: Reg(0), sr: SpecialReg::TidX }),
+            Instruction::new(Op::Shl { d: Reg(1), a: Src::Reg(Reg(0)), b: Src::Imm(2) }),
+            Instruction::new(Op::LdGlobal {
+                d: Reg(2),
+                addr: MemAddr::new(Some(Reg(1)), 0),
+                width: Width::B32,
+            }),
+            Instruction::new(Op::Exit),
+        ];
+        let words = encode_kernel(&prog).unwrap();
+        assert_eq!(decode_kernel(&words).unwrap(), prog);
+    }
+
+    // ---- Property tests: encode ∘ decode = id over generated instructions ----
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..128).prop_map(Reg)
+    }
+
+    fn arb_src() -> impl Strategy<Value = Src> {
+        prop_oneof![
+            arb_reg().prop_map(Src::Reg),
+            (Src::MIN_IMM..=Src::MAX_IMM).prop_map(Src::Imm),
+            (proptest::option::of(arb_reg()), 0i32..16384)
+                .prop_map(|(b, o)| Src::smem(b, o)),
+        ]
+    }
+
+    fn arb_guard() -> impl Strategy<Value = Option<PredGuard>> {
+        proptest::option::of(
+            ((0u8..4), any::<bool>()).prop_map(|(p, n)| PredGuard { pred: Pred(p), negate: n }),
+        )
+    }
+
+    fn no_field_conflict(srcs: &[Src]) -> bool {
+        srcs.iter().filter(|s| !matches!(s, Src::Reg(_))).count() <= 1
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_alu2(g in arb_guard(), d in arb_reg(), a in arb_src(), b in arb_src()) {
+            prop_assume!(no_field_conflict(&[a, b]));
+            for op in [
+                Op::FMul { d, a, b }, Op::FAdd { d, a, b }, Op::IAdd { d, a, b },
+                Op::ISub { d, a, b }, Op::IMul { d, a, b }, Op::IMin { d, a, b },
+                Op::IMax { d, a, b }, Op::Shl { d, a, b }, Op::Shr { d, a, b },
+                Op::And { d, a, b }, Op::Or { d, a, b }, Op::Xor { d, a, b },
+            ] {
+                let i = Instruction { guard: g, op };
+                let w = encode(&i).unwrap();
+                prop_assert_eq!(decode(w).unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn round_trip_mad(g in arb_guard(), d in arb_reg(),
+                          a in arb_src(), b in arb_src(), c in arb_src()) {
+            prop_assume!(no_field_conflict(&[a, b, c]));
+            for op in [Op::FMad { d, a, b, c }, Op::IMad { d, a, b, c }] {
+                let i = Instruction { guard: g, op };
+                let w = encode(&i).unwrap();
+                prop_assert_eq!(decode(w).unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn round_trip_mem(g in arb_guard(), r in arb_reg(),
+                          base in proptest::option::of(arb_reg()),
+                          off in MemAddr::MIN_OFFSET..=MemAddr::MAX_OFFSET,
+                          wsel in 0usize..3) {
+            let width = [Width::B32, Width::B64, Width::B128][wsel];
+            let addr = MemAddr::new(base, off);
+            for op in [
+                Op::LdShared { d: r, addr, width },
+                Op::StShared { addr, src: r, width },
+                Op::LdGlobal { d: r, addr, width },
+                Op::StGlobal { addr, src: r, width },
+            ] {
+                let i = Instruction { guard: g, op };
+                let w = encode(&i).unwrap();
+                prop_assert_eq!(decode(w).unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn round_trip_movimm_bra(g in arb_guard(), d in arb_reg(),
+                                 imm in any::<u32>(), target in any::<u32>()) {
+            let i = Instruction { guard: g, op: Op::MovImm { d, imm } };
+            prop_assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+            let b = Instruction { guard: g, op: Op::Bra { target } };
+            prop_assert_eq!(decode(encode(&b).unwrap()).unwrap(), b);
+        }
+    }
+}

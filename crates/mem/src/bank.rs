@@ -1,0 +1,261 @@
+//! Shared-memory bank-conflict calculator (paper §4.2).
+//!
+//! GT200 shared memory has 16 banks of 4-byte words; adjacent words live in
+//! adjacent banks. A half-warp access in which multiple lanes touch
+//! *different words of the same bank* serializes: the access costs as many
+//! transactions as the most-contended bank has distinct words. Lanes reading
+//! the *same* word broadcast and do not conflict.
+//!
+//! The paper counts shared-memory traffic in **warp-equivalent
+//! transactions**: a conflict-free full-warp access (two conflict-free
+//! half-warps) counts as 1. [`warp_bank_transactions`] returns half-warp
+//! transactions; divide by 2 for the paper's unit (the simulator's
+//! statistics do this normalization).
+
+use serde::{Deserialize, Serialize};
+
+/// Shared-memory geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Number of banks. GT200: 16.
+    pub banks: u32,
+    /// Bank word width in bytes. GT200: 4.
+    pub width: u32,
+    /// Lanes per half-warp (the conflict-resolution granularity). GT200: 16.
+    pub half_warp: usize,
+}
+
+impl BankConfig {
+    /// The GT200 configuration: 16 banks × 4 bytes, 16-lane half-warps.
+    pub fn gt200() -> BankConfig {
+        BankConfig {
+            banks: 16,
+            width: 4,
+            half_warp: 16,
+        }
+    }
+
+    /// A hypothetical prime-bank configuration (the paper's §5.2
+    /// architectural suggestion: "change the number of shared memory banks
+    /// from 16 to a prime number to avoid bank conflicts").
+    pub fn with_banks(banks: u32) -> BankConfig {
+        BankConfig {
+            banks,
+            width: 4,
+            half_warp: 16,
+        }
+    }
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig::gt200()
+    }
+}
+
+/// Number of serialized transactions needed for one **half-warp** access.
+///
+/// `addrs[i]` is lane *i*'s byte address into shared memory, `None` for
+/// inactive lanes. Returns 0 when no lane is active, 1 for a conflict-free
+/// or broadcast access, and up to `banks` for the worst case.
+pub fn bank_transactions(addrs: &[Option<u64>], cfg: BankConfig) -> u32 {
+    debug_assert!(cfg.banks > 0 && cfg.width > 0);
+    // Distinct words per bank; same word in the same bank broadcasts.
+    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); cfg.banks as usize];
+    for addr in addrs.iter().flatten() {
+        let word = addr / u64::from(cfg.width);
+        let bank = (word % u64::from(cfg.banks)) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0)
+}
+
+/// Number of serialized **half-warp** transactions for a full-warp access:
+/// the sum of both half-warps' serialization degrees.
+///
+/// A conflict-free full warp returns 2 (= 1 warp-equivalent transaction in
+/// the paper's unit).
+pub fn warp_bank_transactions(addrs: &[Option<u64>], cfg: BankConfig) -> u32 {
+    addrs
+        .chunks(cfg.half_warp.max(1))
+        .map(|hw| bank_transactions(hw, cfg))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hw(addrs: &[u64]) -> Vec<Option<u64>> {
+        addrs.iter().copied().map(Some).collect()
+    }
+
+    fn stride_access(stride: u64, lanes: u64) -> Vec<Option<u64>> {
+        hw(&(0..lanes).map(|i| i * stride * 4).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        assert_eq!(bank_transactions(&stride_access(1, 16), BankConfig::gt200()), 1);
+    }
+
+    #[test]
+    fn stride_two_is_two_way() {
+        // Cyclic reduction step 1 (paper Figure 5): stride-2 → 2-way.
+        assert_eq!(bank_transactions(&stride_access(2, 16), BankConfig::gt200()), 2);
+    }
+
+    #[test]
+    fn power_of_two_strides_double_conflicts() {
+        // Paper §5.2: conflicts double every CR step until the 16-way cap.
+        let cfg = BankConfig::gt200();
+        assert_eq!(bank_transactions(&stride_access(4, 16), cfg), 4);
+        assert_eq!(bank_transactions(&stride_access(8, 16), cfg), 8);
+        assert_eq!(bank_transactions(&stride_access(16, 16), cfg), 16);
+        assert_eq!(bank_transactions(&stride_access(32, 16), cfg), 16);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        assert_eq!(bank_transactions(&hw(&[64; 16]), BankConfig::gt200()), 1);
+    }
+
+    #[test]
+    fn same_bank_different_words_serialize() {
+        // Paper §4.2's example: 3 threads reading different words of one
+        // bank → 3 transactions.
+        let addrs = hw(&[0, 64, 128]);
+        assert_eq!(bank_transactions(&addrs, BankConfig::gt200()), 3);
+    }
+
+    #[test]
+    fn odd_stride_is_conflict_free() {
+        let cfg = BankConfig::gt200();
+        for stride in [1u64, 3, 5, 7, 9, 11, 13, 15] {
+            assert_eq!(
+                bank_transactions(&stride_access(stride, 16), cfg),
+                1,
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn padding_removes_power_of_two_conflicts() {
+        // The paper's CR-NBC fix: pad one word per 16. Element i lives at
+        // word i + i/16. Stride-2^k accesses become conflict-free for all
+        // strides up to the bank count.
+        let cfg = BankConfig::gt200();
+        for k in 1..=4u32 {
+            let stride = 1u64 << k;
+            let addrs: Vec<Option<u64>> = (0..16u64)
+                .map(|i| {
+                    let elem = i * stride;
+                    Some((elem + elem / 16) * 4)
+                })
+                .collect();
+            assert_eq!(bank_transactions(&addrs, cfg), 1, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn padding_leaves_small_residual_beyond_bank_count() {
+        // For strides beyond 16 the simple per-16 padding leaves a 2-way
+        // residual (padded stride 34 ≡ 2 mod 16) — still an 8× improvement
+        // over the unpadded 16-way serialization.
+        let cfg = BankConfig::gt200();
+        let addrs: Vec<Option<u64>> = (0..16u64)
+            .map(|i| {
+                let elem = i * 32;
+                Some((elem + elem / 16) * 4)
+            })
+            .collect();
+        assert_eq!(bank_transactions(&addrs, cfg), 2);
+    }
+
+    #[test]
+    fn prime_banks_remove_power_of_two_conflicts() {
+        // The paper's architectural suggestion: 17 banks.
+        let cfg = BankConfig::with_banks(17);
+        for k in 1..=4u32 {
+            assert_eq!(bank_transactions(&stride_access(1 << k, 16), cfg), 1);
+        }
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_conflict() {
+        let mut addrs = stride_access(2, 16);
+        for slot in addrs.iter_mut().skip(8) {
+            *slot = None;
+        }
+        assert_eq!(bank_transactions(&addrs, BankConfig::gt200()), 1);
+        assert_eq!(bank_transactions(&[None; 16], BankConfig::gt200()), 0);
+    }
+
+    #[test]
+    fn warp_level_sums_half_warps() {
+        let cfg = BankConfig::gt200();
+        // Conflict-free full warp: 2 half-warp transactions.
+        let addrs: Vec<Option<u64>> = (0..32u64).map(|i| Some(i * 4)).collect();
+        assert_eq!(warp_bank_transactions(&addrs, cfg), 2);
+        // Stride-2 full warp: 2 + 2.
+        let addrs: Vec<Option<u64>> = (0..32u64).map(|i| Some(i * 8)).collect();
+        assert_eq!(warp_bank_transactions(&addrs, cfg), 4);
+    }
+
+    // ---- Properties ----
+
+    fn arb_addrs() -> impl Strategy<Value = Vec<Option<u64>>> {
+        proptest::collection::vec(
+            proptest::option::of((0u64..4096).prop_map(|w| w * 4)),
+            16,
+        )
+    }
+
+    proptest! {
+        /// Degree is bounded by active lanes and by the bank count.
+        #[test]
+        fn degree_bounds(addrs in arb_addrs()) {
+            let cfg = BankConfig::gt200();
+            let d = bank_transactions(&addrs, cfg);
+            let active = addrs.iter().flatten().count() as u32;
+            prop_assert!(d <= active);
+            prop_assert!(d <= cfg.banks);
+            prop_assert_eq!(d == 0, active == 0);
+        }
+
+        /// Lane permutation never changes the serialization degree.
+        #[test]
+        fn permutation_invariant(addrs in arb_addrs(), seed in 0usize..100) {
+            let cfg = BankConfig::gt200();
+            let d = bank_transactions(&addrs, cfg);
+            let mut p = addrs.clone();
+            let n = p.len();
+            for i in 0..n {
+                p.swap(i, (seed + i * 5) % n);
+            }
+            prop_assert_eq!(bank_transactions(&p, cfg), d);
+        }
+
+        /// Duplicating an already-present address (broadcast) never
+        /// increases the degree.
+        #[test]
+        fn broadcast_never_hurts(addrs in arb_addrs(), lane in 0usize..16) {
+            let cfg = BankConfig::gt200();
+            let d = bank_transactions(&addrs, cfg);
+            if let Some(existing) = addrs.iter().flatten().next().copied() {
+                let mut dup = addrs.clone();
+                dup[lane] = Some(existing);
+                prop_assert!(bank_transactions(&dup, cfg) <= d + 1);
+                // If the lane was inactive, degree cannot increase at all
+                // beyond broadcast on an existing word.
+                if addrs[lane].is_none() {
+                    prop_assert!(bank_transactions(&dup, cfg) <= d.max(1));
+                }
+            }
+        }
+    }
+}

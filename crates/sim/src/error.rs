@@ -1,0 +1,98 @@
+//! Simulation error type.
+
+use gpa_isa::kernel::ValidateError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while simulating a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel failed structural validation before execution.
+    InvalidKernel(ValidateError),
+    /// A lane accessed global memory outside any allocation.
+    GlobalOutOfBounds {
+        /// Requested byte address.
+        addr: u64,
+        /// Access width in bytes.
+        len: u32,
+        /// Program counter of the access.
+        pc: usize,
+    },
+    /// A lane accessed shared memory outside the block's declared region.
+    SharedOutOfBounds {
+        /// Requested byte offset.
+        offset: i64,
+        /// Access width in bytes.
+        len: u32,
+        /// Program counter of the access.
+        pc: usize,
+    },
+    /// A memory access was not naturally aligned.
+    Misaligned {
+        /// Requested byte address.
+        addr: u64,
+        /// Access width in bytes.
+        len: u32,
+        /// Program counter of the access.
+        pc: usize,
+    },
+    /// A `bar.sync` executed while the warp was diverged (CUDA requires
+    /// barriers to be reached uniformly).
+    DivergentBarrier {
+        /// Program counter of the barrier.
+        pc: usize,
+    },
+    /// Some warps of a block exited while others still waited at a barrier.
+    BarrierDeadlock,
+    /// The launch exceeds a hardware limit (block size, shared memory, …).
+    LaunchTooLarge(String),
+    /// A parameter word was read past the supplied parameter block.
+    ParamOutOfBounds {
+        /// Requested byte offset.
+        offset: u16,
+    },
+    /// The kernel ran more warp-instructions than the configured fuel limit
+    /// (runaway-loop guard).
+    FuelExhausted,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            SimError::GlobalOutOfBounds { addr, len, pc } => {
+                write!(f, "global access of {len} B at {addr:#x} out of bounds (pc {pc})")
+            }
+            SimError::SharedOutOfBounds { offset, len, pc } => {
+                write!(f, "shared access of {len} B at offset {offset} out of bounds (pc {pc})")
+            }
+            SimError::Misaligned { addr, len, pc } => {
+                write!(f, "misaligned {len} B access at {addr:#x} (pc {pc})")
+            }
+            SimError::DivergentBarrier { pc } => {
+                write!(f, "bar.sync reached by a diverged warp (pc {pc})")
+            }
+            SimError::BarrierDeadlock => write!(f, "barrier deadlock: some warps exited early"),
+            SimError::LaunchTooLarge(what) => write!(f, "launch exceeds hardware limits: {what}"),
+            SimError::ParamOutOfBounds { offset } => {
+                write!(f, "parameter read at offset {offset} out of bounds")
+            }
+            SimError::FuelExhausted => write!(f, "instruction fuel exhausted (runaway loop?)"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidKernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for SimError {
+    fn from(e: ValidateError) -> Self {
+        SimError::InvalidKernel(e)
+    }
+}

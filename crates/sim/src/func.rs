@@ -1,0 +1,904 @@
+//! The functional simulator (Barra substitute).
+//!
+//! Executes a kernel warp-lockstep over a grid. Lanes of a warp step
+//! together under an active mask; branch divergence uses the classic
+//! immediate-postdominator reconvergence stack driven by
+//! [`gpa_isa::cfg::Cfg`]. While executing, the simulator gathers the
+//! dynamic statistics of paper Figure 1 (instruction counts per class,
+//! bank-conflict-weighted shared transactions, coalesced global
+//! transactions at three granularities, barrier stage splits) and — when
+//! asked — per-warp instruction traces for the timing simulator.
+
+use crate::error::SimError;
+use crate::grid::LaunchConfig;
+use crate::memory::GlobalMemory;
+use crate::stats::{
+    BlockTrace, DstLatency, DynamicStats, RegionStats, StageStats, TraceEntry, GRANULARITIES,
+    GRAN_GT200,
+};
+use gpa_hw::Machine;
+use gpa_isa::cfg::Cfg;
+use gpa_isa::instr::{Instruction, MemAddr, NumTy, Op, Reg, SpecialReg, Src};
+use gpa_isa::kernel::Kernel;
+use gpa_mem::bank::{bank_transactions, BankConfig};
+use gpa_mem::coalesce::{coalesce_half_warp, CoalesceConfig};
+
+/// Result of a full-grid functional run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Aggregated dynamic statistics.
+    pub stats: DynamicStats,
+    /// Per-block traces, when trace collection was enabled.
+    pub traces: Option<Vec<BlockTrace>>,
+}
+
+/// The functional simulator. Construct with [`FunctionalSim::new`],
+/// configure, then [`FunctionalSim::run`].
+#[derive(Debug)]
+pub struct FunctionalSim<'a> {
+    machine: &'a Machine,
+    kernel: &'a Kernel,
+    launch: LaunchConfig,
+    params: Vec<u32>,
+    region_defs: Vec<(String, u64, u64, bool)>,
+    fuel: u64,
+    collect_trace: bool,
+    cfg: Cfg,
+    bank_cfg: BankConfig,
+    coalesce_cfgs: [CoalesceConfig; 3],
+}
+
+const WARP: usize = 32;
+const PRED_BASE: u8 = 128;
+const NO_RECONV: usize = usize::MAX;
+
+impl<'a> FunctionalSim<'a> {
+    /// Prepare a simulation of `kernel` with shape `launch` on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel is structurally invalid or the launch exceeds
+    /// hardware limits.
+    pub fn new(
+        machine: &'a Machine,
+        kernel: &'a Kernel,
+        launch: LaunchConfig,
+    ) -> Result<FunctionalSim<'a>, SimError> {
+        kernel.validate()?;
+        launch.check(machine).map_err(SimError::LaunchTooLarge)?;
+        if kernel.resources.smem_per_block > machine.smem_per_sm {
+            return Err(SimError::LaunchTooLarge(format!(
+                "{} B shared memory exceeds the {} B per-SM arena",
+                kernel.resources.smem_per_block, machine.smem_per_sm
+            )));
+        }
+        Ok(FunctionalSim {
+            machine,
+            kernel,
+            launch,
+            params: Vec::new(),
+            region_defs: Vec::new(),
+            fuel: 20_000_000_000,
+            collect_trace: false,
+            cfg: Cfg::build(&kernel.instrs),
+            bank_cfg: BankConfig {
+                banks: machine.smem_banks,
+                width: machine.smem_bank_width,
+                half_warp: machine.half_warp as usize,
+            },
+            coalesce_cfgs: GRANULARITIES.map(CoalesceConfig::with_min_segment),
+        })
+    }
+
+    /// Set the kernel parameter words.
+    pub fn set_params(&mut self, params: &[u32]) -> &mut Self {
+        self.params = params.to_vec();
+        self
+    }
+
+    /// Name a global address range for traffic attribution (paper Figure
+    /// 11a separates matrix, column-index, and vector bytes).
+    pub fn add_region(&mut self, name: impl Into<String>, base: u64, len: u64) -> &mut Self {
+        self.region_defs.push((name.into(), base, len, false));
+        self
+    }
+
+    /// Like [`FunctionalSim::add_region`], but loads from this range go
+    /// through the texture cache in the timing simulator.
+    pub fn add_texture_region(
+        &mut self,
+        name: impl Into<String>,
+        base: u64,
+        len: u64,
+    ) -> &mut Self {
+        self.region_defs.push((name.into(), base, len, true));
+        self
+    }
+
+    /// Limit the total warp-instructions executed (runaway-loop guard).
+    pub fn set_fuel(&mut self, fuel: u64) -> &mut Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Record per-warp traces for the timing simulator.
+    pub fn collect_traces(&mut self, yes: bool) -> &mut Self {
+        self.collect_trace = yes;
+        self
+    }
+
+    /// Execute every block of the grid (sequentially, in block-id order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] (out-of-bounds access, divergent
+    /// barrier, fuel exhaustion, …).
+    pub fn run(&self, gmem: &mut GlobalMemory) -> Result<RunOutput, SimError> {
+        let mut stats = self.fresh_stats();
+        let mut traces = self.collect_trace.then(Vec::new);
+        let mut fuel = self.fuel;
+        for b in 0..self.launch.num_blocks() {
+            let trace = self.exec_block(gmem, b, &mut stats, &mut fuel)?;
+            if let (Some(ts), Some(t)) = (traces.as_mut(), trace) {
+                ts.push(t);
+            }
+        }
+        stats.blocks = u64::from(self.launch.num_blocks());
+        Ok(RunOutput { stats, traces })
+    }
+
+    /// Execute a single block (used by the timing simulator's lazy trace
+    /// sources). Statistics accumulate into `stats`; `stats.blocks` is
+    /// *not* advanced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run_block(
+        &self,
+        gmem: &mut GlobalMemory,
+        block: u32,
+        stats: &mut DynamicStats,
+    ) -> Result<Option<BlockTrace>, SimError> {
+        let mut fuel = self.fuel;
+        self.exec_block(gmem, block, stats, &mut fuel)
+    }
+
+    /// Empty statistics with region definitions installed.
+    pub fn fresh_stats(&self) -> DynamicStats {
+        DynamicStats {
+            stages: Vec::new(),
+            regions: self
+                .region_defs
+                .iter()
+                .map(|(name, base, len, texture)| RegionStats {
+                    name: name.clone(),
+                    base: *base,
+                    len: *len,
+                    texture: *texture,
+                    gmem: Default::default(),
+                    requested_bytes: 0,
+                })
+                .collect(),
+            blocks: 0,
+            warps_per_block: self.launch.warps_per_block(self.machine),
+            threads_per_block: self.launch.threads_per_block(),
+        }
+    }
+
+    fn exec_block(
+        &self,
+        gmem: &mut GlobalMemory,
+        block: u32,
+        stats: &mut DynamicStats,
+        fuel: &mut u64,
+    ) -> Result<Option<BlockTrace>, SimError> {
+        let threads = self.launch.threads_per_block();
+        let nwarps = threads.div_ceil(WARP as u32) as usize;
+        let mut smem = vec![0u8; self.kernel.resources.smem_per_block as usize];
+
+        let mut warps: Vec<WarpState> = (0..nwarps)
+            .map(|w| WarpState::new(w as u32, threads))
+            .collect();
+
+        loop {
+            let mut all_done = true;
+            for w in &mut warps {
+                if !w.done && !w.at_barrier {
+                    self.run_warp(w, block, gmem, &mut smem, stats, fuel)?;
+                }
+                all_done &= w.done;
+            }
+            if all_done {
+                break;
+            }
+            // Everyone is done or parked at a barrier: release. Exited
+            // warps do not participate (GT200 barrier semantics).
+            for w in &mut warps {
+                w.at_barrier = false;
+            }
+        }
+
+        if self.collect_trace {
+            Ok(Some(BlockTrace {
+                warps: warps.into_iter().map(|w| w.trace).collect(),
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Run one warp until it parks at a barrier or exits.
+    fn run_warp(
+        &self,
+        w: &mut WarpState,
+        block: u32,
+        gmem: &mut GlobalMemory,
+        smem: &mut [u8],
+        stats: &mut DynamicStats,
+        fuel: &mut u64,
+    ) -> Result<(), SimError> {
+        loop {
+            // Reconvergence / dead-mask unwinding.
+            loop {
+                if w.mask == 0 {
+                    match w.stack.last_mut() {
+                        Some(top) => {
+                            if let Some((opc, omask)) = top.other.take() {
+                                w.pc = opc;
+                                w.mask = omask & !w.exited;
+                            } else {
+                                w.mask = top.merged & !w.exited;
+                                w.pc = top.reconv;
+                                w.stack.pop();
+                            }
+                            continue;
+                        }
+                        None => {
+                            w.done = true;
+                            return Ok(());
+                        }
+                    }
+                }
+                match w.stack.last_mut() {
+                    Some(top) if w.pc == top.reconv => {
+                        if let Some((opc, omask)) = top.other.take() {
+                            w.pc = opc;
+                            w.mask = omask & !w.exited;
+                        } else {
+                            w.mask = top.merged & !w.exited;
+                            w.stack.pop();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+
+            if *fuel == 0 {
+                return Err(SimError::FuelExhausted);
+            }
+            *fuel -= 1;
+
+            let pc = w.pc;
+            let ins = &self.kernel.instrs[pc];
+            let exec_mask = self.guard_mask(w, ins);
+
+            match ins.op {
+                Op::Bar => {
+                    if !w.stack.is_empty() {
+                        return Err(SimError::DivergentBarrier { pc });
+                    }
+                    let stage = w.stage;
+                    self.stage_mut(stats, stage).barriers += 1;
+                    self.count_issue(stats, w, ins);
+                    if self.collect_trace {
+                        w.trace.push(bar_entry());
+                    }
+                    w.stage += 1;
+                    w.pc += 1;
+                    w.at_barrier = true;
+                    return Ok(());
+                }
+                Op::Exit => {
+                    self.count_issue(stats, w, ins);
+                    w.exited |= exec_mask;
+                    w.mask &= !exec_mask;
+                    if ins.guard.is_none() {
+                        // Unguarded exit retires the whole active arm.
+                        w.mask = 0;
+                    }
+                    if w.mask != 0 {
+                        w.pc += 1;
+                    }
+                    continue;
+                }
+                Op::Bra { target } => {
+                    self.count_issue(stats, w, ins);
+                    if self.collect_trace {
+                        w.trace.push(self.alu_entry(ins));
+                    }
+                    let taken = exec_mask;
+                    let fall = w.mask & !exec_mask;
+                    if ins.guard.is_none() || fall == 0 {
+                        if taken == 0 {
+                            w.pc += 1;
+                        } else {
+                            w.pc = target as usize;
+                        }
+                    } else if taken == 0 {
+                        w.pc += 1;
+                    } else {
+                        // Divergence: run the taken arm first, park the
+                        // fall-through arm, reconverge at the ipdom.
+                        let reconv = self.cfg.reconvergence_pc(pc).unwrap_or(NO_RECONV);
+                        w.stack.push(Frame {
+                            reconv,
+                            other: Some((pc + 1, fall)),
+                            merged: w.mask,
+                        });
+                        w.pc = target as usize;
+                        w.mask = taken;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+
+            // Non-control instruction.
+            self.exec_datapath(w, ins, exec_mask, block, gmem, smem, stats)?;
+            w.pc += 1;
+        }
+    }
+
+    /// Lanes of `w.mask` whose guard predicate passes.
+    fn guard_mask(&self, w: &WarpState, ins: &Instruction) -> u32 {
+        match ins.guard {
+            None => w.mask,
+            Some(g) => {
+                let mut m = 0u32;
+                for lane in 0..WARP {
+                    if w.mask & (1 << lane) != 0 {
+                        let v = w.lanes[lane].preds[g.pred.0 as usize];
+                        if v != g.negate {
+                            m |= 1 << lane;
+                        }
+                    }
+                }
+                m
+            }
+        }
+    }
+
+    fn stage_mut<'s>(&self, stats: &'s mut DynamicStats, stage: usize) -> &'s mut StageStats {
+        if stats.stages.len() <= stage {
+            stats.stages.resize(stage + 1, StageStats::default());
+        }
+        &mut stats.stages[stage]
+    }
+
+    /// Count an issued warp-instruction (issued even when fully masked).
+    fn count_issue(&self, stats: &mut DynamicStats, w: &mut WarpState, ins: &Instruction) {
+        let stage = w.stage;
+        let class = ins.op.class();
+        let s = self.stage_mut(stats, stage);
+        s.instr_by_class[class.index()] += 1;
+        if matches!(ins.op, Op::FMad { .. }) {
+            s.fmad += 1;
+        }
+        if w.counted_any != Some(stage) {
+            w.counted_any = Some(stage);
+            s.warps_any += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_datapath(
+        &self,
+        w: &mut WarpState,
+        ins: &Instruction,
+        exec_mask: u32,
+        block: u32,
+        gmem: &mut GlobalMemory,
+        smem: &mut [u8],
+        stats: &mut DynamicStats,
+    ) -> Result<(), SimError> {
+        let pc = w.pc;
+        let stage = w.stage;
+        self.count_issue(stats, w, ins);
+
+        // Per-op FLOP weight (counted per active lane).
+        let lane_flops = match ins.op {
+            Op::FAdd { .. } | Op::FMul { .. } | Op::DAdd { .. } | Op::DMul { .. } => 1u64,
+            Op::FMad { .. } | Op::DFma { .. } => 2,
+            Op::Rcp { .. } | Op::Rsq { .. } | Op::Sin { .. } | Op::Cos { .. }
+            | Op::Lg2 { .. } | Op::Ex2 { .. } => 1,
+            _ => 0,
+        };
+        if lane_flops > 0 {
+            self.stage_mut(stats, stage).flops +=
+                lane_flops * u64::from(exec_mask.count_ones());
+        }
+
+        // Shared-memory traffic: explicit ld/st or an ALU shared operand.
+        let mut smem_half_txns_entry: u16 = 0;
+        let smem_access: Option<(MemAddr, u32)> = match ins.op {
+            Op::LdShared { addr, width, .. } | Op::StShared { addr, width, .. } => {
+                Some((addr, width.bytes()))
+            }
+            _ => ins.op.smem_operand().map(|a| (a, 4)),
+        };
+        if let Some((addr, width)) = smem_access {
+            if exec_mask != 0 {
+                let mut half_txns = 0u32;
+                let mut half_accesses = 0u32;
+                // Wide shared accesses proceed in 4-byte phases.
+                for phase in 0..(width / 4) {
+                    let mut addrs = [None::<u64>; WARP];
+                    for lane in 0..WARP {
+                        if exec_mask & (1 << lane) != 0 {
+                            let a = self.smem_lane_addr(w, lane, addr)?
+                                + i64::from(phase * 4);
+                            self.check_smem(a, 4, smem.len(), pc)?;
+                            addrs[lane] = Some(a as u64);
+                        }
+                    }
+                    for hw_chunk in addrs.chunks(self.bank_cfg.half_warp) {
+                        let d = bank_transactions(hw_chunk, self.bank_cfg);
+                        half_txns += d;
+                        if d > 0 {
+                            half_accesses += 1;
+                        }
+                    }
+                }
+                let s = self.stage_mut(stats, stage);
+                s.smem_half_txns += u64::from(half_txns);
+                s.smem_half_accesses += u64::from(half_accesses);
+                s.smem_instrs += 1;
+                if w.counted_smem != Some(stage) {
+                    w.counted_smem = Some(stage);
+                    s.warps_smem += 1;
+                }
+                smem_half_txns_entry = half_txns.min(u32::from(u16::MAX)) as u16;
+            }
+        }
+
+        // Global-memory traffic.
+        let mut gmem_txns: Option<Box<[gpa_mem::coalesce::Transaction]>> = None;
+        if let Op::LdGlobal { addr, width, .. } | Op::StGlobal { addr, width, .. } = ins.op {
+            if exec_mask != 0 {
+                let mut accesses = [None::<(u64, u32)>; WARP];
+                let mut requested = 0u64;
+                for lane in 0..WARP {
+                    if exec_mask & (1 << lane) != 0 {
+                        let a = self.gmem_lane_addr(w, lane, addr);
+                        let a = u64::try_from(a).map_err(|_| SimError::GlobalOutOfBounds {
+                            addr: a as u64,
+                            len: width.bytes(),
+                            pc,
+                        })?;
+                        if a % u64::from(width.bytes()) != 0 {
+                            return Err(SimError::Misaligned { addr: a, len: width.bytes(), pc });
+                        }
+                        accesses[lane] = Some((a, width.bytes()));
+                        requested += u64::from(width.bytes());
+                    }
+                }
+                let mut all_txs = Vec::new();
+                for (g, cfg) in self.coalesce_cfgs.iter().enumerate() {
+                    for hw_chunk in accesses.chunks(self.machine.half_warp as usize) {
+                        let txs = coalesce_half_warp(hw_chunk, *cfg);
+                        for t in &txs {
+                            let st = self.stage_mut(stats, stage);
+                            st.gmem[g].transactions += 1;
+                            st.gmem[g].bytes += u64::from(t.size);
+                            if let Some(r) =
+                                stats.regions.iter_mut().find(|r| r.contains(t.base))
+                            {
+                                r.gmem[g].transactions += 1;
+                                r.gmem[g].bytes += u64::from(t.size);
+                            }
+                        }
+                        if g == GRAN_GT200 {
+                            all_txs.extend(txs);
+                        }
+                    }
+                }
+                for (a, l) in accesses.iter().flatten() {
+                    if let Some(r) = stats.regions.iter_mut().find(|r| r.contains(*a)) {
+                        r.requested_bytes += u64::from(*l);
+                    }
+                }
+                let st = self.stage_mut(stats, stage);
+                st.gmem_requested_bytes += requested;
+                st.gmem_instrs += 1;
+                gmem_txns = Some(all_txs.into_boxed_slice());
+            }
+        }
+
+        // Semantics.
+        self.apply_semantics(w, ins, exec_mask, block, gmem, smem, pc)?;
+
+        // Trace.
+        if self.collect_trace {
+            let mut e = self.alu_entry(ins);
+            e.smem_half_txns = smem_half_txns_entry;
+            if smem_access.is_some() {
+                e.dst_lat = DstLatency::Smem;
+            }
+            if let Op::LdGlobal { .. } = ins.op {
+                e.dst_lat = DstLatency::Gmem;
+                e.gmem_load = true;
+            }
+            e.gmem = gmem_txns;
+            w.trace.push(e);
+        }
+        Ok(())
+    }
+
+    /// Byte offset into shared memory for one lane (bounds unchecked).
+    fn smem_lane_addr(&self, w: &WarpState, lane: usize, addr: MemAddr) -> Result<i64, SimError> {
+        let base = match addr.base {
+            Some(r) => i64::from(w.lanes[lane].regs[r.0 as usize] as i32),
+            None => 0,
+        };
+        Ok(base + i64::from(addr.offset))
+    }
+
+    fn check_smem(&self, addr: i64, len: u32, smem_len: usize, pc: usize) -> Result<(), SimError> {
+        if addr < 0 || (addr + i64::from(len)) as usize > smem_len {
+            return Err(SimError::SharedOutOfBounds { offset: addr, len, pc });
+        }
+        if addr % i64::from(len) != 0 {
+            return Err(SimError::Misaligned { addr: addr as u64, len, pc });
+        }
+        Ok(())
+    }
+
+    /// Device address for one lane of a global access.
+    fn gmem_lane_addr(&self, w: &WarpState, lane: usize, addr: MemAddr) -> i64 {
+        let base = match addr.base {
+            Some(r) => i64::from(w.lanes[lane].regs[r.0 as usize]),
+            None => 0,
+        };
+        base + i64::from(addr.offset)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_semantics(
+        &self,
+        w: &mut WarpState,
+        ins: &Instruction,
+        exec_mask: u32,
+        block: u32,
+        gmem: &mut GlobalMemory,
+        smem: &mut [u8],
+        pc: usize,
+    ) -> Result<(), SimError> {
+        for lane in 0..WARP {
+            if exec_mask & (1 << lane) == 0 {
+                continue;
+            }
+            self.apply_lane(w, ins, lane, block, gmem, smem, pc)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch one operand for one lane (may read shared memory).
+    fn fetch(
+        &self,
+        w: &WarpState,
+        lane: usize,
+        s: Src,
+        smem: &[u8],
+        pc: usize,
+    ) -> Result<u32, SimError> {
+        match s {
+            Src::Reg(r) => Ok(w.lanes[lane].regs[r.0 as usize]),
+            Src::Imm(v) => Ok(v as u32),
+            Src::SMem(a) => {
+                let addr = self.smem_lane_addr(w, lane, a)?;
+                self.check_smem(addr, 4, smem.len(), pc)?;
+                let i = addr as usize;
+                Ok(u32::from_le_bytes(smem[i..i + 4].try_into().unwrap()))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_lane(
+        &self,
+        w: &mut WarpState,
+        ins: &Instruction,
+        lane: usize,
+        block: u32,
+        gmem: &mut GlobalMemory,
+        smem: &mut [u8],
+        pc: usize,
+    ) -> Result<(), SimError> {
+        use Op::*;
+
+        macro_rules! get {
+            ($s:expr) => {
+                self.fetch(w, lane, $s, smem, pc)?
+            };
+        }
+        macro_rules! set {
+            ($d:expr, $v:expr) => {{
+                let v = $v;
+                w.lanes[lane].regs[$d.0 as usize] = v;
+            }};
+        }
+        let f = f32::from_bits;
+        let fb = |x: f32| x.to_bits();
+
+        match ins.op {
+            FMul { d, a, b } => set!(d, fb(f(get!(a)) * f(get!(b)))),
+            FAdd { d, a, b } => set!(d, fb(f(get!(a)) + f(get!(b)))),
+            FMad { d, a, b, c } => {
+                set!(d, fb(f(get!(a)).mul_add(f(get!(b)), f(get!(c)))))
+            }
+            IAdd { d, a, b } => {
+                set!(d, (get!(a) as i32).wrapping_add(get!(b) as i32) as u32)
+            }
+            ISub { d, a, b } => {
+                set!(d, (get!(a) as i32).wrapping_sub(get!(b) as i32) as u32)
+            }
+            IMul { d, a, b } => {
+                set!(d, (get!(a) as i32).wrapping_mul(get!(b) as i32) as u32)
+            }
+            IMad { d, a, b, c } => {
+                set!(
+                    d,
+                    (get!(a) as i32)
+                        .wrapping_mul(get!(b) as i32)
+                        .wrapping_add(get!(c) as i32) as u32
+                )
+            }
+            IMin { d, a, b } => set!(d, (get!(a) as i32).min(get!(b) as i32) as u32),
+            IMax { d, a, b } => set!(d, (get!(a) as i32).max(get!(b) as i32) as u32),
+            Shl { d, a, b } => set!(d, get!(a) << (get!(b) & 31)),
+            Shr { d, a, b } => set!(d, get!(a) >> (get!(b) & 31)),
+            And { d, a, b } => set!(d, get!(a) & get!(b)),
+            Or { d, a, b } => set!(d, get!(a) | get!(b)),
+            Xor { d, a, b } => set!(d, get!(a) ^ get!(b)),
+            Mov { d, a } => set!(d, get!(a)),
+            MovImm { d, imm } => set!(d, imm),
+            S2R { d, sr } => set!(d, self.special_value(w, lane, block, sr)),
+            SetP { p, cmp, ty, a, b } => {
+                let va = get!(a);
+                let vb = get!(b);
+                let r = match ty {
+                    NumTy::S32 => cmp.eval_i32(va as i32, vb as i32),
+                    NumTy::F32 => cmp.eval_f32(f(va), f(vb)),
+                };
+                w.lanes[lane].preds[p.0 as usize] = r;
+            }
+            Sel { d, p, a, b } => {
+                let v = if w.lanes[lane].preds[p.0 as usize] {
+                    get!(a)
+                } else {
+                    get!(b)
+                };
+                set!(d, v);
+            }
+            I2F { d, a } => set!(d, fb(get!(a) as i32 as f32)),
+            F2I { d, a } => set!(d, (f(get!(a)) as i32) as u32),
+            Rcp { d, a } => set!(d, fb(1.0 / f(get!(a)))),
+            Rsq { d, a } => set!(d, fb(1.0 / f(get!(a)).sqrt())),
+            Sin { d, a } => set!(d, fb(f(get!(a)).sin())),
+            Cos { d, a } => set!(d, fb(f(get!(a)).cos())),
+            Lg2 { d, a } => set!(d, fb(f(get!(a)).log2())),
+            Ex2 { d, a } => set!(d, fb(f(get!(a)).exp2())),
+            DAdd { d, a, b } => {
+                let v = w.read_f64(lane, a) + w.read_f64(lane, b);
+                w.write_f64(lane, d, v);
+            }
+            DMul { d, a, b } => {
+                let v = w.read_f64(lane, a) * w.read_f64(lane, b);
+                w.write_f64(lane, d, v);
+            }
+            DFma { d, a, b, c } => {
+                let v = w.read_f64(lane, a).mul_add(w.read_f64(lane, b), w.read_f64(lane, c));
+                w.write_f64(lane, d, v);
+            }
+            LdShared { d, addr, width } => {
+                let a = self.smem_lane_addr(w, lane, addr)?;
+                self.check_smem(a, width.bytes(), smem.len(), pc)?;
+                for k in 0..width.regs() {
+                    let i = a as usize + usize::from(k) * 4;
+                    let v = u32::from_le_bytes(smem[i..i + 4].try_into().unwrap());
+                    w.lanes[lane].regs[usize::from(d.0 + k)] = v;
+                }
+            }
+            StShared { addr, src, width } => {
+                let a = self.smem_lane_addr(w, lane, addr)?;
+                self.check_smem(a, width.bytes(), smem.len(), pc)?;
+                for k in 0..width.regs() {
+                    let i = a as usize + usize::from(k) * 4;
+                    let v = w.lanes[lane].regs[usize::from(src.0 + k)];
+                    smem[i..i + 4].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            LdGlobal { d, addr, width } => {
+                let a = self.gmem_lane_addr(w, lane, addr) as u64;
+                for k in 0..width.regs() {
+                    let v = gmem.read_u32(a + u64::from(k) * 4).map_err(|_| {
+                        SimError::GlobalOutOfBounds { addr: a, len: width.bytes(), pc }
+                    })?;
+                    w.lanes[lane].regs[usize::from(d.0 + k)] = v;
+                }
+            }
+            StGlobal { addr, src, width } => {
+                let a = self.gmem_lane_addr(w, lane, addr) as u64;
+                for k in 0..width.regs() {
+                    let v = w.lanes[lane].regs[usize::from(src.0 + k)];
+                    gmem.write_u32(a + u64::from(k) * 4, v).map_err(|_| {
+                        SimError::GlobalOutOfBounds { addr: a, len: width.bytes(), pc }
+                    })?;
+                }
+            }
+            LdParam { d, offset } => {
+                let idx = usize::from(offset) / 4;
+                let v = *self
+                    .params
+                    .get(idx)
+                    .ok_or(SimError::ParamOutOfBounds { offset })?;
+                set!(d, v);
+            }
+            Bar | Bra { .. } | Exit | Nop => {}
+        }
+        Ok(())
+    }
+
+    fn special_value(&self, w: &WarpState, lane: usize, block: u32, sr: SpecialReg) -> u32 {
+        let tid = w.first_thread + lane as u32;
+        let (tx, ty) = self.launch.thread_coords(tid);
+        let (bx, by) = self.launch.block_coords(block);
+        match sr {
+            SpecialReg::TidX => tx,
+            SpecialReg::TidY => ty,
+            SpecialReg::CtaIdX => bx,
+            SpecialReg::CtaIdY => by,
+            SpecialReg::NTidX => self.launch.block.0,
+            SpecialReg::NTidY => self.launch.block.1,
+            SpecialReg::NCtaIdX => self.launch.grid.0,
+            SpecialReg::NCtaIdY => self.launch.grid.1,
+        }
+    }
+
+    /// Trace skeleton for an instruction: class, dependencies, destination.
+    fn alu_entry(&self, ins: &Instruction) -> TraceEntry {
+        let mut srcs = [0xFFu8; 8];
+        let mut n = 0usize;
+        let mut push = |id: u8| {
+            if n < srcs.len() && !srcs[..n].contains(&id) {
+                srcs[n] = id;
+                n += 1;
+            }
+        };
+        for r in ins.op.src_regs() {
+            push(r.0);
+        }
+        if let Some(g) = ins.guard {
+            push(PRED_BASE + g.pred.0);
+        }
+        match ins.op {
+            Op::Sel { p, .. } => push(PRED_BASE + p.0),
+            Op::SetP { .. } => {}
+            _ => {}
+        }
+        let (dst, dst_n) = match ins.op {
+            Op::SetP { p, .. } => (PRED_BASE + p.0, 1),
+            _ => match ins.op.dst() {
+                Some((r, k)) => (r.0, k),
+                None => (0, 0),
+            },
+        };
+        TraceEntry {
+            class: ins.op.class(),
+            dst,
+            dst_n,
+            srcs,
+            nsrcs: n as u8,
+            dst_lat: DstLatency::Alu,
+            smem_half_txns: 0,
+            gmem: None,
+            gmem_load: false,
+            bar: false,
+        }
+    }
+}
+
+fn bar_entry() -> TraceEntry {
+    TraceEntry {
+        class: gpa_hw::InstrClass::TypeII,
+        dst: 0,
+        dst_n: 0,
+        srcs: [0xFF; 8],
+        nsrcs: 0,
+        dst_lat: DstLatency::Alu,
+        smem_half_txns: 0,
+        gmem: None,
+        gmem_load: false,
+        bar: true,
+    }
+}
+
+/// Per-lane architectural state.
+#[derive(Debug, Clone)]
+struct LaneCtx {
+    regs: Box<[u32; 128]>,
+    preds: [bool; 4],
+}
+
+impl LaneCtx {
+    fn new() -> LaneCtx {
+        LaneCtx {
+            regs: Box::new([0; 128]),
+            preds: [false; 4],
+        }
+    }
+}
+
+/// A divergence-stack frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    reconv: usize,
+    other: Option<(usize, u32)>,
+    merged: u32,
+}
+
+/// Execution state of one warp.
+#[derive(Debug)]
+struct WarpState {
+    pc: usize,
+    mask: u32,
+    exited: u32,
+    stack: Vec<Frame>,
+    at_barrier: bool,
+    done: bool,
+    stage: usize,
+    first_thread: u32,
+    lanes: Vec<LaneCtx>,
+    trace: Vec<TraceEntry>,
+    counted_any: Option<usize>,
+    counted_smem: Option<usize>,
+}
+
+impl WarpState {
+    fn new(warp_idx: u32, block_threads: u32) -> WarpState {
+        let first_thread = warp_idx * WARP as u32;
+        let live = (block_threads - first_thread).min(WARP as u32);
+        let mask = if live >= 32 { u32::MAX } else { (1u32 << live) - 1 };
+        WarpState {
+            pc: 0,
+            mask,
+            exited: 0,
+            stack: Vec::new(),
+            at_barrier: false,
+            done: false,
+            stage: 0,
+            first_thread,
+            lanes: (0..WARP).map(|_| LaneCtx::new()).collect(),
+            trace: Vec::new(),
+            counted_any: None,
+            counted_smem: None,
+        }
+    }
+
+    fn read_f64(&self, lane: usize, r: Reg) -> f64 {
+        let lo = self.lanes[lane].regs[r.0 as usize];
+        let hi = self.lanes[lane].regs[r.0 as usize + 1];
+        f64::from_bits(u64::from(lo) | (u64::from(hi) << 32))
+    }
+
+    fn write_f64(&mut self, lane: usize, r: Reg, v: f64) {
+        let bits = v.to_bits();
+        self.lanes[lane].regs[r.0 as usize] = bits as u32;
+        self.lanes[lane].regs[r.0 as usize + 1] = (bits >> 32) as u32;
+    }
+}
+
+#[cfg(test)]
+#[path = "func_tests.rs"]
+mod tests;

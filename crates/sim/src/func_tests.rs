@@ -1,0 +1,618 @@
+//! Tests for the functional simulator.
+
+use super::*;
+use gpa_isa::builder::KernelBuilder;
+use gpa_isa::instr::{CmpOp, NumTy, Pred, Reg, Src, Width};
+#[allow(unused_imports)]
+use gpa_isa::instr as _instr_mod;
+
+fn machine() -> Machine {
+    Machine::gtx285()
+}
+
+/// out[global_tid] = global_tid * 3 + 1
+fn linear_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("linear");
+    b.set_threads(64);
+    let out_p = b.param_alloc();
+    let tid = b.alloc_reg().unwrap();
+    let tmp = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    let val = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(tmp, SpecialReg::CtaIdX);
+    b.s2r(addr, SpecialReg::NTidX);
+    b.imad(tid, Src::Reg(tmp), Src::Reg(addr), Src::Reg(tid)); // global tid
+    b.imul(val, Src::Reg(tid), Src::Imm(3));
+    b.iadd(val, Src::Reg(val), Src::Imm(1));
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), val, Width::B32);
+    b.exit();
+    b.finish().unwrap()
+}
+
+#[test]
+fn linear_kernel_writes_expected_values() {
+    let m = machine();
+    let k = linear_kernel();
+    let launch = LaunchConfig::new_1d(4, 64);
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(256 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, launch).unwrap();
+    sim.set_params(&[out as u32]);
+    let res = sim.run(&mut gmem).unwrap();
+    for i in 0..256u64 {
+        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), (i * 3 + 1) as u32, "index {i}");
+    }
+    let total = res.stats.total();
+    // 11 instructions (incl. exit) × 2 warps × 4 blocks.
+    assert_eq!(total.instr_total(), 11 * 2 * 4);
+    assert_eq!(res.stats.blocks, 4);
+    assert_eq!(res.stats.warps_per_block, 2);
+    // The store is one coalesced 64 B transaction per half-warp.
+    assert_eq!(total.gmem[GRAN_GT200].transactions, 4 * 4);
+    assert_eq!(total.gmem[GRAN_GT200].bytes, 4 * 4 * 64);
+    assert_eq!(total.gmem_requested_bytes, 256 * 4);
+    assert!((total.coalesce_efficiency(GRAN_GT200) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn loop_accumulates() {
+    // acc = Σ_{i<10} i = 45, stored per thread.
+    let mut b = KernelBuilder::new("loop");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let acc = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    b.mov_imm(acc, 0);
+    b.mov_imm(i, 0);
+    b.label("top");
+    b.iadd(acc, Src::Reg(acc), Src::Reg(i));
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(10));
+    b.bra_if(Pred(0), false, "top");
+    b.s2r(addr, SpecialReg::TidX);
+    b.shl(addr, Src::Reg(addr), Src::Imm(2));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), acc, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    sim.run(&mut gmem).unwrap();
+    assert_eq!(gmem.read_u32(out).unwrap(), 45);
+    assert_eq!(gmem.read_u32(out + 31 * 4).unwrap(), 45);
+}
+
+#[test]
+fn divergent_if_else_reconverges() {
+    // x = tid < 10 ? 111 : 222; both arms then add 1 after reconvergence.
+    let mut b = KernelBuilder::new("diverge");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let tid = b.alloc_reg().unwrap();
+    let x = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tid), Src::Imm(10));
+    b.bra_if(Pred(0), false, "then");
+    b.mov_imm(x, 222); // else arm
+    b.bra("join");
+    b.label("then");
+    b.mov_imm(x, 111);
+    b.label("join");
+    b.iadd(x, Src::Reg(x), Src::Imm(1));
+    let addr = b.alloc_reg().unwrap();
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), x, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    sim.run(&mut gmem).unwrap();
+    for i in 0..32u64 {
+        let expect = if i < 10 { 112 } else { 223 };
+        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), expect, "lane {i}");
+    }
+}
+
+#[test]
+fn nested_divergence() {
+    // y = tid < 16 ? (tid < 8 ? 1 : 2) : 3, plus 10 after the join.
+    let mut b = KernelBuilder::new("nested");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let tid = b.alloc_reg().unwrap();
+    let y = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tid), Src::Imm(16));
+    b.bra_if(Pred(0), false, "outer_then");
+    b.mov_imm(y, 3);
+    b.bra("outer_join");
+    b.label("outer_then");
+    b.setp(Pred(1), CmpOp::Lt, NumTy::S32, Src::Reg(tid), Src::Imm(8));
+    b.bra_if(Pred(1), false, "inner_then");
+    b.mov_imm(y, 2);
+    b.bra("outer_join");
+    b.label("inner_then");
+    b.mov_imm(y, 1);
+    b.label("outer_join");
+    b.iadd(y, Src::Reg(y), Src::Imm(10));
+    let addr = b.alloc_reg().unwrap();
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), y, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    sim.run(&mut gmem).unwrap();
+    for i in 0..32u64 {
+        let expect = if i < 8 { 11 } else if i < 16 { 12 } else { 13 };
+        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), expect, "lane {i}");
+    }
+}
+
+#[test]
+fn barrier_stages_split_statistics() {
+    // Stage 0: each thread stores tid to shared; barrier; stage 1: read
+    // the reversed entry and store to global.
+    let mut b = KernelBuilder::new("stages");
+    b.set_threads(64);
+    let out_p = b.param_alloc();
+    let buf = b.smem_alloc(64 * 4, 4).unwrap() as i32;
+    let tid = b.alloc_reg().unwrap();
+    let a = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(a, Src::Reg(tid), Src::Imm(2));
+    b.st_shared(MemAddr::new(Some(a), buf), tid, Width::B32);
+    b.bar();
+    // rev = (63 - tid) * 4
+    let rev = b.alloc_reg().unwrap();
+    b.isub(rev, Src::Imm(63), Src::Reg(tid));
+    b.shl(rev, Src::Reg(rev), Src::Imm(2));
+    let v = b.alloc_reg().unwrap();
+    b.ld_shared(v, MemAddr::new(Some(rev), buf), Width::B32);
+    let addr = b.alloc_reg().unwrap();
+    let tmp = b.alloc_reg().unwrap();
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), v, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(64 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 64)).unwrap();
+    sim.set_params(&[out as u32]);
+    let res = sim.run(&mut gmem).unwrap();
+    for i in 0..64u64 {
+        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), 63 - i as u32);
+    }
+    // Two stages, with the barrier counted in stage 0.
+    assert_eq!(res.stats.stages.len(), 2);
+    assert_eq!(res.stats.stages[0].barriers, 2); // 2 warps arrived
+    assert_eq!(res.stats.stages[0].smem_instrs, 2); // 2 warps × 1 store
+    assert_eq!(res.stats.stages[1].smem_instrs, 2); // 2 warps × 1 load
+    // Conflict-free accesses: warp-equivalent = instruction count.
+    assert_eq!(res.stats.stages[0].smem_warp_equiv(), 2.0);
+    assert_eq!(res.stats.stages[0].bank_conflict_factor(), 1.0);
+}
+
+#[test]
+fn stride_two_shared_access_counts_double_transactions() {
+    // Each thread reads s[(2*tid)*4]: classic 2-way bank conflict.
+    let mut b = KernelBuilder::new("conflict");
+    b.set_threads(32);
+    let buf = b.smem_alloc(64 * 4, 4).unwrap() as i32;
+    let tid = b.alloc_reg().unwrap();
+    let a = b.alloc_reg().unwrap();
+    let v = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(a, Src::Reg(tid), Src::Imm(3)); // tid * 8 bytes = stride 2 words
+    b.ld_shared(v, MemAddr::new(Some(a), buf), Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    let res = sim.run(&mut gmem).unwrap();
+    let t = res.stats.total();
+    assert_eq!(t.smem_instrs, 1);
+    // 2-way conflict in both half-warps: 4 half-transactions = 2.0
+    // warp-equivalents over a conflict-free 1.0.
+    assert_eq!(t.smem_half_txns, 4);
+    assert_eq!(t.smem_half_accesses, 2);
+    assert_eq!(t.bank_conflict_factor(), 2.0);
+}
+
+#[test]
+fn smem_operand_in_fmad_counts_shared_traffic() {
+    let mut b = KernelBuilder::new("smem_operand");
+    b.set_threads(32);
+    let buf = b.smem_alloc(4, 4).unwrap() as i32;
+    let two = b.alloc_reg().unwrap();
+    let acc = b.alloc_reg().unwrap();
+    b.mov_imm_f32(two, 2.0);
+    b.st_shared(MemAddr::new(None, buf), two, Width::B32);
+    b.mov_imm_f32(acc, 1.0);
+    // acc = acc * s[buf] + acc → 1*2+1 = 3
+    b.fmad(acc, Src::Reg(acc), Src::smem(None, buf), Src::Reg(acc));
+    let out_p = b.param_alloc();
+    let addr = b.alloc_reg().unwrap();
+    let tid = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), acc, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    let res = sim.run(&mut gmem).unwrap();
+    assert_eq!(gmem.read_f32(out).unwrap(), 3.0);
+    let t = res.stats.total();
+    // One store + one broadcast operand read = 2 shared instructions.
+    assert_eq!(t.smem_instrs, 2);
+    assert_eq!(t.fmad, 1);
+    // FMad = 2 flops × 32 lanes.
+    assert_eq!(t.flops, 64);
+}
+
+#[test]
+fn uncoalesced_loads_need_more_transactions() {
+    // Each thread loads a[tid * 32] (stride 128 B): 16 transactions per
+    // half-warp at GT200 granularity.
+    let mut b = KernelBuilder::new("scatter");
+    b.set_threads(32);
+    let in_p = b.param_alloc();
+    let tid = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    let v = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(addr, Src::Reg(tid), Src::Imm(7)); // ×128
+    let base = b.alloc_reg().unwrap();
+    b.ld_param(base, in_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(base));
+    b.ld_global(v, MemAddr::new(Some(addr), 0), Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let input = gmem.alloc(32 * 128, 128);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[input as u32]);
+    sim.add_region("input", input, 32 * 128);
+    let res = sim.run(&mut gmem).unwrap();
+    let t = res.stats.total();
+    assert_eq!(t.gmem[GRAN_GT200].transactions, 32);
+    assert_eq!(t.gmem[GRAN_GT200].bytes, 32 * 32);
+    assert_eq!(t.gmem_requested_bytes, 32 * 4);
+    // 16 B and 4 B granularities move fewer bytes (Figure 11's effect).
+    assert_eq!(t.gmem[1].bytes, 32 * 16);
+    assert_eq!(t.gmem[2].bytes, 32 * 4);
+    // Region attribution captured everything.
+    assert_eq!(res.stats.regions[0].gmem[GRAN_GT200].bytes, 32 * 32);
+    assert_eq!(res.stats.regions[0].requested_bytes, 32 * 4);
+}
+
+#[test]
+fn special_registers_reflect_block_and_grid() {
+    let mut b = KernelBuilder::new("sr");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let r = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    let tmp = b.alloc_reg().unwrap();
+    // r = ctaid.y * 1000 + ctaid.x
+    b.s2r(r, SpecialReg::CtaIdY);
+    b.imul(r, Src::Reg(r), Src::Imm(1000));
+    b.s2r(tmp, SpecialReg::CtaIdX);
+    b.iadd(r, Src::Reg(r), Src::Reg(tmp));
+    // addr = out + 4*(bid_linear = ctaid.y * nctaid.x + ctaid.x)
+    b.s2r(addr, SpecialReg::CtaIdY);
+    let w = b.alloc_reg().unwrap();
+    b.s2r(w, SpecialReg::NCtaIdX);
+    b.imul(addr, Src::Reg(addr), Src::Reg(w));
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.shl(addr, Src::Reg(addr), Src::Imm(2));
+    b.ld_param(w, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(w));
+    b.st_global(MemAddr::new(Some(addr), 0), r, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(6 * 4, 4);
+    let mut sim =
+        FunctionalSim::new(&m, &k, LaunchConfig::new_2d((3, 2), (32, 1))).unwrap();
+    sim.set_params(&[out as u32]);
+    sim.run(&mut gmem).unwrap();
+    for by in 0..2u64 {
+        for bx in 0..3u64 {
+            let v = gmem.read_u32(out + (by * 3 + bx) * 4).unwrap();
+            assert_eq!(v, (by * 1000 + bx) as u32);
+        }
+    }
+}
+
+#[test]
+fn partial_warp_masks_inactive_lanes() {
+    let m = machine();
+    let k = linear_kernel();
+    // 40 threads: warp 1 has only 8 live lanes.
+    let launch = LaunchConfig::new_2d((1, 1), (40, 1));
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(40 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, launch).unwrap();
+    sim.set_params(&[out as u32]);
+    let res = sim.run(&mut gmem).unwrap();
+    for i in 0..40u64 {
+        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), (i * 3 + 1) as u32);
+    }
+    // Still 2 warps issued (partial warp occupies a whole warp, paper §2).
+    assert_eq!(res.stats.total().instr_total(), 11 * 2);
+}
+
+#[test]
+fn doubles_compute_correctly() {
+    let mut b = KernelBuilder::new("dbl");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let a = b.alloc_contig(2).unwrap();
+    let c = b.alloc_contig(2).unwrap();
+    // a = 1.5 (f64), c = a*a + a = 3.75
+    let bits = 1.5f64.to_bits();
+    b.mov_imm(a, bits as u32);
+    b.mov_imm(Reg(a.0 + 1), (bits >> 32) as u32);
+    b.dfma(c, a, a, a);
+    let addr = b.alloc_reg().unwrap();
+    let tid = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(addr, Src::Reg(tid), Src::Imm(3));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), c, Width::B64);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 8, 8);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    let res = sim.run(&mut gmem).unwrap();
+    let lo = gmem.read_u32(out).unwrap();
+    let hi = gmem.read_u32(out + 4).unwrap();
+    assert_eq!(f64::from_bits(u64::from(lo) | (u64::from(hi) << 32)), 3.75);
+    // DFma is Type IV.
+    assert_eq!(res.stats.total().instr(gpa_hw::InstrClass::TypeIV), 1);
+}
+
+#[test]
+fn sfu_ops_are_type_iii_and_compute() {
+    let mut b = KernelBuilder::new("sfu");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let x = b.alloc_reg().unwrap();
+    b.mov_imm_f32(x, 4.0);
+    b.rcp(x, Src::Reg(x)); // 0.25
+    b.rsq(x, Src::Reg(x)); // 2.0
+    let addr = b.alloc_reg().unwrap();
+    let tid = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), x, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    let res = sim.run(&mut gmem).unwrap();
+    assert_eq!(gmem.read_f32(out).unwrap(), 2.0);
+    assert_eq!(res.stats.total().instr(gpa_hw::InstrClass::TypeIII), 2);
+}
+
+#[test]
+fn global_out_of_bounds_reported() {
+    let mut b = KernelBuilder::new("oob");
+    b.set_threads(32);
+    let v = b.alloc_reg().unwrap();
+    b.ld_global(v, MemAddr::new(None, 8), Width::B32); // nothing allocated
+    b.exit();
+    let k = b.finish().unwrap();
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    let err = sim.run(&mut gmem).unwrap_err();
+    assert!(matches!(err, SimError::GlobalOutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn shared_out_of_bounds_reported() {
+    let mut b = KernelBuilder::new("soob");
+    b.set_threads(32);
+    let _ = b.smem_alloc(16, 4).unwrap();
+    let tid = b.alloc_reg().unwrap();
+    let a = b.alloc_reg().unwrap();
+    let v = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(a, Src::Reg(tid), Src::Imm(2));
+    b.ld_shared(v, MemAddr::new(Some(a), 0), Width::B32); // lanes ≥ 4 fault
+    b.exit();
+    let k = b.finish().unwrap();
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    let err = sim.run(&mut gmem).unwrap_err();
+    assert!(matches!(err, SimError::SharedOutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn divergent_barrier_reported() {
+    let mut b = KernelBuilder::new("divbar");
+    b.set_threads(32);
+    let tid = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tid), Src::Imm(16));
+    b.bra_if(Pred(0), false, "skip");
+    b.bar(); // inside a divergent region
+    b.label("skip");
+    b.bar();
+    b.exit();
+    let k = b.finish().unwrap();
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    let err = sim.run(&mut gmem).unwrap_err();
+    assert!(matches!(err, SimError::DivergentBarrier { .. }), "{err}");
+}
+
+#[test]
+fn fuel_guards_infinite_loops() {
+    let mut b = KernelBuilder::new("inf");
+    b.set_threads(32);
+    b.label("top");
+    b.nop();
+    b.bra("top");
+    b.exit();
+    let k = b.finish().unwrap();
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_fuel(1000);
+    assert_eq!(sim.run(&mut gmem).unwrap_err(), SimError::FuelExhausted);
+}
+
+#[test]
+fn param_out_of_bounds_reported() {
+    let mut b = KernelBuilder::new("p");
+    b.set_threads(32);
+    let _ = b.param_alloc();
+    let r = b.alloc_reg().unwrap();
+    b.ld_param(r, 0);
+    b.exit();
+    let k = b.finish().unwrap();
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    // No params supplied.
+    let err = sim.run(&mut gmem).unwrap_err();
+    assert_eq!(err, SimError::ParamOutOfBounds { offset: 0 });
+}
+
+#[test]
+fn traces_record_dependencies_and_memory() {
+    let mut b = KernelBuilder::new("trace");
+    b.set_threads(32);
+    let buf = b.smem_alloc(4 * 32, 4).unwrap() as i32;
+    let in_p = b.param_alloc();
+    let tid = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    let v = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    let base = b.alloc_reg().unwrap();
+    b.ld_param(base, in_p);
+    b.iadd(base, Src::Reg(base), Src::Reg(addr));
+    b.ld_global(v, MemAddr::new(Some(base), 0), Width::B32);
+    b.st_shared(MemAddr::new(Some(addr), buf), v, Width::B32);
+    b.bar();
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let input = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[input as u32]);
+    sim.collect_traces(true);
+    let res = sim.run(&mut gmem).unwrap();
+    let traces = res.traces.unwrap();
+    assert_eq!(traces.len(), 1);
+    let warp0 = &traces[0].warps[0];
+    // 7 instructions traced (incl. bar, excl. exit).
+    assert_eq!(warp0.len(), 7);
+    let ld = &warp0[4];
+    assert!(ld.gmem_load);
+    assert_eq!(ld.dst_lat, DstLatency::Gmem);
+    let txs = ld.gmem.as_ref().unwrap();
+    assert_eq!(txs.len(), 2); // two coalesced half-warps
+    let st = &warp0[5];
+    assert_eq!(st.smem_half_txns, 2); // conflict-free store
+    assert!(warp0[6].bar);
+}
+
+#[test]
+fn guarded_exit_retires_lanes_early() {
+    // Lanes ≥ 8 exit immediately; the rest store 5.
+    let mut b = KernelBuilder::new("gexit");
+    b.set_threads(32);
+    let out_p = b.param_alloc();
+    let tid = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.setp(Pred(0), CmpOp::Ge, NumTy::S32, Src::Reg(tid), Src::Imm(8));
+    b.set_guard(Pred(0), false);
+    b.emit(gpa_isa::instr::Op::Exit);
+    b.clear_guard();
+    let v = b.alloc_reg().unwrap();
+    b.mov_imm(v, 5);
+    let addr = b.alloc_reg().unwrap();
+    b.shl(addr, Src::Reg(tid), Src::Imm(2));
+    let tmp = b.alloc_reg().unwrap();
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), v, Width::B32);
+    b.exit();
+    let k = b.finish().unwrap();
+
+    let m = machine();
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(32 * 4, 4);
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_1d(1, 32)).unwrap();
+    sim.set_params(&[out as u32]);
+    sim.run(&mut gmem).unwrap();
+    for i in 0..32u64 {
+        let expect = if i < 8 { 5 } else { 0 };
+        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), expect, "lane {i}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Launch configuration: grid and block shapes.
+
+use gpa_hw::Machine;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A kernel launch shape: `grid` blocks of `block` threads, each up to 2-D
+/// (the case studies use 1-D and 2-D launches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Grid dimensions in blocks (x, y).
+    pub grid: (u32, u32),
+    /// Block dimensions in threads (x, y).
+    pub block: (u32, u32),
+}
+
+impl LaunchConfig {
+    /// 1-D launch: `grid_x` blocks of `block_x` threads.
+    pub fn new_1d(grid_x: u32, block_x: u32) -> LaunchConfig {
+        LaunchConfig {
+            grid: (grid_x, 1),
+            block: (block_x, 1),
+        }
+    }
+
+    /// 2-D launch.
+    pub fn new_2d(grid: (u32, u32), block: (u32, u32)) -> LaunchConfig {
+        LaunchConfig { grid, block }
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> u32 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.0 * self.block.1
+    }
+
+    /// Warps per block on `machine` (partial warps round up).
+    pub fn warps_per_block(&self, machine: &Machine) -> u32 {
+        machine.warps_for_threads(self.threads_per_block())
+    }
+
+    /// Block coordinates of linear block id `b` (x-major, as CUDA
+    /// enumerates).
+    pub fn block_coords(&self, b: u32) -> (u32, u32) {
+        (b % self.grid.0, b / self.grid.0)
+    }
+
+    /// Thread coordinates of linear thread id `t` within a block (x-major).
+    pub fn thread_coords(&self, t: u32) -> (u32, u32) {
+        (t % self.block.0, t / self.block.0)
+    }
+
+    /// Validate against hardware ceilings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated limit.
+    pub fn check(&self, machine: &Machine) -> Result<(), String> {
+        if self.num_blocks() == 0 || self.threads_per_block() == 0 {
+            return Err("empty launch".to_owned());
+        }
+        if self.threads_per_block() > machine.max_threads_per_block {
+            return Err(format!(
+                "{} threads/block exceeds the {}-thread limit",
+                self.threads_per_block(),
+                machine.max_threads_per_block
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<<<({}, {}), ({}, {})>>>",
+            self.grid.0, self.grid.1, self.block.0, self.block.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearization_is_x_major() {
+        let l = LaunchConfig::new_2d((4, 3), (8, 4));
+        assert_eq!(l.num_blocks(), 12);
+        assert_eq!(l.threads_per_block(), 32);
+        assert_eq!(l.block_coords(0), (0, 0));
+        assert_eq!(l.block_coords(5), (1, 1));
+        assert_eq!(l.thread_coords(9), (1, 1));
+    }
+
+    #[test]
+    fn warp_rounding() {
+        let m = Machine::gtx285();
+        assert_eq!(LaunchConfig::new_1d(1, 33).warps_per_block(&m), 2);
+        assert_eq!(LaunchConfig::new_1d(1, 256).warps_per_block(&m), 8);
+    }
+
+    #[test]
+    fn limits_checked() {
+        let m = Machine::gtx285();
+        assert!(LaunchConfig::new_1d(10, 512).check(&m).is_ok());
+        assert!(LaunchConfig::new_1d(10, 513).check(&m).is_err());
+        assert!(LaunchConfig::new_1d(0, 64).check(&m).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            format!("{}", LaunchConfig::new_1d(512, 256)),
+            "<<<(512, 1), (256, 1)>>>"
+        );
+    }
+}

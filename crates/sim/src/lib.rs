@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Functional and timing simulators for a GT200-class GPU.
+//!
+//! Two simulators share the [`gpa_isa`] instruction set:
+//!
+//! * [`func::FunctionalSim`] — the **Barra substitute** (paper Figure 1):
+//!   executes a kernel warp-lockstep over a grid, with PDOM-stack branch
+//!   divergence, and collects the *dynamic* statistics the model consumes —
+//!   warp-level instruction counts per Table 1 class, shared-memory
+//!   transactions weighted by bank conflicts, coalesced global-memory
+//!   transactions at several granularities, and per-barrier stage splits.
+//!   It can also record per-warp instruction traces for the timing
+//!   simulator.
+//! * [`timing::TimingSim`] — the **hardware substitute**: a coarse
+//!   cycle-level model of the GTX 285 (scoreboarded in-order warp issue,
+//!   per-class port occupancy, a 16-bank shared-memory port, TPC clusters
+//!   sharing a memory pipeline, a DRAM bandwidth server, and an
+//!   occupancy-limited block scheduler). Microbenchmarks "measure" this
+//!   machine, and applications' *measured* times come from it; the
+//!   analytical model in `gpa-core` never sees its internals — only the
+//!   published machine description — so model-vs-measured comparisons are
+//!   meaningful, as in the paper.
+//!
+//! See DESIGN.md §4.2 for the calibration of the timing parameters against
+//! the paper's published curves.
+
+pub mod error;
+pub mod func;
+pub mod grid;
+pub mod memory;
+pub mod stats;
+pub mod timing;
+
+pub use error::SimError;
+pub use func::FunctionalSim;
+pub use grid::LaunchConfig;
+pub use memory::GlobalMemory;
+pub use stats::{BlockTrace, DynamicStats, StageStats};
+pub use timing::{TimingConfig, TimingResult, TimingSim, TraceSource};

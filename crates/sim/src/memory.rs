@@ -1,0 +1,178 @@
+//! Simulated global memory: a flat bump-allocated arena.
+
+use serde::{Deserialize, Serialize};
+
+/// The device's global memory.
+///
+/// A flat byte arena with a bump allocator. Allocations start above address
+/// zero so stray null-ish pointers fault, and every access is
+/// bounds-checked against the allocated extent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalMemory {
+    data: Vec<u8>,
+    cursor: u64,
+}
+
+/// First valid device address (catches zero-initialized pointers).
+const BASE: u64 = 256;
+
+impl GlobalMemory {
+    /// An empty memory.
+    pub fn new() -> GlobalMemory {
+        GlobalMemory {
+            data: Vec::new(),
+            cursor: BASE,
+        }
+    }
+
+    /// Allocate `bytes` aligned to `align` (power of two) and return the
+    /// device address. Contents are zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = self.cursor.div_ceil(align) * align;
+        self.cursor = base + bytes;
+        if self.cursor as usize > self.data.len() {
+            self.data.resize(self.cursor as usize, 0);
+        }
+        base
+    }
+
+    /// Allocate and fill with `f32` values; returns the device address.
+    pub fn alloc_f32(&mut self, values: &[f32]) -> u64 {
+        let addr = self.alloc(values.len() as u64 * 4, 4);
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + i as u64 * 4, v.to_bits()).unwrap();
+        }
+        addr
+    }
+
+    /// Allocate and fill with `u32` values; returns the device address.
+    pub fn alloc_u32(&mut self, values: &[u32]) -> u64 {
+        let addr = self.alloc(values.len() as u64 * 4, 4);
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + i as u64 * 4, *v).unwrap();
+        }
+        addr
+    }
+
+    /// One-past-the-end of the allocated extent.
+    pub fn extent(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Returns `true` if `[addr, addr+len)` lies inside allocated memory.
+    pub fn in_bounds(&self, addr: u64, len: u32) -> bool {
+        addr >= BASE && addr + u64::from(len) <= self.cursor
+    }
+
+    /// Read a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when out of bounds (callers wrap this into a
+    /// located [`crate::SimError`]).
+    pub fn read_u32(&self, addr: u64) -> Result<u32, ()> {
+        if !self.in_bounds(addr, 4) {
+            return Err(());
+        }
+        let i = addr as usize;
+        Ok(u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap()))
+    }
+
+    /// Write a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when out of bounds.
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), ()> {
+        if !self.in_bounds(addr, 4) {
+            return Err(());
+        }
+        let i = addr as usize;
+        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when out of bounds.
+    pub fn read_f32(&self, addr: u64) -> Result<f32, ()> {
+        self.read_u32(addr).map(f32::from_bits)
+    }
+
+    /// Read `n` consecutive `f32`s starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when any word is out of bounds.
+    pub fn read_f32s(&self, addr: u64, n: usize) -> Result<Vec<f32>, ()> {
+        (0..n).map(|i| self.read_f32(addr + i as u64 * 4)).collect()
+    }
+
+    /// Read `n` consecutive `u32`s starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when any word is out of bounds.
+    pub fn read_u32s(&self, addr: u64, n: usize) -> Result<Vec<u32>, ()> {
+        (0..n).map(|i| self.read_u32(addr + i as u64 * 4)).collect()
+    }
+}
+
+impl Default for GlobalMemory {
+    fn default() -> Self {
+        GlobalMemory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc(10, 4);
+        let b = m.alloc(16, 128);
+        assert_eq!(a % 4, 0);
+        assert_eq!(b % 128, 0);
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn round_trip_values() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc_f32(&[1.5, -2.0, 3.25]);
+        assert_eq!(m.read_f32s(a, 3).unwrap(), vec![1.5, -2.0, 3.25]);
+        let b = m.alloc_u32(&[7, 8]);
+        assert_eq!(m.read_u32s(b, 2).unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn zero_address_faults() {
+        let m = GlobalMemory::new();
+        assert!(m.read_u32(0).is_err());
+        assert!(!m.in_bounds(0, 4));
+    }
+
+    #[test]
+    fn out_of_extent_faults() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc(8, 4);
+        assert!(m.read_u32(a + 8).is_err());
+        assert!(m.write_u32(a + 8, 1).is_err());
+    }
+
+    #[test]
+    fn contents_zero_initialized() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc(64, 4);
+        assert_eq!(m.read_u32(a + 60).unwrap(), 0);
+    }
+}

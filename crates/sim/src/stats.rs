@@ -1,0 +1,320 @@
+//! Dynamic statistics (the paper's "info extractor" inputs) and warp traces.
+
+use gpa_hw::InstrClass;
+use gpa_mem::coalesce::Transaction;
+use serde::{Deserialize, Serialize};
+
+/// Global-memory transaction granularities the functional simulator
+/// evaluates side by side: the real GT200 32-byte minimum plus the paper's
+/// hypothetical 16-byte and 4-byte memory systems (Figure 11).
+pub const GRANULARITIES: [u32; 3] = [32, 16, 4];
+
+/// Index of the real GT200 granularity in [`GRANULARITIES`].
+pub const GRAN_GT200: usize = 0;
+
+/// Transaction count and bytes moved under one coalescing granularity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GmemGranStats {
+    /// Hardware transactions issued.
+    pub transactions: u64,
+    /// Bytes moved (transaction sizes summed).
+    pub bytes: u64,
+}
+
+/// Dynamic statistics for one synchronization stage (the intervals between
+/// `bar.sync` instructions, paper §3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Warp-level dynamic instruction counts per Table 1 class.
+    pub instr_by_class: [u64; 4],
+    /// Warp-level `mad.f32` count (the paper's "actual computation"
+    /// instructions in the matmul/SpMV studies).
+    pub fmad: u64,
+    /// Floating-point operations actually executed (lane-level, masked
+    /// lanes excluded).
+    pub flops: u64,
+    /// Shared-memory **half-warp transactions** after bank-conflict
+    /// serialization. Divide by 2 for the paper's warp-equivalent unit
+    /// ([`StageStats::smem_warp_equiv`]).
+    pub smem_half_txns: u64,
+    /// Half-warp transactions a conflict-free shared memory would need
+    /// (the "no bank conflicts" series of paper Figure 7b).
+    pub smem_half_accesses: u64,
+    /// Warp-level instructions that touched shared memory.
+    pub smem_instrs: u64,
+    /// Global-memory statistics per [`GRANULARITIES`] entry.
+    pub gmem: [GmemGranStats; 3],
+    /// Bytes the lanes actually asked for (coalescing-independent).
+    pub gmem_requested_bytes: u64,
+    /// Warp-level instructions that touched global memory.
+    pub gmem_instrs: u64,
+    /// Warp-level barrier arrivals ending this stage.
+    pub barriers: u64,
+    /// Warps (summed over blocks) that issued at least one instruction in
+    /// this stage.
+    pub warps_any: u64,
+    /// Warps (summed over blocks) that issued at least one shared-memory
+    /// access in this stage — the paper's per-step warp parallelism for the
+    /// Figure 7a bandwidth lookup.
+    pub warps_smem: u64,
+}
+
+impl StageStats {
+    /// Total warp-level instructions.
+    pub fn instr_total(&self) -> u64 {
+        self.instr_by_class.iter().sum()
+    }
+
+    /// Count for one instruction class.
+    pub fn instr(&self, class: InstrClass) -> u64 {
+        self.instr_by_class[class.index()]
+    }
+
+    /// Shared-memory transactions in the paper's warp-equivalent unit
+    /// (conflict-free full-warp access = 1.0).
+    pub fn smem_warp_equiv(&self) -> f64 {
+        self.smem_half_txns as f64 / 2.0
+    }
+
+    /// Conflict-free warp-equivalent transactions.
+    pub fn smem_warp_equiv_no_conflicts(&self) -> f64 {
+        self.smem_half_accesses as f64 / 2.0
+    }
+
+    /// Bank-conflict penalty: actual transactions over conflict-free
+    /// transactions (1.0 = conflict-free).
+    pub fn bank_conflict_factor(&self) -> f64 {
+        if self.smem_half_accesses == 0 {
+            1.0
+        } else {
+            self.smem_half_txns as f64 / self.smem_half_accesses as f64
+        }
+    }
+
+    /// Coalescing efficiency under granularity index `g`: requested bytes
+    /// over transferred bytes (1.0 = perfectly coalesced).
+    pub fn coalesce_efficiency(&self, g: usize) -> f64 {
+        if self.gmem[g].bytes == 0 {
+            1.0
+        } else {
+            self.gmem_requested_bytes as f64 / self.gmem[g].bytes as f64
+        }
+    }
+
+    /// Computational density: the fraction of issued instructions doing
+    /// "actual computation" (MADs), paper §5.1/§5.3.
+    pub fn computational_density(&self) -> f64 {
+        let total = self.instr_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.fmad as f64 / total as f64
+        }
+    }
+
+    /// Accumulate another stage's counts into this one.
+    pub fn merge(&mut self, other: &StageStats) {
+        for i in 0..4 {
+            self.instr_by_class[i] += other.instr_by_class[i];
+        }
+        self.fmad += other.fmad;
+        self.flops += other.flops;
+        self.smem_half_txns += other.smem_half_txns;
+        self.smem_half_accesses += other.smem_half_accesses;
+        self.smem_instrs += other.smem_instrs;
+        for g in 0..3 {
+            self.gmem[g].transactions += other.gmem[g].transactions;
+            self.gmem[g].bytes += other.gmem[g].bytes;
+        }
+        self.gmem_requested_bytes += other.gmem_requested_bytes;
+        self.gmem_instrs += other.gmem_instrs;
+        self.barriers += other.barriers;
+        self.warps_any = self.warps_any.max(other.warps_any);
+        self.warps_smem = self.warps_smem.max(other.warps_smem);
+    }
+}
+
+/// A named global-memory address range for traffic attribution (the paper's
+/// Figure 11a separates matrix-entry, column-index, and vector-entry
+/// bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// Region name (e.g. `"vector"`).
+    pub name: String,
+    /// Device base address.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// Whether loads from this region go through the texture cache in the
+    /// timing simulator.
+    pub texture: bool,
+    /// Traffic per [`GRANULARITIES`] entry.
+    pub gmem: [GmemGranStats; 3],
+    /// Bytes requested by lanes from this region.
+    pub requested_bytes: u64,
+}
+
+impl RegionStats {
+    /// Returns `true` if `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+/// All dynamic statistics of one launch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynamicStats {
+    /// Per-stage statistics, aggregated over blocks by stage index.
+    pub stages: Vec<StageStats>,
+    /// Per-region global traffic attribution.
+    pub regions: Vec<RegionStats>,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl DynamicStats {
+    /// Sum of all stages.
+    pub fn total(&self) -> StageStats {
+        let mut t = StageStats::default();
+        for s in &self.stages {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Total warps launched.
+    pub fn total_warps(&self) -> u64 {
+        self.blocks * u64::from(self.warps_per_block)
+    }
+}
+
+/// How a trace entry's destination becomes ready (selects the latency the
+/// timing simulator applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DstLatency {
+    /// Ready after the arithmetic pipeline.
+    Alu,
+    /// Ready after the shared-memory pipeline.
+    Smem,
+    /// Ready when all global transactions complete.
+    Gmem,
+}
+
+/// One warp-level instruction in a timing trace.
+///
+/// Register identifiers 0–127 are general registers; 128–131 are the four
+/// predicate registers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Table 1 class (sets issue-port occupancy).
+    pub class: InstrClass,
+    /// First destination register id, plus count (0 = no destination).
+    pub dst: u8,
+    /// Number of destination registers written.
+    pub dst_n: u8,
+    /// Source register ids (`0xFF` padding beyond `nsrcs`).
+    pub srcs: [u8; 8],
+    /// Number of valid entries in `srcs`.
+    pub nsrcs: u8,
+    /// Which pipeline produces the destination value.
+    pub dst_lat: DstLatency,
+    /// Shared-memory half-warp transactions this instruction generates
+    /// (0 = does not touch shared memory).
+    pub smem_half_txns: u16,
+    /// Coalesced global transactions (GT200 granularity), if any.
+    pub gmem: Option<Box<[Transaction]>>,
+    /// `true` for global loads (destination waits on memory).
+    pub gmem_load: bool,
+    /// `true` for `bar.sync`.
+    pub bar: bool,
+}
+
+/// Per-warp instruction traces of one block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockTrace {
+    /// One entry stream per warp.
+    pub warps: Vec<Vec<TraceEntry>>,
+}
+
+impl BlockTrace {
+    /// Total traced warp-instructions.
+    pub fn len(&self) -> usize {
+        self.warps.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no instructions were traced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StageStats::default();
+        a.instr_by_class[1] = 10;
+        a.fmad = 4;
+        let mut b = StageStats::default();
+        b.instr_by_class[1] = 5;
+        b.smem_half_txns = 8;
+        b.smem_half_accesses = 2;
+        a.merge(&b);
+        assert_eq!(a.instr(InstrClass::TypeII), 15);
+        assert_eq!(a.smem_warp_equiv(), 4.0);
+        assert_eq!(a.bank_conflict_factor(), 4.0);
+    }
+
+    #[test]
+    fn density_and_efficiency() {
+        let mut s = StageStats::default();
+        s.instr_by_class[1] = 10;
+        s.fmad = 8;
+        s.gmem[0] = GmemGranStats { transactions: 2, bytes: 64 };
+        s.gmem_requested_bytes = 32;
+        assert!((s.computational_density() - 0.8).abs() < 1e-12);
+        assert!((s.coalesce_efficiency(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = StageStats::default();
+        assert_eq!(s.instr_total(), 0);
+        assert_eq!(s.bank_conflict_factor(), 1.0);
+        assert_eq!(s.coalesce_efficiency(0), 1.0);
+        assert_eq!(s.computational_density(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_total_sums_stages() {
+        let mut d = DynamicStats::default();
+        let mut s1 = StageStats::default();
+        s1.instr_by_class[0] = 3;
+        let mut s2 = StageStats::default();
+        s2.instr_by_class[0] = 4;
+        d.stages = vec![s1, s2];
+        assert_eq!(d.total().instr(InstrClass::TypeI), 7);
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = RegionStats {
+            name: "x".into(),
+            base: 100,
+            len: 50,
+            texture: false,
+            gmem: Default::default(),
+            requested_bytes: 0,
+        };
+        assert!(r.contains(100));
+        assert!(r.contains(149));
+        assert!(!r.contains(150));
+        assert!(!r.contains(99));
+    }
+}

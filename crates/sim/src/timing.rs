@@ -1,0 +1,556 @@
+//! The timing simulator: a coarse cycle-level GTX 285.
+//!
+//! This is the workspace's stand-in for the paper's physical GPU. It
+//! replays per-warp instruction traces (produced by the functional
+//! simulator) through:
+//!
+//! * an **issue/ALU port** per SM — every instruction occupies it for
+//!   `warp_size / functional_units(class) + issue_overhead` cycles, which
+//!   reproduces the Table 1 throughput ratios and the ≈84%-of-peak
+//!   saturation the paper measures;
+//! * a **shared-memory port** per SM — 2 cycles per half-warp transaction,
+//!   so bank conflicts serialize exactly as §4.2 describes, with a longer
+//!   pipeline latency than the ALU (the paper's Figure 2 observation);
+//! * a **scoreboard** per warp — in-order issue, register-ready times,
+//!   so warp-level parallelism is the only latency-hiding mechanism, as on
+//!   real GT200 (paper §4.1);
+//! * a **cluster memory pipeline** — 3 SMs share one pipe (GT200 TPC);
+//!   each pipe gets 1/10 of the (efficiency-derated) DRAM bandwidth. Blocks
+//!   are scheduled to clusters round-robin, which produces the paper's
+//!   Figure 3 sawtooth of period 10;
+//! * an optional per-cluster **texture cache** for address ranges marked as
+//!   texture-bound (Figure 12's `+Cache` variants);
+//! * an occupancy-limited **block scheduler**.
+//!
+//! Calibration constants live in [`TimingConfig::gt200`] and are justified
+//! in DESIGN.md §6.
+
+use crate::grid::LaunchConfig;
+use crate::stats::{BlockTrace, DstLatency};
+use gpa_hw::{occupancy, KernelResources, Machine};
+use gpa_mem::texcache::TexCache;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Calibrated timing parameters (cycles at the shader clock).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// ALU pipeline depth: results ready this many cycles after issue.
+    pub alu_latency: f64,
+    /// Extra port occupancy per issued instruction (scheduler friction;
+    /// calibrates sustained Type II throughput to ≈ 9.3 of 11.1 G/s).
+    pub issue_overhead: f64,
+    /// Shared-memory pipeline depth (longer than the ALU; Figure 2 right).
+    pub smem_latency: f64,
+    /// Shared-memory port occupancy per half-warp transaction.
+    pub smem_cycles_per_half_txn: f64,
+    /// Global-memory latency after the transaction is serviced.
+    pub gmem_latency: f64,
+    /// Fraction of theoretical DRAM bandwidth sustainable in practice.
+    pub dram_efficiency: f64,
+    /// Fixed cluster-pipe occupancy per transaction (penalizes many small
+    /// transactions beyond their byte cost).
+    pub gmem_txn_overhead: f64,
+    /// Extra issue-stage occupancy per serialized half-warp transaction
+    /// beyond the conflict-free two (bank-conflict replay).
+    pub smem_replay_cycles: f64,
+    /// Latency of a texture-cache hit.
+    pub tex_hit_latency: f64,
+    /// Cycles between the last warp arriving at a barrier and release.
+    pub barrier_latency: f64,
+    /// Cycles to launch a fresh block onto a freed SM slot.
+    pub block_launch_latency: f64,
+}
+
+impl TimingConfig {
+    /// Calibration against the paper's published curves (DESIGN.md §6).
+    pub fn gt200() -> TimingConfig {
+        TimingConfig {
+            alu_latency: 24.0,
+            issue_overhead: 0.75,
+            smem_latency: 84.0,
+            smem_cycles_per_half_txn: 2.0,
+            gmem_latency: 500.0,
+            dram_efficiency: 0.8,
+            gmem_txn_overhead: 1.0,
+            smem_replay_cycles: 5.0,
+            tex_hit_latency: 40.0,
+            barrier_latency: 8.0,
+            block_launch_latency: 100.0,
+        }
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::gt200()
+    }
+}
+
+/// Where block traces come from.
+///
+/// Homogeneous grids (every block runs the same instruction stream with the
+/// same conflict degrees and transaction shapes — matmul, the tridiagonal
+/// solver, the microbenchmarks) can share one trace. Data-dependent
+/// kernels provide per-block traces, eagerly or lazily.
+pub enum TraceSource<'a> {
+    /// Every block replays the same trace.
+    Homogeneous(Rc<BlockTrace>),
+    /// `traces[b]` is block `b`'s trace.
+    PerBlock(Vec<Rc<BlockTrace>>),
+    /// Traces fetched on demand (keeps memory bounded for huge grids).
+    Lazy(Box<dyn FnMut(u32) -> Rc<BlockTrace> + 'a>),
+}
+
+impl<'a> TraceSource<'a> {
+    fn fetch(&mut self, block: u32) -> Rc<BlockTrace> {
+        match self {
+            TraceSource::Homogeneous(t) => Rc::clone(t),
+            TraceSource::PerBlock(v) => Rc::clone(&v[block as usize]),
+            TraceSource::Lazy(f) => f(block),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSource::Homogeneous(_) => f.write_str("TraceSource::Homogeneous"),
+            TraceSource::PerBlock(v) => write!(f, "TraceSource::PerBlock({} blocks)", v.len()),
+            TraceSource::Lazy(_) => f.write_str("TraceSource::Lazy"),
+        }
+    }
+}
+
+/// Output of a timing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingResult {
+    /// End-to-end kernel cycles (max over clusters).
+    pub cycles: f64,
+    /// `cycles` at the shader clock.
+    pub seconds: f64,
+    /// Completion time of each simulated cluster.
+    pub per_cluster_cycles: Vec<f64>,
+    /// Warp-instructions issued.
+    pub issued: u64,
+    /// Sum of issue-port busy cycles across simulated SMs.
+    pub alu_busy: f64,
+    /// Sum of shared-memory-port busy cycles across simulated SMs.
+    pub smem_busy: f64,
+    /// Sum of cluster-pipe busy cycles across simulated clusters.
+    pub pipe_busy: f64,
+    /// Global bytes moved through the cluster pipes.
+    pub gmem_bytes: u64,
+    /// Texture-cache hit rate (0 when no texture regions configured).
+    pub tex_hit_rate: f64,
+}
+
+impl TimingResult {
+    /// Achieved global-memory bandwidth in bytes/second.
+    pub fn global_bandwidth(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.gmem_bytes as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The timing simulator. One instance per machine + calibration.
+#[derive(Debug, Clone)]
+pub struct TimingSim<'m> {
+    machine: &'m Machine,
+    config: TimingConfig,
+    tex_regions: Vec<(u64, u64)>,
+    uniform_clusters: bool,
+}
+
+impl<'m> TimingSim<'m> {
+    /// A timing simulator with the default GT200 calibration.
+    pub fn new(machine: &'m Machine) -> TimingSim<'m> {
+        TimingSim {
+            machine,
+            config: TimingConfig::gt200(),
+            tex_regions: Vec::new(),
+            uniform_clusters: false,
+        }
+    }
+
+    /// Override the calibration.
+    pub fn with_config(mut self, config: TimingConfig) -> TimingSim<'m> {
+        self.config = config;
+        self
+    }
+
+    /// Address ranges whose loads go through the per-cluster texture cache.
+    pub fn set_texture_regions(&mut self, regions: Vec<(u64, u64)>) -> &mut Self {
+        self.tex_regions = regions;
+        self
+    }
+
+    /// Declare the workload homogeneous across clusters: only the most
+    /// loaded cluster is simulated and the result is scaled accordingly.
+    /// Exact for grids of identical blocks; a large speedup for big grids.
+    pub fn assume_uniform_clusters(&mut self, yes: bool) -> &mut Self {
+        self.uniform_clusters = yes;
+        self
+    }
+
+    /// Timing parameters in use.
+    pub fn config(&self) -> &TimingConfig {
+        &self.config
+    }
+
+    /// Replay a launch and return its simulated time.
+    ///
+    /// `resources` determines occupancy (resident blocks per SM) exactly as
+    /// paper Table 2 computes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if traces are inconsistent (warps of one block disagree on
+    /// barrier counts), which indicates a bug in trace generation.
+    pub fn run(
+        &self,
+        source: &mut TraceSource<'_>,
+        launch: &LaunchConfig,
+        resources: KernelResources,
+    ) -> TimingResult {
+        let nclusters = self.machine.num_clusters();
+        let nblocks = launch.num_blocks();
+        let occ = occupancy(self.machine, resources);
+        assert!(occ.blocks > 0, "kernel does not fit on an SM");
+
+        // Round-robin block → cluster assignment (paper Figure 3).
+        let mut queues: Vec<Vec<u32>> = vec![Vec::new(); nclusters as usize];
+        for b in 0..nblocks {
+            queues[(b % nclusters) as usize].push(b);
+        }
+
+        let simulate: Vec<usize> = if self.uniform_clusters {
+            // The first cluster always has the most blocks.
+            vec![0]
+        } else {
+            (0..nclusters as usize).collect()
+        };
+
+        let mut per_cluster = vec![0.0f64; nclusters as usize];
+        let mut issued = 0u64;
+        let mut alu_busy = 0.0;
+        let mut smem_busy = 0.0;
+        let mut pipe_busy = 0.0;
+        let mut gmem_bytes = 0u64;
+        let mut tex_hits = 0u64;
+        let mut tex_total = 0u64;
+
+        for &c in &simulate {
+            let r = self.run_cluster(&queues[c], source, occ.blocks);
+            per_cluster[c] = r.end;
+            issued += r.issued;
+            alu_busy += r.alu_busy;
+            smem_busy += r.smem_busy;
+            pipe_busy += r.pipe_busy;
+            gmem_bytes += r.gmem_bytes;
+            tex_hits += r.tex_hits;
+            tex_total += r.tex_total;
+        }
+
+        if self.uniform_clusters {
+            // Unsimulated clusters take at most as long as cluster 0.
+            let t0 = per_cluster[0];
+            let n_active = queues.iter().filter(|q| !q.is_empty()).count() as u64;
+            for (c, q) in queues.iter().enumerate().skip(1) {
+                per_cluster[c] = if q.is_empty() { 0.0 } else { t0 };
+            }
+            // Scale aggregate counters to the whole chip.
+            let scale = nblocks as f64 / queues[0].len().max(1) as f64;
+            issued = (issued as f64 * scale) as u64;
+            alu_busy *= scale;
+            smem_busy *= scale;
+            pipe_busy *= scale;
+            gmem_bytes = (gmem_bytes as f64 * scale) as u64;
+            let _ = n_active;
+        }
+
+        let cycles = per_cluster.iter().cloned().fold(0.0, f64::max);
+        TimingResult {
+            cycles,
+            seconds: cycles / self.machine.clock_hz,
+            per_cluster_cycles: per_cluster,
+            issued,
+            alu_busy,
+            smem_busy,
+            pipe_busy,
+            gmem_bytes,
+            tex_hit_rate: if tex_total == 0 {
+                0.0
+            } else {
+                tex_hits as f64 / tex_total as f64
+            },
+        }
+    }
+
+    fn run_cluster(
+        &self,
+        queue: &[u32],
+        source: &mut TraceSource<'_>,
+        blocks_per_sm: u32,
+    ) -> ClusterOutcome {
+        let cfg = &self.config;
+        let m = self.machine;
+        let nsms = m.sms_per_cluster as usize;
+        let bytes_per_cycle = m.peak_global_bandwidth() * cfg.dram_efficiency
+            / f64::from(m.num_clusters())
+            / m.clock_hz;
+
+        let mut sms: Vec<SmState> = (0..nsms).map(|_| SmState::default()).collect();
+        let mut pipe_free = 0.0f64;
+        let mut tex = TexCache::gt200_tpc();
+        let mut next_block = 0usize;
+        let mut out = ClusterOutcome::default();
+
+        // Initial fill, round-robin across the cluster's SMs.
+        'fill: for _ in 0..blocks_per_sm {
+            for sm in sms.iter_mut() {
+                if next_block >= queue.len() {
+                    break 'fill;
+                }
+                let trace = source.fetch(queue[next_block]);
+                sm.blocks.push(BlockRun::new(trace, 0.0));
+                next_block += 1;
+            }
+        }
+
+        loop {
+            // Per SM: find the earliest issue time, breaking ties by loose
+            // round-robin from the SM's rotation pointer (greedy
+            // earliest-first alone phase-locks warps into convoys and lets
+            // the port idle; GT200 schedulers rotate).
+            let mut best: Option<(usize, usize, usize, f64)> = None;
+            for (si, sm) in sms.iter().enumerate() {
+                let total: usize = sm.blocks.iter().map(|b| b.warps.len()).sum();
+                let mut sm_best: Option<(usize, usize, f64, usize)> = None;
+                let mut flat = 0usize;
+                for (bi, blk) in sm.blocks.iter().enumerate() {
+                    for (wi, w) in blk.warps.iter().enumerate() {
+                        let idx = flat;
+                        flat += 1;
+                        if w.done() || w.waiting {
+                            continue;
+                        }
+                        let e = &blk.trace.warps[wi][w.cursor];
+                        let mut t = w.ready.max(sm.alu_free);
+                        if e.smem_half_txns > 0 {
+                            t = t.max(sm.smem_free);
+                        }
+                        for s in 0..usize::from(e.nsrcs) {
+                            t = t.max(w.reg_ready[usize::from(e.srcs[s])]);
+                        }
+                        let dist = (idx + total - sm.rotate % total.max(1)) % total.max(1);
+                        let better = match sm_best {
+                            None => true,
+                            Some((_, _, bt, bdist)) => {
+                                t < bt - 1e-9 || (t < bt + 1e-9 && dist < bdist)
+                            }
+                        };
+                        if better {
+                            sm_best = Some((bi, wi, t, dist));
+                        }
+                    }
+                }
+                if let Some((bi, wi, t, _dist)) = sm_best {
+                    if best.map_or(true, |(_, _, _, bt)| t < bt) {
+                        best = Some((si, bi, wi, t));
+                    }
+                }
+            }
+
+            let Some((si, bi, wi, t)) = best else {
+                // No issuable warp: every resident warp is done or waiting.
+                let any_waiting = sms
+                    .iter()
+                    .any(|sm| sm.blocks.iter().any(|b| b.warps.iter().any(|w| w.waiting)));
+                assert!(!any_waiting, "barrier deadlock in timing replay");
+                break;
+            };
+
+            // Issue.
+            let sm = &mut sms[si];
+            sm.rotate = sm.blocks[..bi].iter().map(|b| b.warps.len()).sum::<usize>() + wi + 1;
+            let blk = &mut sm.blocks[bi];
+            let trace = Rc::clone(&blk.trace);
+            let e = &trace.warps[wi][blk.warps[wi].cursor];
+            out.issued += 1;
+
+            // Bank-conflicted shared accesses are replayed through the
+            // issue stage (one slot per serialized half-warp transaction),
+            // which is what makes conflict-heavy kernels shared-memory
+            // bound on GT200 (paper §5.2). A conflict-free access
+            // (2 half-warp transactions) fits the normal issue slot.
+            let base_occ =
+                f64::from(m.warp_size) / f64::from(m.fus(e.class)) + cfg.issue_overhead;
+            let occ_cycles = if e.smem_half_txns > 2 {
+                base_occ + cfg.smem_replay_cycles * f64::from(e.smem_half_txns - 2)
+            } else {
+                base_occ
+            };
+            sm.alu_free = t + occ_cycles;
+            out.alu_busy += occ_cycles;
+
+            let mut data_ready = t + cfg.alu_latency;
+            if e.smem_half_txns > 0 {
+                let occ_smem = cfg.smem_cycles_per_half_txn * f64::from(e.smem_half_txns);
+                let start = sm.smem_free.max(t);
+                sm.smem_free = start + occ_smem;
+                out.smem_busy += occ_smem;
+                data_ready = start + occ_smem + cfg.smem_latency;
+            }
+            if let Some(txs) = &e.gmem {
+                let mut last = t;
+                for tx in txs.iter() {
+                    let is_tex = self
+                        .tex_regions
+                        .iter()
+                        .any(|(b, l)| tx.base >= *b && tx.base < b + l);
+                    if is_tex {
+                        out.tex_total += 1;
+                        if tex.access(tx.base) {
+                            out.tex_hits += 1;
+                            last = last.max(t + cfg.tex_hit_latency);
+                            continue;
+                        }
+                    }
+                    let start = pipe_free.max(t);
+                    let service = f64::from(tx.size) / bytes_per_cycle + cfg.gmem_txn_overhead;
+                    pipe_free = start + service;
+                    out.pipe_busy += service;
+                    out.gmem_bytes += u64::from(tx.size);
+                    last = last.max(start + service + cfg.gmem_latency);
+                    out.end = out.end.max(start + service + cfg.gmem_latency);
+                }
+                if e.gmem_load {
+                    data_ready = last;
+                }
+            }
+
+            let w = &mut blk.warps[wi];
+            w.ready = t + occ_cycles;
+            if e.dst_n > 0 {
+                let ready = match e.dst_lat {
+                    DstLatency::Alu => t + cfg.alu_latency,
+                    DstLatency::Smem | DstLatency::Gmem => data_ready,
+                };
+                for k in 0..usize::from(e.dst_n) {
+                    w.reg_ready[usize::from(e.dst) + k] = ready;
+                }
+            }
+            w.cursor += 1;
+            out.end = out.end.max(w.ready);
+
+            if e.bar {
+                w.waiting = true;
+                blk.arrived += 1;
+                // Warps that already finished their whole trace no longer
+                // participate in barriers (GT200 semantics for exited
+                // threads).
+                let live = blk.warps.iter().filter(|w| !w.done()).count();
+                if blk.arrived >= live {
+                    let release = t + cfg.barrier_latency;
+                    for w in &mut blk.warps {
+                        if w.waiting {
+                            w.waiting = false;
+                            w.ready = w.ready.max(release);
+                        }
+                    }
+                    blk.arrived = 0;
+                }
+            }
+
+            // Block completion → admit the next queued block to this SM.
+            if blk.warps.iter().all(WarpRun::done) {
+                let done_at = blk.warps.iter().map(|w| w.ready).fold(t, f64::max);
+                sm.blocks.swap_remove(bi);
+                if next_block < queue.len() {
+                    let trace = source.fetch(queue[next_block]);
+                    next_block += 1;
+                    sm.blocks
+                        .push(BlockRun::new(trace, done_at + cfg.block_launch_latency));
+                }
+            }
+        }
+
+        out.end = out
+            .end
+            .max(pipe_free)
+            .max(sms.iter().map(|s| s.alu_free.max(s.smem_free)).fold(0.0, f64::max));
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClusterOutcome {
+    end: f64,
+    issued: u64,
+    alu_busy: f64,
+    smem_busy: f64,
+    pipe_busy: f64,
+    gmem_bytes: u64,
+    tex_hits: u64,
+    tex_total: u64,
+}
+
+#[derive(Debug, Default)]
+struct SmState {
+    blocks: Vec<BlockRun>,
+    alu_free: f64,
+    smem_free: f64,
+    /// Loose round-robin pointer over the SM's flattened warp list.
+    rotate: usize,
+}
+
+#[derive(Debug)]
+struct BlockRun {
+    trace: Rc<BlockTrace>,
+    warps: Vec<WarpRun>,
+    arrived: usize,
+}
+
+impl BlockRun {
+    fn new(trace: Rc<BlockTrace>, start: f64) -> BlockRun {
+        let warps = trace
+            .warps
+            .iter()
+            .map(|t| WarpRun {
+                len: t.len(),
+                cursor: 0,
+                ready: start,
+                waiting: false,
+                reg_ready: [0.0; 132],
+            })
+            .collect();
+        BlockRun {
+            trace,
+            warps,
+            arrived: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WarpRun {
+    len: usize,
+    cursor: usize,
+    ready: f64,
+    waiting: bool,
+    reg_ready: [f64; 132],
+}
+
+impl WarpRun {
+    fn done(&self) -> bool {
+        self.cursor >= self.len
+    }
+}
+
+#[cfg(test)]
+#[path = "timing_tests.rs"]
+mod tests;

@@ -1,0 +1,351 @@
+//! Tests for the timing simulator, using hand-built traces.
+
+use super::*;
+use crate::stats::TraceEntry;
+use gpa_hw::InstrClass;
+use gpa_mem::coalesce::Transaction;
+
+fn machine() -> Machine {
+    Machine::gtx285()
+}
+
+fn entry(class: InstrClass) -> TraceEntry {
+    TraceEntry {
+        class,
+        dst: 0,
+        dst_n: 0,
+        srcs: [0xFF; 8],
+        nsrcs: 0,
+        dst_lat: DstLatency::Alu,
+        smem_half_txns: 0,
+        gmem: None,
+        gmem_load: false,
+        bar: false,
+    }
+}
+
+/// A chain of `n` Type II instructions, each reading its own result (RAW).
+fn dependent_chain(n: usize) -> Vec<TraceEntry> {
+    (0..n)
+        .map(|_| {
+            let mut e = entry(InstrClass::TypeII);
+            e.dst = 0;
+            e.dst_n = 1;
+            e.srcs[0] = 0;
+            e.nsrcs = 1;
+            e
+        })
+        .collect()
+}
+
+/// `n` independent Type II instructions.
+fn independent_stream(n: usize) -> Vec<TraceEntry> {
+    (0..n)
+        .map(|i| {
+            let mut e = entry(InstrClass::TypeII);
+            e.dst = (i % 16) as u8;
+            e.dst_n = 1;
+            e
+        })
+        .collect()
+}
+
+fn res(threads: u32) -> KernelResources {
+    KernelResources::new(8, 0, threads)
+}
+
+fn one_block(warps: Vec<Vec<TraceEntry>>) -> TraceSource<'static> {
+    TraceSource::Homogeneous(Rc::new(BlockTrace { warps }))
+}
+
+#[test]
+fn dependent_chain_is_latency_bound() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let n = 200;
+    let mut src = one_block(vec![dependent_chain(n)]);
+    let r = sim.run(&mut src, &LaunchConfig::new_1d(1, 32), res(32));
+    // One warp, RAW chain: ~alu_latency per instruction.
+    let expect = n as f64 * sim.config().alu_latency;
+    assert!(
+        (r.cycles - expect).abs() / expect < 0.1,
+        "cycles {} vs expected {expect}",
+        r.cycles
+    );
+}
+
+#[test]
+fn independent_stream_is_issue_bound() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let n = 400;
+    let mut src = one_block(vec![independent_stream(n)]);
+    let r = sim.run(&mut src, &LaunchConfig::new_1d(1, 32), res(32));
+    let occ = 32.0 / 8.0 + sim.config().issue_overhead;
+    let expect = n as f64 * occ;
+    assert!(
+        (r.cycles - expect).abs() / expect < 0.1,
+        "cycles {} vs expected {expect}",
+        r.cycles
+    );
+}
+
+#[test]
+fn warp_parallelism_hides_alu_latency() {
+    // With 6+ warps of dependent chains, throughput reaches the issue
+    // bound (the paper's Figure 2 saturation at ~6 warps for Type II).
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let n = 200;
+    for (warps, saturated) in [(1usize, false), (2, false), (6, true), (8, true)] {
+        let mut src = one_block(vec![dependent_chain(n); warps]);
+        let r = sim.run(
+            &mut src,
+            &LaunchConfig::new_1d(1, 32 * warps as u32),
+            res(32 * warps as u32),
+        );
+        let issue_bound = (n * warps) as f64 * (4.0 + sim.config().issue_overhead);
+        let ratio = r.cycles / issue_bound;
+        if saturated {
+            assert!(ratio < 1.1, "{warps} warps: ratio {ratio}");
+        } else {
+            assert!(ratio > 1.5, "{warps} warps: ratio {ratio}");
+        }
+    }
+}
+
+#[test]
+fn type_classes_have_table1_occupancies() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let n = 300;
+    let mut cycles = Vec::new();
+    for class in InstrClass::ALL {
+        let stream: Vec<TraceEntry> = (0..n).map(|_| entry(class)).collect();
+        let mut src = one_block(vec![stream]);
+        let r = sim.run(&mut src, &LaunchConfig::new_1d(1, 32), res(32));
+        cycles.push(r.cycles);
+    }
+    // Type I < Type II < Type III < Type IV issue cost.
+    assert!(cycles[0] < cycles[1]);
+    assert!(cycles[1] < cycles[2]);
+    assert!(cycles[2] < cycles[3]);
+    // Type IV ≈ 32 + overhead cycles per instruction.
+    let per = cycles[3] / n as f64;
+    assert!((per - 32.75).abs() < 1.0, "type IV per-instr {per}");
+}
+
+#[test]
+fn bank_conflicts_serialize_the_smem_port() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let n = 300;
+    let make = |half_txns: u16| -> Vec<TraceEntry> {
+        (0..n)
+            .map(|_| {
+                let mut e = entry(InstrClass::TypeII);
+                e.smem_half_txns = half_txns;
+                e
+            })
+            .collect()
+    };
+    // Enough warps to saturate the port.
+    let mut free = one_block(vec![make(2); 8]);
+    let r_free = sim.run(&mut free, &LaunchConfig::new_1d(1, 256), res(256));
+    let mut conf = one_block(vec![make(4); 8]);
+    let r_conf = sim.run(&mut conf, &LaunchConfig::new_1d(1, 256), res(256));
+    let ratio = r_conf.cycles / r_free.cycles;
+    // 2-way conflicts serialize the shared port *and* replay through the
+    // issue stage (GT200 behaviour), so the slowdown exceeds 2×.
+    assert!(
+        (2.0..=3.8).contains(&ratio),
+        "2-way conflicts should cost ×2–3.8, got ×{ratio}"
+    );
+}
+
+#[test]
+fn barrier_synchronizes_warps() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    // Warp 0: short prologue; warp 1: long prologue; both bar then epilogue.
+    let mut w0 = dependent_chain(10);
+    let mut w1 = dependent_chain(100);
+    let mut bar = entry(InstrClass::TypeII);
+    bar.bar = true;
+    w0.push(bar.clone());
+    w1.push(bar);
+    w0.extend(dependent_chain(10));
+    w1.extend(dependent_chain(10));
+    let mut src = one_block(vec![w0, w1]);
+    let r = sim.run(&mut src, &LaunchConfig::new_1d(1, 64), res(64));
+    // Total dominated by the long warp: 100×24 + barrier + 10×24.
+    let expect = 110.0 * 24.0;
+    assert!(r.cycles > expect * 0.95, "cycles {} vs {expect}", r.cycles);
+    assert!(r.cycles < expect * 1.3, "cycles {} vs {expect}", r.cycles);
+}
+
+#[test]
+fn gmem_saturates_cluster_pipe_bandwidth() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    // One block with 8 warps, each issuing 200 independent 128 B loads.
+    let make_warp = || -> Vec<TraceEntry> {
+        (0..200)
+            .map(|i| {
+                let mut e = entry(InstrClass::TypeII);
+                e.dst = (i % 16) as u8;
+                e.dst_n = 1;
+                e.dst_lat = DstLatency::Gmem;
+                e.gmem_load = true;
+                e.gmem = Some(
+                    vec![Transaction { base: 4096 + i as u64 * 128, size: 128 }]
+                        .into_boxed_slice(),
+                );
+                e
+            })
+            .collect()
+    };
+    let mut src = one_block((0..8).map(|_| make_warp()).collect());
+    let r = sim.run(&mut src, &LaunchConfig::new_1d(1, 256), res(256));
+    // One cluster's share: peak × efficiency / 10, minus transaction
+    // overhead effects.
+    let cluster_bw = m.peak_global_bandwidth() * sim.config().dram_efficiency / 10.0;
+    let achieved = r.global_bandwidth();
+    assert!(
+        achieved > 0.6 * cluster_bw && achieved <= 1.01 * cluster_bw,
+        "achieved {achieved:.3e} vs cluster {cluster_bw:.3e}"
+    );
+}
+
+#[test]
+fn blocks_fill_all_clusters() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    // 10 single-warp blocks land on 10 distinct clusters: same total time
+    // as 1 block (plus nothing), while 11 blocks make one cluster do two.
+    let chain = vec![dependent_chain(100)];
+    let t1 = {
+        let mut src = one_block(chain.clone());
+        sim.run(&mut src, &LaunchConfig::new_1d(10, 32), res(32)).cycles
+    };
+    let t2 = {
+        let mut src = one_block(chain);
+        sim.run(&mut src, &LaunchConfig::new_1d(11, 32), res(32)).cycles
+    };
+    assert!(t2 > t1 * 0.99, "11th block must not be free: {t1} vs {t2}");
+}
+
+#[test]
+fn waves_scale_with_occupancy() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    // Resources allowing 1 block/SM: 3 blocks fit a cluster at once.
+    // 30 blocks on cluster 0 (uniform mode) → 10 waves.
+    let chain = vec![dependent_chain(50)];
+    let one_wave = {
+        let mut src = one_block(chain.clone());
+        let mut s = sim.clone();
+        s.assume_uniform_clusters(true);
+        s.run(&mut src, &LaunchConfig::new_1d(30, 32), KernelResources::new(8, 9000, 32))
+            .cycles
+    };
+    let ten_waves = {
+        let mut src = one_block(chain);
+        let mut s = sim.clone();
+        s.assume_uniform_clusters(true);
+        s.run(&mut src, &LaunchConfig::new_1d(300, 32), KernelResources::new(8, 9000, 32))
+            .cycles
+    };
+    let ratio = ten_waves / one_wave;
+    assert!((8.0..=12.0).contains(&ratio), "wave scaling ratio {ratio}");
+}
+
+#[test]
+fn uniform_cluster_mode_matches_full_simulation() {
+    let m = machine();
+    let base = TimingSim::new(&m);
+    let chain: Vec<Vec<TraceEntry>> = vec![dependent_chain(80); 2];
+    let full = {
+        let mut src = one_block(chain.clone());
+        base.run(&mut src, &LaunchConfig::new_1d(40, 64), res(64))
+    };
+    let fast = {
+        let mut src = one_block(chain);
+        let mut s = base.clone();
+        s.assume_uniform_clusters(true);
+        s.run(&mut src, &LaunchConfig::new_1d(40, 64), res(64))
+    };
+    let rel = (full.cycles - fast.cycles).abs() / full.cycles;
+    assert!(rel < 0.01, "uniform-mode divergence {rel}");
+}
+
+#[test]
+fn texture_cache_accelerates_reused_loads() {
+    let m = machine();
+    // All warps hammer the same 1 KB of "vector" data.
+    let make_warp = |seed: u64| -> Vec<TraceEntry> {
+        (0..200u64)
+            .map(|i| {
+                let mut e = entry(InstrClass::TypeII);
+                e.dst = (i % 16) as u8;
+                e.dst_n = 1;
+                e.dst_lat = DstLatency::Gmem;
+                e.gmem_load = true;
+                let base = 4096 + (seed * 37 + i * 29) % 1024 / 32 * 32;
+                e.gmem = Some(vec![Transaction { base, size: 32 }].into_boxed_slice());
+                e
+            })
+            .collect()
+    };
+    let warps: Vec<Vec<TraceEntry>> = (0..4).map(|w| make_warp(w as u64)).collect();
+    let plain = {
+        let sim = TimingSim::new(&m);
+        let mut src = one_block(warps.clone());
+        sim.run(&mut src, &LaunchConfig::new_1d(1, 128), res(128))
+    };
+    let cached = {
+        let mut sim = TimingSim::new(&m);
+        sim.set_texture_regions(vec![(4096, 1024)]);
+        let mut src = one_block(warps);
+        sim.run(&mut src, &LaunchConfig::new_1d(1, 128), res(128))
+    };
+    assert!(cached.tex_hit_rate > 0.9, "hit rate {}", cached.tex_hit_rate);
+    assert!(
+        cached.cycles < plain.cycles * 0.95,
+        "cache should help: {} vs {}",
+        cached.cycles,
+        plain.cycles
+    );
+    // Hits bypass the cluster pipe entirely.
+    assert!(
+        cached.gmem_bytes < plain.gmem_bytes / 5,
+        "pipe traffic should collapse: {} vs {}",
+        cached.gmem_bytes,
+        plain.gmem_bytes
+    );
+}
+
+#[test]
+fn empty_trace_finishes_instantly() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let mut src = one_block(vec![Vec::new()]);
+    let r = sim.run(&mut src, &LaunchConfig::new_1d(5, 32), res(32));
+    assert_eq!(r.issued, 0);
+    assert_eq!(r.cycles, 0.0);
+}
+
+#[test]
+fn lazy_source_is_called_per_block() {
+    let m = machine();
+    let sim = TimingSim::new(&m);
+    let mut calls = 0u32;
+    {
+        let mut src = TraceSource::Lazy(Box::new(|_b| {
+            calls += 1;
+            Rc::new(BlockTrace { warps: vec![dependent_chain(5)] })
+        }));
+        sim.run(&mut src, &LaunchConfig::new_1d(7, 32), res(32));
+    }
+    assert_eq!(calls, 7);
+}

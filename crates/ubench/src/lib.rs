@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Microbenchmarks and throughput curves (paper §4).
+//!
+//! The paper's key methodological choice is to *measure first, model
+//! after*: purpose-built native-code microbenchmarks characterize the
+//! machine, and the performance model is a lookup into those measurements.
+//! This crate is that layer:
+//!
+//! * [`instr`] — the **instruction pipeline** microbenchmarks: dependent
+//!   chains of each Table 1 instruction class, swept over warps/SM
+//!   (Figure 2, left);
+//! * [`smem`] — the **shared memory** copy benchmark swept over warps/SM
+//!   (Figure 2, right);
+//! * [`gmem`] — the **synthetic global-memory benchmark** parameterized by
+//!   (blocks, threads/block, transactions/thread), the paper's instrument
+//!   for Figure 3 and for the model's global-memory component;
+//! * [`curves`] — [`curves::ThroughputCurves`], the measured tables with
+//!   interpolating lookups and JSON persistence, plus the memoizing
+//!   [`curves::GmemBench`].
+//!
+//! Every benchmark builds a kernel with `gpa_isa::KernelBuilder` (exact
+//! native instructions, no compiler interference), traces one block with
+//! the functional simulator, and replays it on the timing simulator.
+
+pub mod curves;
+pub mod gmem;
+pub mod instr;
+pub mod smem;
+
+pub use curves::{GmemBench, MeasureOpts, ThroughputCurves};

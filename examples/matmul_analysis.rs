@@ -1,0 +1,29 @@
+//! Paper §5.1: analyze dense matrix multiply across sub-matrix sizes and
+//! print the model's verdict on each (why 16×16 wins, why 32×32 turns
+//! shared-memory-bound).
+//!
+//! Run with: `cargo run --release --example matmul_analysis`
+
+use gpa::apps::matmul;
+use gpa::hw::Machine;
+use gpa::model::{report, Model};
+use gpa::ubench::{MeasureOpts, ThroughputCurves};
+
+fn main() {
+    let machine = Machine::gtx285();
+    let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
+    let mut model = Model::new(&machine, curves);
+    let n = 256;
+    for tile in matmul::TILES {
+        let run = matmul::run(&machine, &mut model, n, tile, true).expect("matmul runs");
+        println!("==== {tile}x{tile} sub-matrix, n = {n} (verified against CPU) ====");
+        println!(
+            "measured {:.3} ms ({:.0} GFLOPS)",
+            run.measured_seconds() * 1e3,
+            run.measured_gflops(matmul::flops(n))
+        );
+        println!("{}", report::render_with_measured(&run.analysis, run.measured_seconds()));
+        let what_if = model.what_if_max_blocks(&run.input, 16);
+        println!("architectural what-if (paper §5.1): {what_if}\n");
+    }
+}

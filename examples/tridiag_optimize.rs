@@ -1,0 +1,34 @@
+//! Paper §5.2: use the model to *predict* the benefit of removing the
+//! cyclic-reduction solver's bank conflicts, then verify by running the
+//! padded CR-NBC variant — the paper's optimization workflow end to end.
+//!
+//! Run with: `cargo run --release --example tridiag_optimize`
+
+use gpa::apps::tridiag;
+use gpa::hw::Machine;
+use gpa::model::{report, Model};
+use gpa::ubench::{MeasureOpts, ThroughputCurves};
+
+fn main() {
+    let machine = Machine::gtx285();
+    let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
+    let mut model = Model::new(&machine, curves);
+    let (n, nsys) = (512, 64);
+
+    println!("==== step 1: profile plain cyclic reduction ====");
+    let cr = tridiag::run(&machine, &mut model, n, nsys, false, true).expect("CR runs");
+    println!("{}", report::render_with_measured(&cr.analysis, cr.measured_seconds()));
+
+    println!("==== step 2: ask the model about removing bank conflicts ====");
+    let what_if = model.what_if_no_bank_conflicts(&cr.input);
+    println!("{what_if}\n");
+
+    println!("==== step 3: implement the padding (CR-NBC) and verify ====");
+    let nbc = tridiag::run(&machine, &mut model, n, nsys, true, true).expect("CR-NBC runs");
+    println!("{}", report::render_with_measured(&nbc.analysis, nbc.measured_seconds()));
+    println!(
+        "achieved speedup: x{:.2} (model predicted x{:.2}; the paper predicted, then measured, x1.6)",
+        cr.measured_seconds() / nbc.measured_seconds(),
+        what_if.speedup
+    );
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # gpa — A Quantitative Performance Analysis Model for GPU Architectures
+//!
+//! A from-scratch Rust reproduction of **Zhang & Owens, HPCA 2011**: a
+//! microbenchmark-based performance model for GT200-class GPUs that
+//! identifies program bottlenecks among the instruction pipeline, shared
+//! memory, and global memory, and quantifies the benefit of removing them.
+//!
+//! The workspace is a facade over seven sub-crates, re-exported here:
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`hw`] | `gpa-hw` | GT200 machine description, peaks, occupancy |
+//! | [`isa`] | `gpa-isa` | native-flavoured instruction set, assembler, kernel builder |
+//! | [`mem`] | `gpa-mem` | coalescing protocol, bank conflicts, texture cache |
+//! | [`sim`] | `gpa-sim` | functional (Barra-style) and timing simulators |
+//! | [`ubench`] | `gpa-ubench` | microbenchmarks and throughput curves |
+//! | [`model`] | `gpa-core` | **the paper's model**: component times, bottleneck, advisor |
+//! | [`apps`] | `gpa-apps` | case studies: matmul, tridiagonal solver, SpMV |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpa::hw::Machine;
+//! use gpa::ubench::{MeasureOpts, ThroughputCurves};
+//!
+//! let machine = Machine::gtx285();
+//! // Measure the machine's throughput curves once (paper Figure 2)...
+//! let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
+//! // ...then ask for the sustained MAD throughput at 16 warps/SM.
+//! let thr = curves.instruction_throughput(gpa::hw::InstrClass::TypeII, 16);
+//! assert!(thr > 8.0e9 && thr < 11.2e9);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full workflow: build a kernel, run
+//! the functional simulator, extract statistics, and produce a bottleneck
+//! report.
+
+pub use gpa_apps as apps;
+pub use gpa_core as model;
+pub use gpa_hw as hw;
+pub use gpa_isa as isa;
+pub use gpa_mem as mem;
+pub use gpa_sim as sim;
+pub use gpa_ubench as ubench;

@@ -1,0 +1,69 @@
+//! Integration: every case-study kernel survives the full representation
+//! cycle — binary encode/decode (the "CUBIN") and assembly text
+//! parse/print — and the recovered kernel behaves identically in the
+//! functional simulator.
+
+use gpa::apps::{matmul, spmv, tridiag};
+use gpa::hw::Machine;
+use gpa::isa::asm::{kernel_to_asm, parse_kernel};
+use gpa::isa::Kernel;
+use gpa::sim::{FunctionalSim, GlobalMemory, LaunchConfig};
+
+fn all_kernels() -> Vec<Kernel> {
+    let qcd = spmv::qcd_like(4, 1);
+    vec![
+        matmul::kernel(128, 8).unwrap(),
+        matmul::kernel(128, 16).unwrap(),
+        matmul::kernel(1024, 32).unwrap(),
+        tridiag::kernel(512, false).unwrap(),
+        tridiag::kernel(512, true).unwrap(),
+        spmv::ell_kernel(&qcd).unwrap(),
+        spmv::bell_kernel(&qcd, false).unwrap(),
+        spmv::bell_kernel(&qcd, true).unwrap(),
+    ]
+}
+
+#[test]
+fn binary_round_trip_preserves_every_kernel() {
+    for k in all_kernels() {
+        let words = k.to_binary().unwrap_or_else(|e| panic!("{}: encode {e:?}", k.name));
+        let back = Kernel::from_binary(k.name.clone(), &words, k.resources, k.param_bytes)
+            .unwrap_or_else(|e| panic!("{}: decode {e:?}", k.name));
+        assert_eq!(back.instrs, k.instrs, "{} binary round-trip", k.name);
+        assert!(back.validate().is_ok());
+    }
+}
+
+#[test]
+fn assembly_round_trip_preserves_every_kernel() {
+    for k in all_kernels() {
+        let text = kernel_to_asm(&k);
+        let back = parse_kernel(&text).unwrap_or_else(|e| panic!("{}: parse {e}", k.name));
+        assert_eq!(back.instrs, k.instrs, "{} asm round-trip", k.name);
+        assert_eq!(back.resources, k.resources);
+    }
+}
+
+#[test]
+fn reassembled_kernel_executes_identically() {
+    let machine = Machine::gtx285();
+    let k = tridiag::kernel(512, false).unwrap();
+    let text = kernel_to_asm(&k);
+    let k2 = parse_kernel(&text).unwrap();
+
+    let run = |kernel: &Kernel| {
+        let mut gmem = GlobalMemory::new();
+        let data = tridiag::setup(&mut gmem, 512, 2, 7);
+        let params: Vec<u32> = data.dev.iter().map(|d| *d as u32).collect();
+        let launch = LaunchConfig::new_1d(2, 256);
+        let mut sim = FunctionalSim::new(&machine, kernel, launch).unwrap();
+        sim.set_params(&params);
+        let out = sim.run(&mut gmem).unwrap();
+        let x = gmem.read_f32s(data.dev[4], 1024).unwrap();
+        (out.stats, x)
+    };
+    let (s1, x1) = run(&k);
+    let (s2, x2) = run(&k2);
+    assert_eq!(x1, x2, "solutions must match bitwise");
+    assert_eq!(s1.total(), s2.total(), "dynamic statistics must match");
+}

@@ -1,0 +1,75 @@
+//! Integration: properties of the measured machine characterization that
+//! the paper's analysis depends on.
+
+use gpa::hw::{InstrClass, Machine};
+use gpa::ubench::gmem::{measure, GmemConfig};
+use gpa::ubench::{MeasureOpts, ThroughputCurves};
+use std::sync::OnceLock;
+
+fn machine() -> &'static Machine {
+    static M: OnceLock<Machine> = OnceLock::new();
+    M.get_or_init(Machine::gtx285)
+}
+
+fn curves() -> &'static ThroughputCurves {
+    static C: OnceLock<ThroughputCurves> = OnceLock::new();
+    C.get_or_init(|| ThroughputCurves::measure_with(machine(), MeasureOpts::quick()))
+}
+
+#[test]
+fn instruction_classes_never_cross() {
+    // Type I ≥ Type II ≥ Type III ≥ Type IV at every warp count.
+    let c = curves();
+    for &w in &c.warps {
+        let t: Vec<f64> = InstrClass::ALL
+            .iter()
+            .map(|cl| c.instruction_throughput(*cl, w))
+            .collect();
+        assert!(t[0] >= t[1] * 0.98 && t[1] >= t[2] && t[2] >= t[3], "at {w} warps: {t:?}");
+    }
+}
+
+#[test]
+fn shared_memory_needs_more_warps_than_the_pipeline() {
+    // Paper §4.2: the shared-memory pipeline is longer.
+    let c = curves();
+    let instr_frac =
+        c.instruction_throughput(InstrClass::TypeII, 6) / c.instruction_throughput(InstrClass::TypeII, 32);
+    let smem_frac = c.shared_bandwidth(6) / c.shared_bandwidth(32);
+    assert!(
+        smem_frac < instr_frac,
+        "at 6 warps: smem at {:.0}% of plateau, pipeline at {:.0}%",
+        smem_frac * 100.0,
+        instr_frac * 100.0
+    );
+}
+
+#[test]
+fn global_bandwidth_prefers_multiples_of_ten_blocks() {
+    // Paper Figure 3's sawtooth: 10 clusters.
+    let m = machine();
+    let bw_14 = measure(m, GmemConfig::new(14, 256, 64));
+    let bw_20 = measure(m, GmemConfig::new(20, 256, 64));
+    assert!(bw_20 > bw_14, "20 blocks {bw_20:.3e} should beat 14 {bw_14:.3e}");
+}
+
+#[test]
+fn saturated_global_bandwidth_matches_the_paper_plateau() {
+    // Paper Figure 3 saturates around 120–130 GB/s.
+    let m = machine();
+    let bw = measure(m, GmemConfig::new(40, 256, 128)) / 1e9;
+    assert!((105.0..135.0).contains(&bw), "plateau {bw:.1} GB/s");
+}
+
+#[test]
+fn curve_peaks_respect_theory() {
+    let m = machine();
+    let c = curves();
+    for cl in InstrClass::ALL {
+        assert!(
+            c.instruction_throughput(cl, 32) <= m.peak_warp_instruction_throughput(cl),
+            "{cl} exceeds its theoretical peak"
+        );
+    }
+    assert!(c.shared_bandwidth(32) <= m.peak_shared_bandwidth());
+}
