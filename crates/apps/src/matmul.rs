@@ -60,7 +60,10 @@ pub fn paper_resources(tile: u32) -> KernelResources {
 /// Propagates kernel-builder errors.
 pub fn kernel(n: u32, tile: u32) -> Result<Kernel, BuildError> {
     assert!(TILES.contains(&tile), "tile must be one of {TILES:?}");
-    assert!(n % tile == 0 && n % STRIP_ROWS == 0, "n must be a multiple of tile and 64");
+    assert!(
+        n.is_multiple_of(tile) && n.is_multiple_of(STRIP_ROWS),
+        "n must be a multiple of tile and 64"
+    );
     assert!(n <= 1024, "static offsets are sized for n ≤ 1024");
     let ltile = tile.trailing_zeros() as i32;
     let e_stage = (tile * tile / STRIP_ROWS) as usize; // staging loads/thread
@@ -140,7 +143,9 @@ pub fn kernel(n: u32, tile: u32) -> Result<Kernel, BuildError> {
         b.mov_imm_f32(*a, 0.0);
     }
     let a_buf = [b.alloc_reg()?, b.alloc_reg()?];
-    let stage: Vec<Reg> = (0..e_stage).map(|_| b.alloc_reg()).collect::<Result<_, _>>()?;
+    let stage: Vec<Reg> = (0..e_stage)
+        .map(|_| b.alloc_reg())
+        .collect::<Result<_, _>>()?;
 
     // Warm the A pipeline: a_buf[0] = A[row, 0].
     b.ld_global(a_buf[0], MemAddr::new(Some(a_addr), 0), Width::B32);
@@ -153,7 +158,11 @@ pub fn kernel(n: u32, tile: u32) -> Result<Kernel, BuildError> {
         b.ld_global(*reg, MemAddr::new(Some(bg_addr), off), Width::B32);
     }
     for (s, reg) in stage.iter().enumerate() {
-        b.st_shared(MemAddr::new(Some(bsm_addr), bsm + 256 * s as i32), *reg, Width::B32);
+        b.st_shared(
+            MemAddr::new(Some(bsm_addr), bsm + 256 * s as i32),
+            *reg,
+            Width::B32,
+        );
     }
     b.bar();
 
@@ -190,7 +199,13 @@ pub fn kernel(n: u32, tile: u32) -> Result<Kernel, BuildError> {
     }
     b.iadd(bg_addr, Src::Reg(bg_addr), Src::Reg(stride));
     b.iadd(k, Src::Reg(k), Src::Imm(1));
-    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(k), Src::Imm((n / tile) as i32));
+    b.setp(
+        Pred(0),
+        CmpOp::Lt,
+        NumTy::S32,
+        Src::Reg(k),
+        Src::Imm((n / tile) as i32),
+    );
     b.bra_if(Pred(0), false, "ktile");
 
     // ---- Epilogue: write the C strip ----
@@ -396,8 +411,18 @@ mod tests {
                     .instr_total()
             })
             .collect();
-        assert!(counts[0] > counts[1], "8×8 {} > 16×16 {}", counts[0], counts[1]);
-        assert!(counts[1] > counts[2], "16×16 {} > 32×32 {}", counts[1], counts[2]);
+        assert!(
+            counts[0] > counts[1],
+            "8×8 {} > 16×16 {}",
+            counts[0],
+            counts[1]
+        );
+        assert!(
+            counts[1] > counts[2],
+            "16×16 {} > 32×32 {}",
+            counts[1],
+            counts[2]
+        );
     }
 
     #[test]
@@ -453,8 +478,12 @@ mod tests {
     fn sixteen_beats_thirty_two_even_on_small_grids() {
         // The 32×32 occupancy penalty (6 warps) hurts at any size.
         let mut m = model();
-        let t16 = run(machine(), &mut m, 128, 16, false).unwrap().measured_seconds();
-        let t32 = run(machine(), &mut m, 128, 32, false).unwrap().measured_seconds();
+        let t16 = run(machine(), &mut m, 128, 16, false)
+            .unwrap()
+            .measured_seconds();
+        let t32 = run(machine(), &mut m, 128, 32, false)
+            .unwrap()
+            .measured_seconds();
         assert!(t16 < t32, "16×16 {t16:.3e} < 32×32 {t32:.3e}");
     }
 
@@ -468,10 +497,24 @@ mod tests {
         let mut m = model();
         let times: Vec<f64> = TILES
             .iter()
-            .map(|t| run(machine(), &mut m, 512, *t, false).unwrap().measured_seconds())
+            .map(|t| {
+                run(machine(), &mut m, 512, *t, false)
+                    .unwrap()
+                    .measured_seconds()
+            })
             .collect();
-        assert!(times[1] < times[0], "16×16 {:.3e} < 8×8 {:.3e}", times[1], times[0]);
-        assert!(times[1] < times[2], "16×16 {:.3e} < 32×32 {:.3e}", times[1], times[2]);
+        assert!(
+            times[1] < times[0],
+            "16×16 {:.3e} < 8×8 {:.3e}",
+            times[1],
+            times[0]
+        );
+        assert!(
+            times[1] < times[2],
+            "16×16 {:.3e} < 32×32 {:.3e}",
+            times[1],
+            times[2]
+        );
     }
 
     #[test]

@@ -181,8 +181,7 @@ pub fn to_ell(m: &BlockSparse) -> EllMatrix {
                 for c in 0..3usize {
                     let slot = j * 3 + c;
                     col[slot * rows as usize + row] = bc * 3 + c as u32;
-                    val[slot * rows as usize + row] =
-                        m.values[(j * 9 + r * 3 + c) * brows + bi];
+                    val[slot * rows as usize + row] = m.values[(j * 9 + r * 3 + c) * brows + bi];
                 }
             }
         }
@@ -293,7 +292,11 @@ pub fn ell_kernel(m: &BlockSparse) -> Result<Kernel, BuildError> {
 /// Propagates kernel-builder errors.
 pub fn bell_kernel(m: &BlockSparse, interleaved_vector: bool) -> Result<Kernel, BuildError> {
     let brows = m.brows;
-    let name = if interleaved_vector { "spmv_bell_imiv" } else { "spmv_bell_im" };
+    let name = if interleaved_vector {
+        "spmv_bell_imiv"
+    } else {
+        "spmv_bell_im"
+    };
     let mut b = KernelBuilder::new(name);
     b.set_threads(THREADS);
     let col_p = b.param_alloc();
@@ -305,7 +308,12 @@ pub fn bell_kernel(m: &BlockSparse, interleaved_vector: bool) -> Result<Kernel, 
     let tmp = b.alloc_reg()?;
     b.s2r(brow, SpecialReg::TidX);
     b.s2r(tmp, SpecialReg::CtaIdX);
-    b.imad(brow, Src::Reg(tmp), Src::Imm(THREADS as i32), Src::Reg(brow));
+    b.imad(
+        brow,
+        Src::Reg(tmp),
+        Src::Imm(THREADS as i32),
+        Src::Reg(brow),
+    );
 
     let roff = b.alloc_reg()?;
     b.shl(roff, Src::Reg(brow), Src::Imm(2));
@@ -359,7 +367,12 @@ pub fn bell_kernel(m: &BlockSparse, interleaved_vector: bool) -> Result<Kernel, 
         // acc[r] += v[r][c] · x[c]
         for r in 0..3 {
             for c in 0..3 {
-                b.fmad(acc[r], Src::Reg(vv[r * 3 + c]), Src::Reg(xv[c]), Src::Reg(acc[r]));
+                b.fmad(
+                    acc[r],
+                    Src::Reg(vv[r * 3 + c]),
+                    Src::Reg(xv[c]),
+                    Src::Reg(acc[r]),
+                );
             }
         }
     }
@@ -418,9 +431,7 @@ pub fn setup(gmem: &mut GlobalMemory, m: &BlockSparse, format: Format, seed: u32
             let e = to_ell(m);
             (gmem.alloc_u32(&e.col), gmem.alloc_f32(&e.val))
         }
-        Format::BellIm | Format::BellImIv => {
-            (gmem.alloc_u32(&m.bcol), gmem.alloc_f32(&m.values))
-        }
+        Format::BellIm | Format::BellImIv => (gmem.alloc_u32(&m.bcol), gmem.alloc_f32(&m.values)),
     };
     let x_dev = if interleaved {
         // Plane p holds x[3c + p] at index c.
@@ -446,9 +457,7 @@ pub fn setup(gmem: &mut GlobalMemory, m: &BlockSparse, format: Format, seed: u32
 /// Read back y, undoing the interleaved layout if needed.
 pub fn read_y(gmem: &GlobalMemory, data: &SpmvData) -> Vec<f32> {
     let brows = data.matrix.brows as usize;
-    let raw = gmem
-        .read_f32s(data.dev[3], 3 * brows)
-        .expect("y readable");
+    let raw = gmem.read_f32s(data.dev[3], 3 * brows).expect("y readable");
     if data.interleaved {
         let mut y = vec![0f32; 3 * brows];
         for c in 0..brows {

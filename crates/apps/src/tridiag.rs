@@ -131,9 +131,24 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
     let off_i = b.alloc_reg()?;
     let off_im = b.alloc_reg()?;
     let off_ip = b.alloc_reg()?;
-    let (ai, bi, ci, di) = (b.alloc_reg()?, b.alloc_reg()?, b.alloc_reg()?, b.alloc_reg()?);
-    let (am, bm, cm, dm) = (b.alloc_reg()?, b.alloc_reg()?, b.alloc_reg()?, b.alloc_reg()?);
-    let (ap, bp, cp, dp) = (b.alloc_reg()?, b.alloc_reg()?, b.alloc_reg()?, b.alloc_reg()?);
+    let (ai, bi, ci, di) = (
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+    );
+    let (am, bm, cm, dm) = (
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+    );
+    let (ap, bp, cp, dp) = (
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+        b.alloc_reg()?,
+    );
     let k1 = b.alloc_reg()?;
     let k2 = b.alloc_reg()?;
 
@@ -148,7 +163,13 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
         // paper's per-step transaction count stays flat: fewer active
         // warps × stronger conflicts = constant.
         let active_ceil = ((active as u32).div_ceil(32) * 32) as i32;
-        b.setp(Pred(1), CmpOp::Ge, NumTy::S32, Src::Reg(tid), Src::Imm(active_ceil));
+        b.setp(
+            Pred(1),
+            CmpOp::Ge,
+            NumTy::S32,
+            Src::Reg(tid),
+            Src::Imm(active_ceil),
+        );
         b.bra_if(Pred(1), false, format!("fwd_skip_{s}"));
         // i = ((tid + 1) << s) − 1, wrapped to keep all 32 lanes busy.
         b.iadd(t0, Src::Reg(tid), Src::Imm(1));
@@ -166,9 +187,18 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
 
         // Twelve shared loads: (a, b, c, d) at i, i−h, i+h.
         for (dst, off, arr) in [
-            (ai, off_i, 0i32), (bi, off_i, 1), (ci, off_i, 2), (di, off_i, 3),
-            (am, off_im, 0), (bm, off_im, 1), (cm, off_im, 2), (dm, off_im, 3),
-            (ap, off_ip, 0), (bp, off_ip, 1), (cp, off_ip, 2), (dp, off_ip, 3),
+            (ai, off_i, 0i32),
+            (bi, off_i, 1),
+            (ci, off_i, 2),
+            (di, off_i, 3),
+            (am, off_im, 0),
+            (bm, off_im, 1),
+            (cm, off_im, 2),
+            (dm, off_im, 3),
+            (ap, off_ip, 0),
+            (bp, off_ip, 1),
+            (cp, off_ip, 2),
+            (dp, off_ip, 3),
         ] {
             b.ld_shared(dst, MemAddr::new(Some(off), arr * ab), Width::B32);
         }
@@ -180,7 +210,7 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
         b.fmul(k2, Src::Reg(ci), Src::Reg(bp));
         b.fmul(k1, Src::Reg(k1), Src::Reg(m1)); // −k1
         b.fmul(k2, Src::Reg(k2), Src::Reg(m1)); // −k2
-        // a' = −a_{i−h}·k1, c' = −c_{i+h}·k2 (k already negated).
+                                                // a' = −a_{i−h}·k1, c' = −c_{i+h}·k2 (k already negated).
         b.fmul(am, Src::Reg(am), Src::Reg(k1));
         b.fmul(cp, Src::Reg(cp), Src::Reg(k2));
         // b' = b_i − c_{i−h}·k1 − a_{i+h}·k2.
@@ -191,7 +221,13 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
         b.fmad(di, Src::Reg(dp), Src::Reg(k2), Src::Reg(di));
 
         // Stores guarded to the truly active lanes.
-        b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tid), Src::Imm(active));
+        b.setp(
+            Pred(0),
+            CmpOp::Lt,
+            NumTy::S32,
+            Src::Reg(tid),
+            Src::Imm(active),
+        );
         b.set_guard(Pred(0), false);
         b.st_shared(MemAddr::new(Some(off_i), 0), am, Width::B32);
         b.st_shared(MemAddr::new(Some(off_i), ab), bi, Width::B32);
@@ -219,7 +255,13 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
         let h = 1i32 << (s - 1);
         let active = (n >> s) as i32;
         let active_ceil = ((active as u32).div_ceil(32) * 32) as i32;
-        b.setp(Pred(1), CmpOp::Ge, NumTy::S32, Src::Reg(tid), Src::Imm(active_ceil));
+        b.setp(
+            Pred(1),
+            CmpOp::Ge,
+            NumTy::S32,
+            Src::Reg(tid),
+            Src::Imm(active_ceil),
+        );
         b.bra_if(Pred(1), false, format!("bwd_skip_{s}"));
         // i = (tid << s) + h − 1, wrapped.
         b.shl(t0, Src::Reg(tid), Src::Imm(s as i32));
@@ -248,7 +290,13 @@ pub fn kernel(n: u32, padded: bool) -> Result<Kernel, BuildError> {
         b.rcp(bi, Src::Reg(bi));
         b.fmul(di, Src::Reg(di), Src::Reg(bi));
 
-        b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tid), Src::Imm(active));
+        b.setp(
+            Pred(0),
+            CmpOp::Lt,
+            NumTy::S32,
+            Src::Reg(tid),
+            Src::Imm(active),
+        );
         b.set_guard(Pred(0), false);
         b.st_shared(MemAddr::new(Some(off_i), 3 * ab), di, Width::B32);
         b.clear_guard();
@@ -308,7 +356,11 @@ pub fn setup(gmem: &mut GlobalMemory, n: u32, nsys: u32, seed: u32) -> TridiagDa
         for i in 0..n as usize {
             let idx = sys * n as usize + i;
             a[idx] = if i == 0 { 0.0 } else { rnd() - 0.5 };
-            c[idx] = if i == n as usize - 1 { 0.0 } else { rnd() - 0.5 };
+            c[idx] = if i == n as usize - 1 {
+                0.0
+            } else {
+                rnd() - 0.5
+            };
             bdiag[idx] = 2.5 + rnd(); // dominance: |a| + |c| ≤ 1 < 2.5
             d[idx] = rnd() * 2.0 - 1.0;
         }
@@ -586,4 +638,3 @@ mod tests {
         assert_eq!(r.analysis.stages[0].bottleneck, Component::GlobalMemory);
     }
 }
-

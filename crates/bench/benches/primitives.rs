@@ -14,7 +14,9 @@ use std::hint::black_box;
 use std::rc::Rc;
 
 fn bench_coalescer(c: &mut Criterion) {
-    let strided: Vec<Option<(u64, u32)>> = (0..16u64).map(|i| Some((i * 36 % 4096 / 4 * 4, 4))).collect();
+    let strided: Vec<Option<(u64, u32)>> = (0..16u64)
+        .map(|i| Some((i * 36 % 4096 / 4 * 4, 4)))
+        .collect();
     let unit: Vec<Option<(u64, u32)>> = (0..16u64).map(|i| Some((i * 4, 4))).collect();
     let cfg = CoalesceConfig::gt200();
     c.bench_function("coalesce/unit_stride", |b| {
@@ -41,15 +43,15 @@ fn bench_functional_sim(c: &mut Criterion) {
             || {
                 let mut gmem = GlobalMemory::new();
                 let data = matmul::setup(&mut gmem, 128);
-                (gmem, [data.a_dev as u32, data.b_dev as u32, data.c_dev as u32])
+                (
+                    gmem,
+                    [data.a_dev as u32, data.b_dev as u32, data.c_dev as u32],
+                )
             },
             |(mut gmem, params)| {
-                let mut sim = FunctionalSim::new(
-                    &machine,
-                    &kernel,
-                    LaunchConfig::new_2d((8, 2), (64, 1)),
-                )
-                .unwrap();
+                let mut sim =
+                    FunctionalSim::new(&machine, &kernel, LaunchConfig::new_2d((8, 2), (64, 1)))
+                        .unwrap();
                 sim.set_params(&params);
                 let mut stats = sim.fresh_stats();
                 sim.run_block(&mut gmem, 0, &mut stats).unwrap();

@@ -72,9 +72,7 @@ fn main() {
     );
     println!(
         "{:<44} conflict factor {:.2} -> {:.2}",
-        "",
-        cr_base.analysis.bank_conflict_factor,
-        cr_prime.analysis.bank_conflict_factor
+        "", cr_base.analysis.bank_conflict_factor, cr_prime.analysis.bank_conflict_factor
     );
 
     // Software fix for comparison.

@@ -16,7 +16,10 @@ fn bcol(t: u64, j: u64) -> u64 {
 fn total_bytes(addr_of: impl Fn(u64, u64) -> u64) -> u64 {
     // Paper's simplified model: transactions issue for 2 threads at a time
     // and are 8 bytes long.
-    let cfg = CoalesceConfig { min_segment: 8, max_segment: 8 };
+    let cfg = CoalesceConfig {
+        min_segment: 8,
+        max_segment: 8,
+    };
     let mut bytes = 0;
     for j in 0..2u64 {
         for p in 0..3u64 {

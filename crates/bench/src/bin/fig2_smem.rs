@@ -22,5 +22,8 @@ fn main() {
             vs_paper(ours, paper)
         );
     }
-    println!("theoretical peak: {:.0} GB/s (paper: 1420)", m.peak_shared_bandwidth() / 1e9);
+    println!(
+        "theoretical peak: {:.0} GB/s (paper: 1420)",
+        m.peak_shared_bandwidth() / 1e9
+    );
 }

@@ -35,7 +35,10 @@ fn main() {
         println!();
     }
     rule(7 + 10 * configs.len());
-    println!("theoretical peak {:.0} GB/s; paper observes ~125 GB/s sustained,", m.peak_global_bandwidth() / 1e9);
+    println!(
+        "theoretical peak {:.0} GB/s; paper observes ~125 GB/s sustained,",
+        m.peak_global_bandwidth() / 1e9
+    );
     println!("a sawtooth of period 10 (blocks should be a multiple of 10), and");
     println!("near-linear growth while transactions are too few to cover latency.");
 }

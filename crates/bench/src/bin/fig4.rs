@@ -17,14 +17,31 @@ fn main() {
     println!("Figure 4: dense matmul, n = {n} (paper: 1024)");
 
     // Paper values for n = 1024, in millions (Figure 4a) and ms (4b).
-    let paper_counts = [(47.02, 33.55, 34.43, 4.75), (41.71, 33.55, 34.28, 2.65), (38.81, 33.55, 34.17, 1.61)];
-    let paper_times = [(6.0, 5.2, 4.0, 4.4), (5.4, 4.6, 3.9, 2.5), (5.6, 4.6, 5.0, 1.5)];
+    let paper_counts = [
+        (47.02, 33.55, 34.43, 4.75),
+        (41.71, 33.55, 34.28, 2.65),
+        (38.81, 33.55, 34.17, 1.61),
+    ];
+    let paper_times = [
+        (6.0, 5.2, 4.0, 4.4),
+        (5.4, 4.6, 3.9, 2.5),
+        (5.6, 4.6, 5.0, 1.5),
+    ];
     let paper_gflops = [356.0, 399.0, 397.0];
 
     rule(100);
     println!(
         "{:>7} {:>11} {:>9} {:>11} {:>11} | {:>9} {:>9} {:>9} {:>9} {:>8}",
-        "tile", "instr(M)", "MAD(M)", "shared(M)", "global(M)", "meas ms", "instr ms", "shrd ms", "glob ms", "GFLOPS"
+        "tile",
+        "instr(M)",
+        "MAD(M)",
+        "shared(M)",
+        "global(M)",
+        "meas ms",
+        "instr ms",
+        "shrd ms",
+        "glob ms",
+        "GFLOPS"
     );
     rule(100);
     for (i, tile) in matmul::TILES.into_iter().enumerate() {

@@ -19,7 +19,7 @@ fn main() {
         let active = n >> s;
         // Half-warp of accesses at the step's stride (wrapped like the kernel).
         let addrs: Vec<Option<u64>> = (0..16u64)
-            .map(|i| Some((((i + 1) << s) - 1) as u64 % u64::from(n) * 4))
+            .map(|i| Some((((i + 1) << s) - 1) % u64::from(n) * 4))
             .collect();
         let way = bank_transactions(&addrs, cfg);
         let padded: Vec<Option<u64>> = addrs

@@ -11,7 +11,11 @@ fn main() {
     let mut model = Model::new(&m, curves(&m));
     let nsys = if paper_scale() { 512 } else { 128 };
     for padded in [false, true] {
-        let name = if padded { "CR-NBC (Figure 6b)" } else { "CR (Figure 6a)" };
+        let name = if padded {
+            "CR-NBC (Figure 6b)"
+        } else {
+            "CR (Figure 6a)"
+        };
         let r = tridiag::run(&m, &mut model, 512, nsys, padded, false).expect("CR runs");
         println!("{name}: {nsys} systems x 512 equations (paper: 512)");
         rule(76);

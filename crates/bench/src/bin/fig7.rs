@@ -19,7 +19,12 @@ fn main() {
         "step", "warps", "ours (GB/s)", "paper (GB/s)"
     );
     rule(72);
-    let paper = [(1usize, 8u32, 1029.0), (2, 4, 723.0), (3, 2, 470.0), (4, 1, 330.0)];
+    let paper = [
+        (1usize, 8u32, 1029.0),
+        (2, 4, 723.0),
+        (3, 2, 470.0),
+        (4, 1, 330.0),
+    ];
     for (step, pwarps, pbw) in paper {
         let s = &r.analysis.stages[tridiag::FIRST_FORWARD_STAGE + step - 1];
         println!(
@@ -36,8 +41,8 @@ fn main() {
     println!("\nFigure 7b: shared transactions per forward step (warp-equivalents)");
     rule(72);
     println!(
-        "{:>8} {:>18} {:>18}  {}",
-        "step", "with conflicts", "conflict-free", "paper (512 sys): 139264 flat vs halving"
+        "{:>8} {:>18} {:>18}  paper (512 sys): 139264 flat vs halving",
+        "step", "with conflicts", "conflict-free"
     );
     rule(72);
     let scale = 512.0 / f64::from(nsys); // report at the paper's 512 systems

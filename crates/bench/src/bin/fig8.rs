@@ -35,8 +35,14 @@ fn main() {
     rule(88);
     let speedup = results[0].measured_seconds() / results[1].measured_seconds();
     let what_if = model.what_if_no_bank_conflicts(&results[0].input);
-    println!("measured speedup CR → CR-NBC: x{speedup:.2} (paper: x1.62, {})", vs_paper(speedup, 1.62));
-    println!("model's a-priori estimate of removing conflicts: x{:.2} (paper model: x1.83)", what_if.speedup);
+    println!(
+        "measured speedup CR → CR-NBC: x{speedup:.2} (paper: x1.62, {})",
+        vs_paper(speedup, 1.62)
+    );
+    println!(
+        "model's a-priori estimate of removing conflicts: x{:.2} (paper model: x1.83)",
+        what_if.speedup
+    );
     println!("paper: CR dominated by shared-memory time, CR-NBC by instruction time;");
     println!("measured vs simulated within 7% (paper), see error column for ours.");
 }

@@ -14,7 +14,12 @@ fn main() {
         "type", "FUs/SM", "examples", "peak (Ginstr/s)", "measured"
     );
     rule(78);
-    let examples = ["mul", "mov, add, mad", "sin, cos, lg2, rcp", "double precision"];
+    let examples = [
+        "mul",
+        "mov, add, mad",
+        "sin, cos, lg2, rcp",
+        "double precision",
+    ];
     for class in InstrClass::ALL {
         let peak = m.peak_warp_instruction_throughput(class) / 1e9;
         let meas = c.instruction_throughput(class, 32) / 1e9;
@@ -32,7 +37,10 @@ fn main() {
         "peak MAD throughput:      {:>8.1} Ginstr/s (paper: 11.1)",
         m.peak_warp_instruction_throughput(InstrClass::TypeII) / 1e9
     );
-    println!("peak single-precision:    {:>8.1} GFLOPS   (paper: 710.4)", m.peak_flops_sp() / 1e9);
+    println!(
+        "peak single-precision:    {:>8.1} GFLOPS   (paper: 710.4)",
+        m.peak_flops_sp() / 1e9
+    );
     println!(
         "peak shared bandwidth:    {:>8.1} GB/s     (paper: 1420)",
         m.peak_shared_bandwidth() / 1e9

@@ -20,16 +20,14 @@ fn main() {
     let n = 512u64;
     let mm = matmul::run(&m, &mut model, n as u32, 16, false).unwrap();
     // Algorithmic counts: 2n^3 flops; 3 n^2 matrix elements moved once.
-    let trad = traditional_analysis(
-        &m,
-        2 * n * n * n,
-        3 * n * n * 4,
-        mm.measured_seconds(),
-        0.5,
-    );
+    let trad = traditional_analysis(&m, 2 * n * n * n, 3 * n * n * 4, mm.measured_seconds(), 0.5);
     println!("matmul 16x16 (n={n}):");
     println!("  traditional:  {trad}");
-    println!("  quantitative: bottleneck {} (density {:.0}%)", mm.analysis.bottleneck, mm.analysis.computational_density * 100.0);
+    println!(
+        "  quantitative: bottleneck {} (density {:.0}%)",
+        mm.analysis.bottleneck,
+        mm.analysis.computational_density * 100.0
+    );
 
     // ---- cyclic reduction, 128 systems ----
     let nsys = 128u64;

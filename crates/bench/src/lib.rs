@@ -52,7 +52,10 @@ pub fn curves(machine: &Machine) -> ThroughputCurves {
             }
         }
     }
-    eprintln!("measuring throughput curves (cached at {})...", path.display());
+    eprintln!(
+        "measuring throughput curves (cached at {})...",
+        path.display()
+    );
     let c = ThroughputCurves::measure_with(machine, MeasureOpts::paper());
     if let Ok(json) = c.to_json() {
         let _ = fs::write(&path, json);

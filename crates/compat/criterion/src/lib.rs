@@ -1,0 +1,175 @@
+#![warn(missing_docs)]
+
+//! Minimal, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the Criterion API its benches use:
+//! [`Criterion`] with `sample_size` and `bench_function`, [`Bencher`] with
+//! `iter` / `iter_batched`, [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is a plain wall-clock median over `sample_size` samples — good
+//! enough to spot order-of-magnitude regressions, with no statistics,
+//! plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// in this shim (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2].as_nanos()
+    }
+}
+
+/// Benchmark driver (registration + reporting).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark and print its median time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let ns = b.median_ns();
+        let (value, unit) = if ns >= 1_000_000_000 {
+            (ns as f64 / 1e9, "s")
+        } else if ns >= 1_000_000 {
+            (ns as f64 / 1e6, "ms")
+        } else if ns >= 1_000 {
+            (ns as f64 / 1e3, "µs")
+        } else {
+            (ns as f64, "ns")
+        };
+        println!(
+            "{id:<40} median {value:>10.3} {unit} ({} samples)",
+            self.sample_size
+        );
+        self
+    }
+}
+
+/// Group benchmark functions under one registration entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 64],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(smoke, quick);
+
+    #[test]
+    fn group_runs() {
+        smoke();
+    }
+}

@@ -5,11 +5,10 @@ use crate::analysis::{Component, Model};
 use crate::input::ModelInput;
 use gpa_hw::occupancy;
 use gpa_sim::stats::GRAN_GT200;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Outcome of a hypothetical change.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WhatIf {
     /// Short identifier (e.g. `"no-bank-conflicts"`).
     pub name: String,
@@ -102,8 +101,10 @@ impl Model<'_> {
         let mut modified = input.clone();
         for s in &mut modified.stats.stages {
             s.gmem[GRAN_GT200].bytes = s.gmem_requested_bytes;
-            s.gmem[GRAN_GT200].transactions =
-                s.gmem_requested_bytes.div_ceil(128).max(u64::from(s.gmem_requested_bytes > 0));
+            s.gmem[GRAN_GT200].transactions = s
+                .gmem_requested_bytes
+                .div_ceil(128)
+                .max(u64::from(s.gmem_requested_bytes > 0));
         }
         self.what_if(
             input,

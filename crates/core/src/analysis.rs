@@ -5,11 +5,10 @@ use gpa_hw::{InstrClass, Machine};
 use gpa_sim::stats::{StageStats, GRAN_GT200};
 use gpa_ubench::gmem::GmemConfig;
 use gpa_ubench::{GmemBench, MeasureOpts, ThroughputCurves};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three GPU execution components the model prices (paper §3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// Instruction issue/execution.
     InstructionPipeline,
@@ -31,7 +30,7 @@ impl fmt::Display for Component {
 }
 
 /// Predicted seconds per component.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ComponentTimes {
     /// Instruction-pipeline seconds.
     pub instr: f64,
@@ -82,11 +81,10 @@ impl ComponentTimes {
         .max_by(|a, z| self.get(*a).total_cmp(&self.get(*z)))
         .expect("two candidates remain")
     }
-
 }
 
 /// Bottleneck causes, following the paper's §3 catalogue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Cause {
     /// Few of the issued instructions do "actual computation".
     LowComputationalDensity {
@@ -138,10 +136,17 @@ impl fmt::Display for Cause {
                 write!(f, "low computational density ({:.0}% MAD)", density * 100.0)
             }
             Cause::ExpensiveInstructions { fraction } => {
-                write!(f, "expensive (Type III/IV) instructions ({:.0}%)", fraction * 100.0)
+                write!(
+                    f,
+                    "expensive (Type III/IV) instructions ({:.0}%)",
+                    fraction * 100.0
+                )
             }
             Cause::InsufficientWarpsForPipeline { warps } => {
-                write!(f, "insufficient warps for the instruction pipeline ({warps}/SM)")
+                write!(
+                    f,
+                    "insufficient warps for the instruction pipeline ({warps}/SM)"
+                )
             }
             Cause::BankConflicts { factor } => {
                 write!(f, "bank conflicts (×{factor:.2} transactions)")
@@ -150,7 +155,11 @@ impl fmt::Display for Cause {
                 write!(f, "insufficient warps for shared memory ({warps}/SM)")
             }
             Cause::UncoalescedAccesses { efficiency } => {
-                write!(f, "uncoalesced accesses ({:.0}% efficiency)", efficiency * 100.0)
+                write!(
+                    f,
+                    "uncoalesced accesses ({:.0}% efficiency)",
+                    efficiency * 100.0
+                )
             }
             Cause::LargeTransactionGranularity { reduction_at_16b } => {
                 write!(
@@ -170,7 +179,7 @@ impl fmt::Display for Cause {
 }
 
 /// Analysis of one synchronization stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageAnalysis {
     /// Stage index (barrier intervals, 0-based).
     pub stage: usize,
@@ -193,7 +202,7 @@ pub struct StageAnalysis {
 }
 
 /// Complete model output for one launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// Kernel name.
     pub kernel_name: String,
@@ -358,8 +367,7 @@ impl<'m> Model<'m> {
         for class in InstrClass::ALL {
             let n = s.instr_by_class[class.index()];
             if n > 0 {
-                instr_time +=
-                    n as f64 / self.curves.instruction_throughput(class, warps_instr);
+                instr_time += n as f64 / self.curves.instruction_throughput(class, warps_instr);
             }
         }
         instr_time /= coverage;
@@ -385,11 +393,7 @@ impl<'m> Model<'m> {
             // Saturation is reached well before 60 blocks; beyond that the
             // cluster imbalance is negligible, so cap the synthetic run.
             let bench_blocks = if blocks <= 60 { blocks as u32 } else { 60 };
-            let cfg = GmemConfig::new(
-                bench_blocks,
-                input.launch.threads_per_block(),
-                mpt,
-            );
+            let cfg = GmemConfig::new(bench_blocks, input.launch.threads_per_block(), mpt);
             let bw = self.gmem_bench.bandwidth(cfg);
             (hw.bytes as f64 / bw, bw)
         };
@@ -430,11 +434,12 @@ impl<'m> Model<'m> {
                 if density < 0.5 && s.instr_total() > 0 {
                     causes.push(Cause::LowComputationalDensity { density });
                 }
-                let expensive = (s.instr(InstrClass::TypeIII) + s.instr(InstrClass::TypeIV))
-                    as f64
+                let expensive = (s.instr(InstrClass::TypeIII) + s.instr(InstrClass::TypeIV)) as f64
                     / s.instr_total().max(1) as f64;
                 if expensive > 0.1 {
-                    causes.push(Cause::ExpensiveInstructions { fraction: expensive });
+                    causes.push(Cause::ExpensiveInstructions {
+                        fraction: expensive,
+                    });
                 }
                 if warps_instr < 6 {
                     causes.push(Cause::InsufficientWarpsForPipeline { warps: warps_instr });
@@ -475,4 +480,4 @@ impl<'m> Model<'m> {
 
 #[cfg(test)]
 #[path = "analysis_tests.rs"]
-mod tests;
+mod analysis_tests;

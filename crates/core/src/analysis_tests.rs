@@ -123,7 +123,13 @@ fn streaming_kernel(loads_per_thread: u32) -> Kernel {
         b.ld_global(*d, MemAddr::new(Some(addr), j as i32 * 1024), Width::B32);
     }
     b.iadd(i, Src::Reg(i), Src::Imm(4));
-    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(loads_per_thread as i32));
+    b.setp(
+        Pred(0),
+        CmpOp::Lt,
+        NumTy::S32,
+        Src::Reg(i),
+        Src::Imm(loads_per_thread as i32),
+    );
     b.bra_if(Pred(0), false, "top");
     b.exit();
     b.declare_resources(KernelResources::new(12, 0, 256));
@@ -132,11 +138,19 @@ fn streaming_kernel(loads_per_thread: u32) -> Kernel {
 
 #[test]
 fn component_times_ordering() {
-    let t = ComponentTimes { instr: 3.0, smem: 2.0, gmem: 1.0 };
+    let t = ComponentTimes {
+        instr: 3.0,
+        smem: 2.0,
+        gmem: 1.0,
+    };
     assert_eq!(t.bottleneck(), Component::InstructionPipeline);
     assert_eq!(t.second_bottleneck(), Component::SharedMemory);
     assert_eq!(t.max(), 3.0);
-    let t = ComponentTimes { instr: 1.0, smem: 1.0, gmem: 5.0 };
+    let t = ComponentTimes {
+        instr: 1.0,
+        smem: 1.0,
+        gmem: 5.0,
+    };
     assert_eq!(t.bottleneck(), Component::GlobalMemory);
     assert_eq!(t.get(Component::SharedMemory), 1.0);
 }
@@ -169,7 +183,11 @@ fn conflicted_kernel_is_shared_memory_bound() {
     let mut model = model();
     let a = model.analyze(&input);
     assert_eq!(a.bottleneck, Component::SharedMemory);
-    assert!(a.bank_conflict_factor > 1.8, "factor {}", a.bank_conflict_factor);
+    assert!(
+        a.bank_conflict_factor > 1.8,
+        "factor {}",
+        a.bank_conflict_factor
+    );
     let err = (a.predicted_seconds - measured).abs() / measured;
     // Conflict replay costs in the hardware exceed what the transaction ×
     // bandwidth model charges (the paper's CR prediction ran ~5% high on
@@ -182,10 +200,10 @@ fn conflicted_kernel_is_shared_memory_bound() {
         err * 100.0
     );
     // The stage causes should name bank conflicts.
-    assert!(a
-        .stages
+    assert!(a.stages.iter().any(|s| s
+        .causes
         .iter()
-        .any(|s| s.causes.iter().any(|c| matches!(c, Cause::BankConflicts { .. }))));
+        .any(|c| matches!(c, Cause::BankConflicts { .. }))));
 }
 
 #[test]
@@ -313,7 +331,11 @@ fn max_blocks_what_if_raises_occupancy() {
     assert_eq!(input.occupancy.active_warps, 16);
     let mut model = model();
     let w = model.what_if_max_blocks(&input, 16);
-    assert!(w.speedup >= 1.0, "more blocks must not hurt: ×{:.3}", w.speedup);
+    assert!(
+        w.speedup >= 1.0,
+        "more blocks must not hurt: ×{:.3}",
+        w.speedup
+    );
 }
 
 #[test]

@@ -2,12 +2,11 @@
 
 use gpa_hw::{occupancy, KernelResources, Machine, Occupancy};
 use gpa_sim::{DynamicStats, LaunchConfig};
-use serde::{Deserialize, Serialize};
 
 /// Everything the model needs about one kernel launch: the launch shape,
 /// the kernel's resource footprint (⇒ occupancy, paper Table 2), and the
 /// dynamic statistics from the functional simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelInput {
     /// Kernel name, for reports.
     pub kernel_name: String,
@@ -56,8 +55,10 @@ mod tests {
     #[test]
     fn extract_computes_occupancy() {
         let m = Machine::gtx285();
-        let mut stats = DynamicStats::default();
-        stats.blocks = 512;
+        let stats = DynamicStats {
+            blocks: 512,
+            ..Default::default()
+        };
         let input = extract(
             &m,
             "cr",

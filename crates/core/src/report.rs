@@ -35,7 +35,11 @@ pub fn render(a: &Analysis) -> String {
         a.coalescing_efficiency * 100.0
     );
     if a.stages.len() > 1 {
-        let _ = writeln!(out, "stages (serialized total {:.4} ms):", a.serialized_seconds * 1e3);
+        let _ = writeln!(
+            out,
+            "stages (serialized total {:.4} ms):",
+            a.serialized_seconds * 1e3
+        );
         let _ = writeln!(
             out,
             "  {:>5} {:>12} {:>12} {:>12}  {:<20} {:>6} {:>6}",
@@ -58,7 +62,11 @@ pub fn render(a: &Analysis) -> String {
     let causes: Vec<String> = a
         .stages
         .iter()
-        .flat_map(|s| s.causes.iter().map(move |c| format!("stage {}: {}", s.stage, c)))
+        .flat_map(|s| {
+            s.causes
+                .iter()
+                .map(move |c| format!("stage {}: {}", s.stage, c))
+        })
         .collect();
     if !causes.is_empty() {
         let _ = writeln!(out, "diagnosed causes:");

@@ -17,11 +17,10 @@
 //! would give — which for CR is an unhelpful "bound by neither".
 
 use gpa_hw::Machine;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The traditional model's verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraditionalVerdict {
     /// Sustained FLOP rate is a large fraction of peak.
     ComputeBound,
@@ -44,7 +43,7 @@ impl fmt::Display for TraditionalVerdict {
 }
 
 /// Output of the traditional algorithmic analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraditionalAnalysis {
     /// Sustained FLOP/s from the algorithmic operation count.
     pub sustained_flops: f64,

@@ -1,6 +1,5 @@
 //! The machine description: an NVIDIA GTX 285 (GT200) and its peak rates.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Instruction classes of paper Table 1, grouped by how many functional
@@ -12,7 +11,7 @@ use std::fmt;
 /// | II    | 8      | `mov`, `add`, `mad` |
 /// | III   | 4      | `sin`, `cos`, `lg2`, `rcp` |
 /// | IV    | 1      | double-precision floating point |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstrClass {
     /// Single-precision multiply: 10 functional units (8 FPU + 2 SFU).
     TypeI,
@@ -63,12 +62,12 @@ impl fmt::Display for InstrClass {
 }
 
 /// Identifier of a streaming multiprocessor, `0..machine.num_sms`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SmId(pub u32);
 
 /// Identifier of a TPC cluster (3 SMs sharing one memory pipeline on GT200),
 /// `0..machine.num_clusters`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub u32);
 
 impl fmt::Display for SmId {
@@ -88,7 +87,7 @@ impl fmt::Display for ClusterId {
 /// All fields are public: this is a passive record of hardware facts, and
 /// experiments deliberately construct perturbed machines (e.g. "what if the
 /// SM allowed 16 resident blocks?", paper §5.1) by mutating a copy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// Marketing name, e.g. `"GeForce GTX 285"`.
     pub name: String,

@@ -5,13 +5,12 @@
 //! of resident blocks; the binding ceiling is the [`Limiter`].
 
 use crate::machine::Machine;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Static resource demands of a kernel launch, as reported by the compiler
 /// (paper Figure 1: "Register, shared memory usage" flows from NVCC into the
 /// occupancy computation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelResources {
     /// 32-bit registers per thread.
     pub regs_per_thread: u32,
@@ -35,7 +34,7 @@ impl KernelResources {
 
 /// Which hardware ceiling binds the number of resident blocks (paper §4.1
 /// lists the five ceilings: registers, shared memory, threads, blocks, warps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Limiter {
     /// The 16384-register file.
     Registers,
@@ -60,7 +59,7 @@ impl fmt::Display for Limiter {
 }
 
 /// Result of the occupancy computation for one SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Occupancy {
     /// Ceiling imposed by the register file alone.
     pub blocks_by_regs: u32,
@@ -137,11 +136,10 @@ pub fn occupancy(machine: &Machine, res: KernelResources) -> Occupancy {
         machine.regs_per_sm / per_block
     };
 
-    let blocks_by_smem = if res.smem_per_block == 0 {
-        machine.max_blocks_per_sm
-    } else {
-        machine.smem_per_sm / res.smem_per_block
-    };
+    let blocks_by_smem = machine
+        .smem_per_sm
+        .checked_div(res.smem_per_block)
+        .unwrap_or(machine.max_blocks_per_sm);
 
     let blocks_by_threads = (machine.max_threads_per_sm / res.threads_per_block)
         .min(machine.max_warps_per_sm / warps_per_block);
@@ -313,6 +311,113 @@ mod tests {
             prop_assert!(occ.blocks <= m().max_blocks_per_sm);
             prop_assert!(occ.active_warps <= m().max_warps_per_sm);
             prop_assert!(occ.fraction(&m()) <= 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    //! Exact-boundary behaviour of each ceiling: the register allocation
+    //! cliff at the 512-register unit, shared memory at and just past an
+    //! exact divisor of the 16 KB SM budget, the thread/warp ceiling, and
+    //! the 8-resident-block hardware limit.
+
+    use super::*;
+
+    fn m() -> Machine {
+        Machine::gtx285()
+    }
+
+    #[test]
+    fn register_alloc_unit_cliff() {
+        // 64-thread blocks = 2 warps: the per-block footprint is
+        // regs × 2 × 32, rounded up to a 512-register unit.
+        // 8 regs → exactly 512 → 32 blocks by registers.
+        let at_unit = occupancy(&m(), KernelResources::new(8, 0, 64));
+        assert_eq!(at_unit.blocks_by_regs, 32);
+        // One more register crosses into the next unit: 576 → 1024 → 16.
+        let past_unit = occupancy(&m(), KernelResources::new(9, 0, 64));
+        assert_eq!(past_unit.blocks_by_regs, 16);
+    }
+
+    #[test]
+    fn register_file_exactly_consumed_by_one_block() {
+        // 512-thread block, 32 regs/thread: 32 × 16 warps × 32 lanes =
+        // 16384 = the whole file → exactly one block.
+        let fits = occupancy(&m(), KernelResources::new(32, 0, 512));
+        assert_eq!(fits.blocks_by_regs, 1);
+        assert_eq!(fits.blocks, 1);
+        assert_eq!(fits.limiter, Limiter::Registers);
+        // One more register and no block fits at all.
+        let too_big = occupancy(&m(), KernelResources::new(33, 0, 512));
+        assert_eq!(too_big.blocks_by_regs, 0);
+        assert_eq!(too_big.blocks, 0);
+        assert_eq!(too_big.active_warps, 0);
+    }
+
+    #[test]
+    fn smem_boundary_at_exact_divisor() {
+        // 2048 B divides 16 KB exactly 8 ways — the block limit binds, not
+        // shared memory.
+        let exact = occupancy(&m(), KernelResources::new(4, 2048, 64));
+        assert_eq!(exact.blocks_by_smem, 8);
+        assert_eq!(exact.blocks, 8);
+        assert_eq!(exact.limiter, Limiter::Blocks);
+        // One byte more drops the smem ceiling to 7 and makes it binding.
+        let over = occupancy(&m(), KernelResources::new(4, 2049, 64));
+        assert_eq!(over.blocks_by_smem, 7);
+        assert_eq!(over.blocks, 7);
+        assert_eq!(over.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn smem_larger_than_sm_fits_no_block() {
+        let occ = occupancy(&m(), KernelResources::new(4, 16_385, 64));
+        assert_eq!(occ.blocks, 0);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn thread_ceiling_binds_exactly_at_sm_capacity() {
+        // 128-thread blocks: 8 × 128 = 1024 threads — the thread ceiling
+        // equals the block limit, which is reported as the limiter.
+        let exact = occupancy(&m(), KernelResources::new(4, 0, 128));
+        assert_eq!(exact.blocks_by_threads, 8);
+        assert_eq!(exact.blocks, 8);
+        assert_eq!(exact.active_warps, 32);
+        assert_eq!(exact.limiter, Limiter::Blocks);
+        // 256-thread blocks: only 4 fit → threads become the limiter.
+        let bound = occupancy(&m(), KernelResources::new(4, 0, 256));
+        assert_eq!(bound.blocks_by_threads, 4);
+        assert_eq!(bound.blocks, 4);
+        assert_eq!(bound.limiter, Limiter::Threads);
+    }
+
+    #[test]
+    fn partial_warps_round_up() {
+        // 33 threads occupy two warps; 8 resident blocks → 16 warps.
+        let occ = occupancy(&m(), KernelResources::new(4, 0, 33));
+        assert_eq!(occ.warps_per_block, 2);
+        assert_eq!(occ.blocks, 8);
+        assert_eq!(occ.active_warps, 16);
+    }
+
+    #[test]
+    fn fraction_matches_table2_rows() {
+        // Paper Table 2 occupancy column: 16, 16, and 6 warps of 32.
+        let m = m();
+        let rows = [
+            (KernelResources::new(16, 348, 64), 0.5),
+            (KernelResources::new(30, 1088, 64), 0.5),
+            (KernelResources::new(58, 4284, 64), 0.1875),
+        ];
+        for (res, expected) in rows {
+            let occ = occupancy(&m, res);
+            assert!(
+                (occ.fraction(&m) - expected).abs() < 1e-12,
+                "{res:?}: {}",
+                occ.fraction(&m)
+            );
         }
     }
 }

@@ -126,10 +126,7 @@ pub fn kernel_to_asm(kernel: &Kernel) -> String {
         .collect();
     targets.sort_unstable();
     targets.dedup();
-    let label_of: HashMap<u32, String> = targets
-        .iter()
-        .map(|t| (*t, format!("L{t}")))
-        .collect();
+    let label_of: HashMap<u32, String> = targets.iter().map(|t| (*t, format!("L{t}"))).collect();
 
     let mut out = String::new();
     let _ = writeln!(out, ".kernel {}", kernel.name);
@@ -266,8 +263,8 @@ fn parse_pred(tok: &str, line: usize) -> Result<Pred, AsmError> {
 fn parse_addr(inner: &str, line: usize) -> Result<MemAddr, AsmError> {
     // Forms: `r3`, `r3+0x10`, `r3-0x10`, `0x10`, `-0x10`, decimal offsets.
     let inner = inner.trim();
-    if inner.starts_with('r') {
-        if let Some(pos) = inner[1..].find(['+', '-']).map(|p| p + 1) {
+    if let Some(rest) = inner.strip_prefix('r') {
+        if let Some(pos) = rest.find(['+', '-']).map(|p| p + 1) {
             let base = parse_reg(&inner[..pos], line)?;
             let sign = if inner.as_bytes()[pos] == b'-' { -1 } else { 1 };
             let off = parse_num(&inner[pos + 1..], line)?;
@@ -414,7 +411,7 @@ fn parse_instruction_with(
             need(2)?;
             Op::MovImm {
                 d: parse_reg(&ops[0], ln)?,
-                imm: parse_num(&ops[1], ln)? as i64 as u32,
+                imm: parse_num(&ops[1], ln)? as u32,
             }
         }
         "s2r" => {
@@ -424,7 +421,10 @@ fn parse_instruction_with(
                 .find(|s| s.mnemonic() == ops[1])
                 .copied()
                 .ok_or_else(|| AsmError::new(ln, format!("bad special register `{}`", ops[1])))?;
-            Op::S2R { d: parse_reg(&ops[0], ln)?, sr }
+            Op::S2R {
+                d: parse_reg(&ops[0], ln)?,
+                sr,
+            }
         }
         "sel.b32" => {
             need(4)?;
@@ -499,8 +499,10 @@ fn parse_instruction_with(
                 b: parse_src(&ops[2], ln)?,
             }
         }
-        m if m.starts_with("ld.shared.") || m.starts_with("st.shared.")
-            || m.starts_with("ld.global.") || m.starts_with("st.global.") =>
+        m if m.starts_with("ld.shared.")
+            || m.starts_with("st.shared.")
+            || m.starts_with("ld.global.")
+            || m.starts_with("st.global.") =>
         {
             need(2)?;
             let width = mem_width(m.rsplit('.').next().unwrap())?;
@@ -521,10 +523,26 @@ fn parse_instruction_with(
             let addr = parse_addr(inner, ln)?;
             let reg = parse_reg(reg_tok, ln)?;
             match (is_load, is_shared) {
-                (true, true) => Op::LdShared { d: reg, addr, width },
-                (false, true) => Op::StShared { addr, src: reg, width },
-                (true, false) => Op::LdGlobal { d: reg, addr, width },
-                (false, false) => Op::StGlobal { addr, src: reg, width },
+                (true, true) => Op::LdShared {
+                    d: reg,
+                    addr,
+                    width,
+                },
+                (false, true) => Op::StShared {
+                    addr,
+                    src: reg,
+                    width,
+                },
+                (true, false) => Op::LdGlobal {
+                    d: reg,
+                    addr,
+                    width,
+                },
+                (false, false) => Op::StGlobal {
+                    addr,
+                    src: reg,
+                    width,
+                },
             }
         }
         "ld.param.b32" => {
@@ -573,7 +591,10 @@ mod tests {
                 width: Width::B128,
             },
         ));
-        rt_line(Instruction::new(Op::MovImm { d: Reg(1), imm: 0x3f80_0000 }));
+        rt_line(Instruction::new(Op::MovImm {
+            d: Reg(1),
+            imm: 0x3f80_0000,
+        }));
         rt_line(Instruction::new(Op::SetP {
             p: Pred(0),
             cmp: CmpOp::Lt,
@@ -587,9 +608,20 @@ mod tests {
             a: Src::Reg(Reg(1)),
             b: Src::Imm(-1),
         }));
-        rt_line(Instruction::new(Op::S2R { d: Reg(0), sr: SpecialReg::NCtaIdX }));
-        rt_line(Instruction::new(Op::DFma { d: Reg(0), a: Reg(2), b: Reg(4), c: Reg(6) }));
-        rt_line(Instruction::new(Op::LdParam { d: Reg(9), offset: 8 }));
+        rt_line(Instruction::new(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::NCtaIdX,
+        }));
+        rt_line(Instruction::new(Op::DFma {
+            d: Reg(0),
+            a: Reg(2),
+            b: Reg(4),
+            c: Reg(6),
+        }));
+        rt_line(Instruction::new(Op::LdParam {
+            d: Reg(9),
+            offset: 8,
+        }));
         rt_line(Instruction::new(Op::Bar));
         rt_line(Instruction::new(Op::Bra { target: 42 }));
         rt_line(Instruction::new(Op::Exit));
@@ -602,7 +634,11 @@ mod tests {
             "loopy",
             vec![
                 Instruction::new(Op::MovImm { d: Reg(0), imm: 0 }),
-                Instruction::new(Op::IAdd { d: Reg(0), a: Src::Reg(Reg(0)), b: Src::Imm(1) }),
+                Instruction::new(Op::IAdd {
+                    d: Reg(0),
+                    a: Src::Reg(Reg(0)),
+                    b: Src::Imm(1),
+                }),
                 Instruction::new(Op::SetP {
                     p: Pred(0),
                     cmp: CmpOp::Lt,

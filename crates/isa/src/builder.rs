@@ -61,9 +61,14 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
-            BuildError::OutOfRegisters => write!(f, "register allocator exhausted (128 per thread)"),
+            BuildError::OutOfRegisters => {
+                write!(f, "register allocator exhausted (128 per thread)")
+            }
             BuildError::OutOfSharedMemory { requested } => {
-                write!(f, "shared-memory allocation of {requested} B exceeds the 16 KB arena")
+                write!(
+                    f,
+                    "shared-memory allocation of {requested} B exceeds the 16 KB arena"
+                )
             }
             BuildError::Validate(e) => write!(f, "built kernel failed validation: {e}"),
         }
@@ -509,11 +514,8 @@ impl KernelBuilder {
                 _ => unreachable!("fixup on a non-branch"),
             }
         }
-        let computed = KernelResources::new(
-            self.high_water,
-            self.smem_cursor,
-            self.threads_per_block,
-        );
+        let computed =
+            KernelResources::new(self.high_water, self.smem_cursor, self.threads_per_block);
         let resources = self.declared.unwrap_or(computed);
         let kernel = Kernel::new(self.name, instrs, resources, self.param_cursor);
         kernel.validate()?;
@@ -557,7 +559,10 @@ mod tests {
         b.nop();
         b.label("x");
         b.exit();
-        assert_eq!(b.finish().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]
@@ -581,7 +586,7 @@ mod tests {
         let _ = b.alloc_reg().unwrap(); // r0
         let quad = b.alloc_contig(4).unwrap();
         assert_eq!(quad, Reg(4)); // aligned to 4
-        // The padding r1..r3 is recycled.
+                                  // The padding r1..r3 is recycled.
         let r = b.alloc_reg().unwrap();
         assert!(r.0 >= 1 && r.0 <= 3);
     }
@@ -616,7 +621,13 @@ mod tests {
         b.mov_imm(r, 8);
         b.exit();
         let k = b.finish().unwrap();
-        assert_eq!(k.instrs[0].guard, Some(PredGuard { pred: Pred(1), negate: true }));
+        assert_eq!(
+            k.instrs[0].guard,
+            Some(PredGuard {
+                pred: Pred(1),
+                negate: true
+            })
+        );
         assert_eq!(k.instrs[1].guard, None);
     }
 

@@ -61,10 +61,8 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Op::Exit => {
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
+                Op::Exit if i + 1 < n => {
+                    leader[i + 1] = true;
                 }
                 _ => {}
             }
@@ -73,53 +71,74 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of_instr = vec![0usize; n];
         let mut start = 0usize;
-        for i in 0..n {
-            if i > start && leader[i] {
-                blocks.push(BasicBlock { start, end: i, succs: Vec::new() });
+        for (i, &lead) in leader.iter().enumerate() {
+            if i > start && lead {
+                blocks.push(BasicBlock {
+                    start,
+                    end: i,
+                    succs: Vec::new(),
+                });
                 start = i;
             }
         }
-        blocks.push(BasicBlock { start, end: n, succs: Vec::new() });
+        blocks.push(BasicBlock {
+            start,
+            end: n,
+            succs: Vec::new(),
+        });
         for (bi, b) in blocks.iter().enumerate() {
-            for j in b.start..b.end {
-                block_of_instr[j] = bi;
-            }
+            block_of_instr[b.start..b.end].fill(bi);
         }
 
         // Successors.
         let nb = blocks.len();
-        for bi in 0..nb {
-            let last = blocks[bi].end - 1;
-            let succs = match instrs[last] {
-                Instruction { guard, op: Op::Bra { target } } => {
-                    let mut s = Vec::new();
-                    if (target as usize) < n {
-                        s.push(block_of_instr[target as usize]);
+        let succ_lists: Vec<Vec<usize>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| {
+                let last = b.end - 1;
+                match instrs[last] {
+                    Instruction {
+                        guard,
+                        op: Op::Bra { target },
+                    } => {
+                        let mut s = Vec::new();
+                        if (target as usize) < n {
+                            s.push(block_of_instr[target as usize]);
+                        }
+                        // A guarded branch can fall through.
+                        if guard.is_some() && bi + 1 < nb {
+                            s.push(bi + 1);
+                        }
+                        s
                     }
-                    // A guarded branch can fall through.
-                    if guard.is_some() && bi + 1 < nb {
-                        s.push(bi + 1);
+                    Instruction {
+                        guard: None,
+                        op: Op::Exit,
+                    } => Vec::new(),
+                    Instruction {
+                        guard: Some(_),
+                        op: Op::Exit,
+                    } => {
+                        // Guarded exit: some lanes fall through.
+                        if bi + 1 < nb {
+                            vec![bi + 1]
+                        } else {
+                            Vec::new()
+                        }
                     }
-                    s
+                    _ => {
+                        if bi + 1 < nb {
+                            vec![bi + 1]
+                        } else {
+                            Vec::new()
+                        }
+                    }
                 }
-                Instruction { guard: None, op: Op::Exit } => Vec::new(),
-                Instruction { guard: Some(_), op: Op::Exit } => {
-                    // Guarded exit: some lanes fall through.
-                    if bi + 1 < nb {
-                        vec![bi + 1]
-                    } else {
-                        Vec::new()
-                    }
-                }
-                _ => {
-                    if bi + 1 < nb {
-                        vec![bi + 1]
-                    } else {
-                        Vec::new()
-                    }
-                }
-            };
-            blocks[bi].succs = succs;
+            })
+            .collect();
+        for (b, succs) in blocks.iter_mut().zip(succ_lists) {
+            b.succs = succs;
         }
 
         let ipdom = compute_ipdom(&blocks);
@@ -324,9 +343,17 @@ mod tests {
     fn real_op_blocks() {
         // Make sure non-control instructions don't split blocks.
         let instrs = [
-            Instruction::new(Op::IAdd { d: Reg(0), a: Src::Reg(Reg(0)), b: Src::Imm(1) }),
+            Instruction::new(Op::IAdd {
+                d: Reg(0),
+                a: Src::Reg(Reg(0)),
+                b: Src::Imm(1),
+            }),
             Instruction::new(Op::Bar),
-            Instruction::new(Op::IAdd { d: Reg(1), a: Src::Reg(Reg(1)), b: Src::Imm(1) }),
+            Instruction::new(Op::IAdd {
+                d: Reg(1),
+                a: Src::Reg(Reg(1)),
+                b: Src::Imm(1),
+            }),
             exit(),
         ];
         let cfg = Cfg::build(&instrs);

@@ -482,32 +482,86 @@ pub fn decode(w: u64) -> Result<Instruction, DecodeError> {
     let guard = decode_guard(w);
     let d = Reg(((w >> 44) & 0xFF) as u8);
     let op = match opcode {
-        OP_FMUL => Op::FMul { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_FADD => Op::FAdd { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_FMUL => Op::FMul {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_FADD => Op::FAdd {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
         OP_FMAD => Op::FMad {
             d,
             a: decode_src(w, 0)?,
             b: decode_src(w, 1)?,
             c: decode_src(w, 2)?,
         },
-        OP_IADD => Op::IAdd { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_ISUB => Op::ISub { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_IMUL => Op::IMul { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
+        OP_IADD => Op::IAdd {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_ISUB => Op::ISub {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_IMUL => Op::IMul {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
         OP_IMAD => Op::IMad {
             d,
             a: decode_src(w, 0)?,
             b: decode_src(w, 1)?,
             c: decode_src(w, 2)?,
         },
-        OP_IMIN => Op::IMin { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_IMAX => Op::IMax { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_SHL => Op::Shl { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_SHR => Op::Shr { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_AND => Op::And { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_OR => Op::Or { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_XOR => Op::Xor { d, a: decode_src(w, 0)?, b: decode_src(w, 1)? },
-        OP_MOV => Op::Mov { d, a: decode_src(w, 0)? },
-        OP_MOVIMM => Op::MovImm { d, imm: (w & 0xFFFF_FFFF) as u32 },
+        OP_IMIN => Op::IMin {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_IMAX => Op::IMax {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_SHL => Op::Shl {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_SHR => Op::Shr {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_AND => Op::And {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_OR => Op::Or {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_XOR => Op::Xor {
+            d,
+            a: decode_src(w, 0)?,
+            b: decode_src(w, 1)?,
+        },
+        OP_MOV => Op::Mov {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_MOVIMM => Op::MovImm {
+            d,
+            imm: (w & 0xFFFF_FFFF) as u32,
+        },
         OP_S2R => {
             let idx = ((w >> 36) & 0xFF) as u8;
             let sr = SpecialReg::from_index(idx)
@@ -521,21 +575,60 @@ pub fn decode(w: u64) -> Result<Instruction, DecodeError> {
             let cmp = *CmpOp::ALL
                 .get(cmp_num)
                 .ok_or(DecodeError::BadSubfield("comparison", cmp_num as u8))?;
-            let ty = if (draw >> 5) & 1 == 1 { NumTy::F32 } else { NumTy::S32 };
-            Op::SetP { p, cmp, ty, a: decode_src(w, 0)?, b: decode_src(w, 1)? }
+            let ty = if (draw >> 5) & 1 == 1 {
+                NumTy::F32
+            } else {
+                NumTy::S32
+            };
+            Op::SetP {
+                p,
+                cmp,
+                ty,
+                a: decode_src(w, 0)?,
+                b: decode_src(w, 1)?,
+            }
         }
         OP_SEL => {
             let p = Pred(((w >> 20) & 0x3) as u8);
-            Op::Sel { d, p, a: decode_src(w, 0)?, b: decode_src(w, 1)? }
+            Op::Sel {
+                d,
+                p,
+                a: decode_src(w, 0)?,
+                b: decode_src(w, 1)?,
+            }
         }
-        OP_I2F => Op::I2F { d, a: decode_src(w, 0)? },
-        OP_F2I => Op::F2I { d, a: decode_src(w, 0)? },
-        OP_RCP => Op::Rcp { d, a: decode_src(w, 0)? },
-        OP_RSQ => Op::Rsq { d, a: decode_src(w, 0)? },
-        OP_SIN => Op::Sin { d, a: decode_src(w, 0)? },
-        OP_COS => Op::Cos { d, a: decode_src(w, 0)? },
-        OP_LG2 => Op::Lg2 { d, a: decode_src(w, 0)? },
-        OP_EX2 => Op::Ex2 { d, a: decode_src(w, 0)? },
+        OP_I2F => Op::I2F {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_F2I => Op::F2I {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_RCP => Op::Rcp {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_RSQ => Op::Rsq {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_SIN => Op::Sin {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_COS => Op::Cos {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_LG2 => Op::Lg2 {
+            d,
+            a: decode_src(w, 0)?,
+        },
+        OP_EX2 => Op::Ex2 {
+            d,
+            a: decode_src(w, 0)?,
+        },
         OP_DADD | OP_DMUL | OP_DFMA => {
             let reg_of = |s: Src| match s {
                 Src::Reg(r) => Ok(r),
@@ -554,23 +647,44 @@ pub fn decode(w: u64) -> Result<Instruction, DecodeError> {
         }
         OP_LDS => {
             let (reg, addr, width) = decode_mem(w)?;
-            Op::LdShared { d: reg, addr, width }
+            Op::LdShared {
+                d: reg,
+                addr,
+                width,
+            }
         }
         OP_STS => {
             let (reg, addr, width) = decode_mem(w)?;
-            Op::StShared { addr, src: reg, width }
+            Op::StShared {
+                addr,
+                src: reg,
+                width,
+            }
         }
         OP_LDG => {
             let (reg, addr, width) = decode_mem(w)?;
-            Op::LdGlobal { d: reg, addr, width }
+            Op::LdGlobal {
+                d: reg,
+                addr,
+                width,
+            }
         }
         OP_STG => {
             let (reg, addr, width) = decode_mem(w)?;
-            Op::StGlobal { addr, src: reg, width }
+            Op::StGlobal {
+                addr,
+                src: reg,
+                width,
+            }
         }
-        OP_LDP => Op::LdParam { d, offset: (w & 0x3FFF) as u16 },
+        OP_LDP => Op::LdParam {
+            d,
+            offset: (w & 0x3FFF) as u16,
+        },
         OP_BAR => Op::Bar,
-        OP_BRA => Op::Bra { target: (w & 0xFFFF_FFFF) as u32 },
+        OP_BRA => Op::Bra {
+            target: (w & 0xFFFF_FFFF) as u32,
+        },
         OP_EXIT => Op::Exit,
         OP_NOP => Op::Nop,
         other => return Err(DecodeError::BadOpcode(other)),
@@ -626,8 +740,15 @@ mod tests {
             b: Src::Reg(r1),
             c: Src::Reg(r0),
         }));
-        rt(Instruction::new(Op::MovImm { d: r1, imm: 0x3f80_0000 }));
-        rt(Instruction::new(Op::IAdd { d: r0, a: Src::Reg(r1), b: Src::Imm(-4) }));
+        rt(Instruction::new(Op::MovImm {
+            d: r1,
+            imm: 0x3f80_0000,
+        }));
+        rt(Instruction::new(Op::IAdd {
+            d: r0,
+            a: Src::Reg(r1),
+            b: Src::Imm(-4),
+        }));
         rt(Instruction::guarded(
             Pred(2),
             true,
@@ -644,9 +765,22 @@ mod tests {
             a: Src::Reg(r0),
             b: Src::Reg(r1),
         }));
-        rt(Instruction::new(Op::Sel { d: r0, p: Pred(1), a: Src::Reg(r1), b: Src::Imm(0) }));
-        rt(Instruction::new(Op::S2R { d: r0, sr: SpecialReg::CtaIdY }));
-        rt(Instruction::new(Op::DFma { d: Reg(0), a: Reg(2), b: Reg(4), c: Reg(6) }));
+        rt(Instruction::new(Op::Sel {
+            d: r0,
+            p: Pred(1),
+            a: Src::Reg(r1),
+            b: Src::Imm(0),
+        }));
+        rt(Instruction::new(Op::S2R {
+            d: r0,
+            sr: SpecialReg::CtaIdY,
+        }));
+        rt(Instruction::new(Op::DFma {
+            d: Reg(0),
+            a: Reg(2),
+            b: Reg(4),
+            c: Reg(6),
+        }));
         rt(Instruction::new(Op::LdParam { d: r0, offset: 12 }));
         rt(Instruction::new(Op::Bar));
         rt(Instruction::new(Op::Bra { target: 123_456 }));
@@ -707,20 +841,33 @@ mod tests {
 
     #[test]
     fn bad_reg_rejected() {
-        let i = Instruction::new(Op::Mov { d: Reg(200), a: Src::Reg(Reg(0)) });
+        let i = Instruction::new(Op::Mov {
+            d: Reg(200),
+            a: Src::Reg(Reg(0)),
+        });
         assert_eq!(encode(&i), Err(EncodeError::BadReg(200)));
     }
 
     #[test]
     fn unknown_opcode_rejected() {
-        assert_eq!(decode(0xFF00_0000_0000_0000), Err(DecodeError::BadOpcode(0xFF)));
+        assert_eq!(
+            decode(0xFF00_0000_0000_0000),
+            Err(DecodeError::BadOpcode(0xFF))
+        );
     }
 
     #[test]
     fn kernel_stream_round_trips() {
         let prog = vec![
-            Instruction::new(Op::S2R { d: Reg(0), sr: SpecialReg::TidX }),
-            Instruction::new(Op::Shl { d: Reg(1), a: Src::Reg(Reg(0)), b: Src::Imm(2) }),
+            Instruction::new(Op::S2R {
+                d: Reg(0),
+                sr: SpecialReg::TidX,
+            }),
+            Instruction::new(Op::Shl {
+                d: Reg(1),
+                a: Src::Reg(Reg(0)),
+                b: Src::Imm(2),
+            }),
             Instruction::new(Op::LdGlobal {
                 d: Reg(2),
                 addr: MemAddr::new(Some(Reg(1)), 0),
@@ -742,15 +889,15 @@ mod tests {
         prop_oneof![
             arb_reg().prop_map(Src::Reg),
             (Src::MIN_IMM..=Src::MAX_IMM).prop_map(Src::Imm),
-            (proptest::option::of(arb_reg()), 0i32..16384)
-                .prop_map(|(b, o)| Src::smem(b, o)),
+            (proptest::option::of(arb_reg()), 0i32..16384).prop_map(|(b, o)| Src::smem(b, o)),
         ]
     }
 
     fn arb_guard() -> impl Strategy<Value = Option<PredGuard>> {
-        proptest::option::of(
-            ((0u8..4), any::<bool>()).prop_map(|(p, n)| PredGuard { pred: Pred(p), negate: n }),
-        )
+        proptest::option::of(((0u8..4), any::<bool>()).prop_map(|(p, n)| PredGuard {
+            pred: Pred(p),
+            negate: n,
+        }))
     }
 
     fn no_field_conflict(srcs: &[Src]) -> bool {

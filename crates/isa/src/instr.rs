@@ -8,11 +8,10 @@
 //! instruction classes via [`Op::class`].
 
 use gpa_hw::InstrClass;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-bit general-purpose register, `r0..r127`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -33,7 +32,7 @@ impl fmt::Display for Reg {
 }
 
 /// A predicate register, `p0..p3`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pred(pub u8);
 
 impl Pred {
@@ -55,7 +54,7 @@ impl fmt::Display for Pred {
 
 /// Guard on an instruction: execute only in lanes where the predicate holds
 /// (`@p0`) or does not (`@!p0`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PredGuard {
     /// The predicate register tested.
     pub pred: Pred,
@@ -74,7 +73,7 @@ impl fmt::Display for PredGuard {
 }
 
 /// Per-lane special registers readable with `s2r`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecialReg {
     /// Thread index within the block, x dimension.
     TidX,
@@ -142,7 +141,7 @@ impl fmt::Display for SpecialReg {
 ///
 /// With `base == None` the address is absolute (`offset` only). Offsets are
 /// byte offsets; the binary encoding limits them to 18 signed bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAddr {
     /// Optional base register (per-lane value).
     pub base: Option<Reg>,
@@ -189,7 +188,7 @@ impl fmt::Display for MemAddr {
 /// At most one `Imm` **or** one `SMem` operand may appear per instruction
 /// (they share the immediate field of the binary encoding); this is checked
 /// by [`crate::kernel::Kernel::validate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Src {
     /// A general-purpose register.
     Reg(Reg),
@@ -238,7 +237,7 @@ impl fmt::Display for Src {
 }
 
 /// Comparison operators for `setp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -310,7 +309,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// Scalar type selector for `setp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NumTy {
     /// Signed 32-bit integer.
     S32,
@@ -329,7 +328,7 @@ impl NumTy {
 }
 
 /// Memory access width per lane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Width {
     /// 4 bytes (one register).
     B32,
@@ -369,7 +368,7 @@ impl Width {
 /// Operand conventions: `d` is the destination register, `a`/`b`/`c` are
 /// sources. Double-precision operations treat `d`/sources as the low
 /// register of an aligned pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // operand fields follow the conventions above
 pub enum Op {
     // ---- Type I ----
@@ -411,7 +410,13 @@ pub enum Op {
     /// `d = special register` (`%tid.x` etc.).
     S2R { d: Reg, sr: SpecialReg },
     /// `p = a <cmp> b` on `ty`.
-    SetP { p: Pred, cmp: CmpOp, ty: NumTy, a: Src, b: Src },
+    SetP {
+        p: Pred,
+        cmp: CmpOp,
+        ty: NumTy,
+        a: Src,
+        b: Src,
+    },
     /// `d = p ? a : b`.
     Sel { d: Reg, p: Pred, a: Src, b: Src },
     /// `d = (f32)(s32)a`.
@@ -445,11 +450,19 @@ pub enum Op {
     /// Load `width` bytes from shared memory into `d..` .
     LdShared { d: Reg, addr: MemAddr, width: Width },
     /// Store `width` bytes from `src..` to shared memory.
-    StShared { addr: MemAddr, src: Reg, width: Width },
+    StShared {
+        addr: MemAddr,
+        src: Reg,
+        width: Width,
+    },
     /// Load `width` bytes from global memory into `d..` .
     LdGlobal { d: Reg, addr: MemAddr, width: Width },
     /// Store `width` bytes from `src..` to global memory.
-    StGlobal { addr: MemAddr, src: Reg, width: Width },
+    StGlobal {
+        addr: MemAddr,
+        src: Reg,
+        width: Width,
+    },
     /// Load a 32-bit kernel parameter word (byte `offset` into the
     /// parameter block).
     LdParam { d: Reg, offset: u16 },
@@ -595,12 +608,10 @@ impl Op {
 
     /// The shared-memory operand of an ALU instruction, if present.
     pub fn smem_operand(&self) -> Option<MemAddr> {
-        self.operands()
-            .into_iter()
-            .find_map(|s| match s {
-                Src::SMem(a) => Some(a),
-                _ => None,
-            })
+        self.operands().into_iter().find_map(|s| match s {
+            Src::SMem(a) => Some(a),
+            _ => None,
+        })
     }
 
     /// All `Src` operands of an ALU-style instruction (empty for memory and
@@ -653,7 +664,7 @@ impl Op {
 }
 
 /// A complete instruction: an optional predicate guard plus the operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Instruction {
     /// Lane guard; `None` executes in all active lanes.
     pub guard: Option<PredGuard>,
@@ -691,19 +702,39 @@ mod tests {
         let r = Reg(0);
         let s = Src::Reg(Reg(1));
         assert_eq!(Op::FMul { d: r, a: s, b: s }.class(), InstrClass::TypeI);
-        assert_eq!(Op::FMad { d: r, a: s, b: s, c: s }.class(), InstrClass::TypeII);
+        assert_eq!(
+            Op::FMad {
+                d: r,
+                a: s,
+                b: s,
+                c: s
+            }
+            .class(),
+            InstrClass::TypeII
+        );
         assert_eq!(Op::Mov { d: r, a: s }.class(), InstrClass::TypeII);
         assert_eq!(Op::IAdd { d: r, a: s, b: s }.class(), InstrClass::TypeII);
         assert_eq!(Op::Rcp { d: r, a: s }.class(), InstrClass::TypeIII);
         assert_eq!(Op::Sin { d: r, a: s }.class(), InstrClass::TypeIII);
         assert_eq!(
-            Op::DFma { d: Reg(0), a: Reg(2), b: Reg(4), c: Reg(6) }.class(),
+            Op::DFma {
+                d: Reg(0),
+                a: Reg(2),
+                b: Reg(4),
+                c: Reg(6)
+            }
+            .class(),
             InstrClass::TypeIV
         );
         // Memory and control occupy a Type II issue slot.
         assert_eq!(Op::Bar.class(), InstrClass::TypeII);
         assert_eq!(
-            Op::LdGlobal { d: r, addr: MemAddr::new(None, 0), width: Width::B32 }.class(),
+            Op::LdGlobal {
+                d: r,
+                addr: MemAddr::new(None, 0),
+                width: Width::B32
+            }
+            .class(),
             InstrClass::TypeII
         );
     }
@@ -739,7 +770,11 @@ mod tests {
         assert_eq!(mad.smem_operand(), Some(MemAddr::new(Some(Reg(3)), 8)));
         assert!(!mad.touches_global());
 
-        let add = Op::IAdd { d: Reg(0), a: Src::Reg(Reg(1)), b: Src::Imm(4) };
+        let add = Op::IAdd {
+            d: Reg(0),
+            a: Src::Reg(Reg(1)),
+            b: Src::Imm(4),
+        };
         assert!(!add.touches_shared());
         assert_eq!(add.smem_operand(), None);
     }
@@ -761,7 +796,13 @@ mod tests {
         assert_eq!(format!("{}", Src::smem(None, 0)), "s[0x0]");
         assert_eq!(format!("{}", Src::Imm(-3)), "-3");
         assert_eq!(
-            format!("{}", PredGuard { pred: Pred(1), negate: true }),
+            format!(
+                "{}",
+                PredGuard {
+                    pred: Pred(1),
+                    negate: true
+                }
+            ),
             "@!p1"
         );
         assert_eq!(SpecialReg::TidX.mnemonic(), "%tid.x");

@@ -3,7 +3,6 @@
 use crate::encode::{decode_kernel, encode_kernel, DecodeError, EncodeError};
 use crate::instr::{Instruction, Op, Reg, Src};
 use gpa_hw::KernelResources;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -15,7 +14,7 @@ use std::fmt;
 /// *declared* register/shared-memory/thread footprint used for occupancy —
 /// the role NVCC's `-Xptxas -v` output plays in the paper's Figure 1
 /// workflow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     /// Kernel name (diagnostics and assembly round-trips).
     pub name: String,
@@ -55,7 +54,10 @@ impl fmt::Display for ValidateError {
         match self {
             ValidateError::Empty => write!(f, "kernel has no instructions"),
             ValidateError::BranchOutOfRange { at, target } => {
-                write!(f, "instruction {at}: branch target {target} is out of range")
+                write!(
+                    f,
+                    "instruction {at}: branch target {target} is out of range"
+                )
             }
             ValidateError::FallsOffEnd => {
                 write!(f, "control can fall off the end of the instruction stream")
@@ -73,10 +75,16 @@ impl fmt::Display for ValidateError {
                 )
             }
             ValidateError::ParamOutOfRange { at, offset } => {
-                write!(f, "instruction {at}: parameter offset {offset} exceeds the param block")
+                write!(
+                    f,
+                    "instruction {at}: parameter offset {offset} exceeds the param block"
+                )
             }
             ValidateError::MisalignedPair { at, reg } => {
-                write!(f, "instruction {at}: r{reg} is not an even-aligned register pair")
+                write!(
+                    f,
+                    "instruction {at}: r{reg} is not an even-aligned register pair"
+                )
             }
         }
     }
@@ -116,7 +124,12 @@ impl Kernel {
         for (at, ins) in self.instrs.iter().enumerate() {
             // Immediate-field sharing: at most one non-register ALU operand.
             let operands = ins.op.operands();
-            if operands.iter().filter(|s| !matches!(s, Src::Reg(_))).count() > 1 {
+            if operands
+                .iter()
+                .filter(|s| !matches!(s, Src::Reg(_)))
+                .count()
+                > 1
+            {
                 return Err(ValidateError::ImmFieldConflict { at });
             }
             // Register ranges, including multi-register widths.
@@ -153,11 +166,12 @@ impl Kernel {
             // (dynamic base registers are checked at execution time).
             let smem_limit = self.resources.smem_per_block as i32;
             let static_smem = match ins.op {
-                Op::LdShared { addr, width, .. } | Op::StShared { addr, src: _, width }
-                    if addr.base.is_none() =>
-                {
-                    Some((addr.offset, width.bytes() as i32))
-                }
+                Op::LdShared { addr, width, .. }
+                | Op::StShared {
+                    addr,
+                    src: _,
+                    width,
+                } if addr.base.is_none() => Some((addr.offset, width.bytes() as i32)),
                 _ => ins
                     .op
                     .smem_operand()
@@ -184,9 +198,14 @@ impl Kernel {
         // Control must not run off the end: the last instruction must be an
         // exit or an unconditional branch.
         match self.instrs[n - 1] {
-            Instruction { guard: None, op: Op::Exit } | Instruction { guard: None, op: Op::Bra { .. } } => {
-                Ok(())
+            Instruction {
+                guard: None,
+                op: Op::Exit,
             }
+            | Instruction {
+                guard: None,
+                op: Op::Bra { .. },
+            } => Ok(()),
             _ => Err(ValidateError::FallsOffEnd),
         }
     }
@@ -273,7 +292,11 @@ mod tests {
         let kernel = k(vec![Instruction::new(Op::Nop)]);
         assert_eq!(kernel.validate(), Err(ValidateError::FallsOffEnd));
         // A guarded exit can fall through too.
-        let kernel = k(vec![Instruction::guarded(crate::instr::Pred(0), false, Op::Exit)]);
+        let kernel = k(vec![Instruction::guarded(
+            crate::instr::Pred(0),
+            false,
+            Op::Exit,
+        )]);
         assert_eq!(kernel.validate(), Err(ValidateError::FallsOffEnd));
     }
 
@@ -301,14 +324,20 @@ mod tests {
         ]);
         assert_eq!(
             kernel.validate(),
-            Err(ValidateError::SMemOutOfDeclared { at: 0, offset: 1022 })
+            Err(ValidateError::SMemOutOfDeclared {
+                at: 0,
+                offset: 1022
+            })
         );
     }
 
     #[test]
     fn param_bounds_checked() {
         let kernel = k(vec![
-            Instruction::new(Op::LdParam { d: Reg(0), offset: 14 }),
+            Instruction::new(Op::LdParam {
+                d: Reg(0),
+                offset: 14,
+            }),
             Instruction::new(Op::Exit),
         ]);
         assert_eq!(
@@ -336,10 +365,18 @@ mod tests {
     #[test]
     fn dfma_alignment_checked() {
         let kernel = k(vec![
-            Instruction::new(Op::DFma { d: Reg(1), a: Reg(2), b: Reg(4), c: Reg(6) }),
+            Instruction::new(Op::DFma {
+                d: Reg(1),
+                a: Reg(2),
+                b: Reg(4),
+                c: Reg(6),
+            }),
             Instruction::new(Op::Exit),
         ]);
-        assert_eq!(kernel.validate(), Err(ValidateError::MisalignedPair { at: 0, reg: 1 }));
+        assert_eq!(
+            kernel.validate(),
+            Err(ValidateError::MisalignedPair { at: 0, reg: 1 })
+        );
     }
 
     #[test]

@@ -1,0 +1,584 @@
+#![warn(missing_docs)]
+
+//! Tiny JSON tree, parser, and pretty-printer for the `gpa` workspace.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, and the only
+//! serialization the workspace needs is caching measured throughput curves
+//! on disk (`gpa_ubench::ThroughputCurves`). This crate supplies exactly
+//! that: a [`Value`] tree, a strict recursive-descent [`Value::parse`], and
+//! a [`Value::to_string_pretty`] writer whose `f64` formatting uses Rust's
+//! shortest-round-trip `Display`, so `parse(write(v)) == v` exactly for
+//! finite numbers.
+//!
+//! ```
+//! use gpa_json::Value;
+//!
+//! let v = Value::Object(vec![
+//!     ("name".into(), Value::String("gtx285".into())),
+//!     ("xs".into(), Value::Array(vec![Value::from(1.5), Value::from(2.0)])),
+//! ]);
+//! let text = v.to_string_pretty();
+//! assert_eq!(Value::parse(&text).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Parse or access failure, with a human-readable message and, for parse
+/// errors, the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    /// An error with no position (schema/access errors).
+    pub fn msg(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    fn at(message: impl Into<String>, offset: usize) -> Error {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {o}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Number(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl Value {
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::at("trailing characters after document", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(x) => write_number(out, *x),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup; `Err` if `self` is not an object or lacks `key`.
+    pub fn get(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{key}`"))),
+            _ => Err(Error::msg(format!("expected object with field `{key}`"))),
+        }
+    }
+
+    /// The number value; `Err` for any other variant.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(x) => Ok(*x),
+            other => Err(Error::msg(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The number value as an exact `u32`; `Err` on loss or other variants.
+    pub fn as_u32(&self) -> Result<u32, Error> {
+        let x = self.as_f64()?;
+        let n = x as u32;
+        if f64::from(n) != x {
+            return Err(Error::msg(format!("expected u32, found {x}")));
+        }
+        Ok(n)
+    }
+
+    /// The string value; `Err` for any other variant.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array items; `Err` for any other variant.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array items parsed as `f64`s.
+    pub fn as_f64_array(&self) -> Result<Vec<f64>, Error> {
+        self.as_array()?.iter().map(Value::as_f64).collect()
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's shortest-round-trip Display: parses back to the same bits.
+        out.push_str(&x.to_string());
+    } else {
+        // JSON has no non-finite literals; null round-trips to an error on
+        // read, which is the honest outcome for a corrupted measurement.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting depth before the parser bails out with an error rather
+/// than risking a stack overflow on adversarial input (serde_json guards
+/// the same way; its default is also 128).
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::at("unexpected end of input", self.pos)),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::at("invalid literal", self.pos))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::at("invalid literal", self.pos))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::at("invalid literal", self.pos))
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::at(
+                format!("unexpected byte `{}`", b as char),
+                self.pos,
+            )),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::at(
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+                self.pos,
+            ));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(Error::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::at("truncated \\u escape", start))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::at("invalid \\u escape", start))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::at("invalid \\u escape", start))?;
+                            // Lone surrogates are rejected; pairs unsupported
+                            // (never produced by our writer).
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::at("invalid \\u code point", start))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::at("invalid escape", start)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::at("invalid UTF-8", self.pos))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", start))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-1.5", "\"hi\\nthere\""] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(Value::parse(v.to_string_pretty().trim()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        let xs = [
+            1.0 / 3.0,
+            9.87e9,
+            f64::MIN_POSITIVE,
+            1.48e9 * 8.0 * 30.0 / 32.0,
+            -0.1 + 0.3,
+        ];
+        let v = Value::Array(xs.iter().copied().map(Value::from).collect());
+        let back = Value::parse(&v.to_string_pretty()).unwrap();
+        let ys = back.as_f64_array().unwrap();
+        assert_eq!(xs.len(), ys.len());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::from("gtx 285 \"quoted\"")),
+            (
+                "warps".into(),
+                Value::Array(vec![Value::from(1.0), Value::from(32.0)]),
+            ),
+            ("empty_arr".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+            ("flag".into(), Value::Bool(true)),
+            ("nothing".into(), Value::Null),
+        ]);
+        assert_eq!(Value::parse(&v.to_string_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn access_helpers() {
+        let v = Value::parse(r#"{"a": 3, "s": "x", "xs": [1, 2]}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u32().unwrap(), 3);
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "x");
+        assert_eq!(v.get("xs").unwrap().as_f64_array().unwrap(), vec![1.0, 2.0]);
+        assert!(v.get("missing").is_err());
+        assert!(v.get("s").unwrap().as_u32().is_err());
+        assert!(Value::parse("{\"a\": 1.5}")
+            .unwrap()
+            .get("a")
+            .unwrap()
+            .as_u32()
+            .is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = Value::parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // At the limit boundary: 128 levels parse, 129 do not.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(Value::parse(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(Value::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = Value::parse("[1, 2").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+        assert!(Value::parse("[1] trailing").is_err());
+        assert!(Value::parse("nul").is_err());
+        assert!(Value::parse("{\"a\" 1}").is_err());
+    }
+}

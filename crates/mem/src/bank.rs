@@ -12,10 +12,8 @@
 //! transactions; divide by 2 for the paper's unit (the simulator's
 //! statistics do this normalization).
 
-use serde::{Deserialize, Serialize};
-
 /// Shared-memory geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BankConfig {
     /// Number of banks. GT200: 16.
     pub banks: u32,
@@ -99,13 +97,19 @@ mod tests {
 
     #[test]
     fn unit_stride_is_conflict_free() {
-        assert_eq!(bank_transactions(&stride_access(1, 16), BankConfig::gt200()), 1);
+        assert_eq!(
+            bank_transactions(&stride_access(1, 16), BankConfig::gt200()),
+            1
+        );
     }
 
     #[test]
     fn stride_two_is_two_way() {
         // Cyclic reduction step 1 (paper Figure 5): stride-2 → 2-way.
-        assert_eq!(bank_transactions(&stride_access(2, 16), BankConfig::gt200()), 2);
+        assert_eq!(
+            bank_transactions(&stride_access(2, 16), BankConfig::gt200()),
+            2
+        );
     }
 
     #[test]
@@ -209,10 +213,7 @@ mod tests {
     // ---- Properties ----
 
     fn arb_addrs() -> impl Strategy<Value = Vec<Option<u64>>> {
-        proptest::collection::vec(
-            proptest::option::of((0u64..4096).prop_map(|w| w * 4)),
-            16,
-        )
+        proptest::collection::vec(proptest::option::of((0u64..4096).prop_map(|w| w * 4)), 16)
     }
 
     proptest! {

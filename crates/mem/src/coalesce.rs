@@ -13,11 +13,10 @@
 //! Figure 11 additionally simulates hypothetical 16-byte and 4-byte
 //! granularities, which [`CoalesceConfig::min_segment`] exposes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Coalescer parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoalesceConfig {
     /// Smallest transaction the memory system can issue, bytes
     /// (power of two). GT200: 32. Paper Figure 11 also uses 16 and 4.
@@ -71,7 +70,7 @@ impl Default for CoalesceConfig {
 }
 
 /// One hardware memory transaction: an aligned power-of-two segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Transaction {
     /// Segment base address (aligned to `size`).
     pub base: u64,
@@ -114,7 +113,10 @@ pub fn coalesce_half_warp(
     let mut pending: Vec<(u64, u32)> = Vec::with_capacity(accesses.len());
     for a in accesses.iter().flatten() {
         let (addr, len) = *a;
-        assert!(len > 0 && len <= cfg.max_segment, "access width {len} unsupported");
+        assert!(
+            len > 0 && len <= cfg.max_segment,
+            "access width {len} unsupported"
+        );
         assert!(
             len.is_power_of_two() && addr % u64::from(len) == 0,
             "access at {addr:#x} is not naturally aligned to {len}"
@@ -217,7 +219,13 @@ mod tests {
     fn broadcast_reduces_to_minimum_segment() {
         let acc = lanes(&[400; 16]);
         let txs = coalesce_half_warp(&acc, CoalesceConfig::gt200());
-        assert_eq!(txs, vec![Transaction { base: 384, size: 32 }]);
+        assert_eq!(
+            txs,
+            vec![Transaction {
+                base: 384,
+                size: 32
+            }]
+        );
     }
 
     #[test]
@@ -281,7 +289,10 @@ mod tests {
             txs,
             vec![
                 Transaction { base: 0, size: 128 },
-                Transaction { base: 128, size: 128 }
+                Transaction {
+                    base: 128,
+                    size: 128
+                }
             ]
         );
     }
@@ -303,12 +314,12 @@ mod tests {
     // ---- Properties ----
 
     fn arb_access() -> impl Strategy<Value = Option<(u64, u32)>> {
-        proptest::option::of((0u64..4096, prop_oneof![Just(4u32), Just(8), Just(16)]).prop_map(
-            |(word, w)| {
+        proptest::option::of(
+            (0u64..4096, prop_oneof![Just(4u32), Just(8), Just(16)]).prop_map(|(word, w)| {
                 // Natural alignment.
                 (word / u64::from(w) * u64::from(w) * 4 % 16384, w)
-            },
-        ))
+            }),
+        )
         .prop_map(|o| o.map(|(a, w)| (a / u64::from(w) * u64::from(w), w)))
     }
 

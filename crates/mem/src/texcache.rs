@@ -7,14 +7,12 @@
 //! to the timing simulator's vector loads. DESIGN.md documents this as an
 //! extension.
 
-use serde::{Deserialize, Serialize};
-
 /// A set-associative, LRU, read-only cache.
 ///
 /// Addresses are byte addresses; a lookup touches the line containing the
 /// address. There is no write path — GT200 texture caches are read-only and
 /// unsnooped within a kernel launch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TexCache {
     line_bytes: u32,
     num_sets: u32,
@@ -35,7 +33,10 @@ impl TexCache {
     /// Panics unless `size_bytes` is divisible by `line_bytes * assoc` and
     /// the line size and set count are powers of two.
     pub fn new(size_bytes: u32, line_bytes: u32, assoc: u32) -> TexCache {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
         assert_eq!(
             size_bytes % (line_bytes * assoc),
@@ -43,7 +44,10 @@ impl TexCache {
             "size must be a whole number of sets"
         );
         let num_sets = size_bytes / (line_bytes * assoc);
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         TexCache {
             line_bytes,
             num_sets,

@@ -61,10 +61,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             SimError::GlobalOutOfBounds { addr, len, pc } => {
-                write!(f, "global access of {len} B at {addr:#x} out of bounds (pc {pc})")
+                write!(
+                    f,
+                    "global access of {len} B at {addr:#x} out of bounds (pc {pc})"
+                )
             }
             SimError::SharedOutOfBounds { offset, len, pc } => {
-                write!(f, "shared access of {len} B at offset {offset} out of bounds (pc {pc})")
+                write!(
+                    f,
+                    "shared access of {len} B at offset {offset} out of bounds (pc {pc})"
+                )
             }
             SimError::Misaligned { addr, len, pc } => {
                 write!(f, "misaligned {len} B access at {addr:#x} (pc {pc})")

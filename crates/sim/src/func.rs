@@ -410,13 +410,16 @@ impl<'a> FunctionalSim<'a> {
         let lane_flops = match ins.op {
             Op::FAdd { .. } | Op::FMul { .. } | Op::DAdd { .. } | Op::DMul { .. } => 1u64,
             Op::FMad { .. } | Op::DFma { .. } => 2,
-            Op::Rcp { .. } | Op::Rsq { .. } | Op::Sin { .. } | Op::Cos { .. }
-            | Op::Lg2 { .. } | Op::Ex2 { .. } => 1,
+            Op::Rcp { .. }
+            | Op::Rsq { .. }
+            | Op::Sin { .. }
+            | Op::Cos { .. }
+            | Op::Lg2 { .. }
+            | Op::Ex2 { .. } => 1,
             _ => 0,
         };
         if lane_flops > 0 {
-            self.stage_mut(stats, stage).flops +=
-                lane_flops * u64::from(exec_mask.count_ones());
+            self.stage_mut(stats, stage).flops += lane_flops * u64::from(exec_mask.count_ones());
         }
 
         // Shared-memory traffic: explicit ld/st or an ALU shared operand.
@@ -434,12 +437,11 @@ impl<'a> FunctionalSim<'a> {
                 // Wide shared accesses proceed in 4-byte phases.
                 for phase in 0..(width / 4) {
                     let mut addrs = [None::<u64>; WARP];
-                    for lane in 0..WARP {
+                    for (lane, slot) in addrs.iter_mut().enumerate() {
                         if exec_mask & (1 << lane) != 0 {
-                            let a = self.smem_lane_addr(w, lane, addr)?
-                                + i64::from(phase * 4);
+                            let a = self.smem_lane_addr(w, lane, addr)? + i64::from(phase * 4);
                             self.check_smem(a, 4, smem.len(), pc)?;
-                            addrs[lane] = Some(a as u64);
+                            *slot = Some(a as u64);
                         }
                     }
                     for hw_chunk in addrs.chunks(self.bank_cfg.half_warp) {
@@ -468,7 +470,7 @@ impl<'a> FunctionalSim<'a> {
             if exec_mask != 0 {
                 let mut accesses = [None::<(u64, u32)>; WARP];
                 let mut requested = 0u64;
-                for lane in 0..WARP {
+                for (lane, slot) in accesses.iter_mut().enumerate() {
                     if exec_mask & (1 << lane) != 0 {
                         let a = self.gmem_lane_addr(w, lane, addr);
                         let a = u64::try_from(a).map_err(|_| SimError::GlobalOutOfBounds {
@@ -477,9 +479,13 @@ impl<'a> FunctionalSim<'a> {
                             pc,
                         })?;
                         if a % u64::from(width.bytes()) != 0 {
-                            return Err(SimError::Misaligned { addr: a, len: width.bytes(), pc });
+                            return Err(SimError::Misaligned {
+                                addr: a,
+                                len: width.bytes(),
+                                pc,
+                            });
                         }
-                        accesses[lane] = Some((a, width.bytes()));
+                        *slot = Some((a, width.bytes()));
                         requested += u64::from(width.bytes());
                     }
                 }
@@ -491,9 +497,7 @@ impl<'a> FunctionalSim<'a> {
                             let st = self.stage_mut(stats, stage);
                             st.gmem[g].transactions += 1;
                             st.gmem[g].bytes += u64::from(t.size);
-                            if let Some(r) =
-                                stats.regions.iter_mut().find(|r| r.contains(t.base))
-                            {
+                            if let Some(r) = stats.regions.iter_mut().find(|r| r.contains(t.base)) {
                                 r.gmem[g].transactions += 1;
                                 r.gmem[g].bytes += u64::from(t.size);
                             }
@@ -546,10 +550,18 @@ impl<'a> FunctionalSim<'a> {
 
     fn check_smem(&self, addr: i64, len: u32, smem_len: usize, pc: usize) -> Result<(), SimError> {
         if addr < 0 || (addr + i64::from(len)) as usize > smem_len {
-            return Err(SimError::SharedOutOfBounds { offset: addr, len, pc });
+            return Err(SimError::SharedOutOfBounds {
+                offset: addr,
+                len,
+                pc,
+            });
         }
         if addr % i64::from(len) != 0 {
-            return Err(SimError::Misaligned { addr: addr as u64, len, pc });
+            return Err(SimError::Misaligned {
+                addr: addr as u64,
+                len,
+                pc,
+            });
         }
         Ok(())
     }
@@ -698,7 +710,9 @@ impl<'a> FunctionalSim<'a> {
                 w.write_f64(lane, d, v);
             }
             DFma { d, a, b, c } => {
-                let v = w.read_f64(lane, a).mul_add(w.read_f64(lane, b), w.read_f64(lane, c));
+                let v = w
+                    .read_f64(lane, a)
+                    .mul_add(w.read_f64(lane, b), w.read_f64(lane, c));
                 w.write_f64(lane, d, v);
             }
             LdShared { d, addr, width } => {
@@ -723,7 +737,11 @@ impl<'a> FunctionalSim<'a> {
                 let a = self.gmem_lane_addr(w, lane, addr) as u64;
                 for k in 0..width.regs() {
                     let v = gmem.read_u32(a + u64::from(k) * 4).map_err(|_| {
-                        SimError::GlobalOutOfBounds { addr: a, len: width.bytes(), pc }
+                        SimError::GlobalOutOfBounds {
+                            addr: a,
+                            len: width.bytes(),
+                            pc,
+                        }
                     })?;
                     w.lanes[lane].regs[usize::from(d.0 + k)] = v;
                 }
@@ -733,7 +751,11 @@ impl<'a> FunctionalSim<'a> {
                 for k in 0..width.regs() {
                     let v = w.lanes[lane].regs[usize::from(src.0 + k)];
                     gmem.write_u32(a + u64::from(k) * 4, v).map_err(|_| {
-                        SimError::GlobalOutOfBounds { addr: a, len: width.bytes(), pc }
+                        SimError::GlobalOutOfBounds {
+                            addr: a,
+                            len: width.bytes(),
+                            pc,
+                        }
                     })?;
                 }
             }
@@ -869,7 +891,11 @@ impl WarpState {
     fn new(warp_idx: u32, block_threads: u32) -> WarpState {
         let first_thread = warp_idx * WARP as u32;
         let live = (block_threads - first_thread).min(WARP as u32);
-        let mask = if live >= 32 { u32::MAX } else { (1u32 << live) - 1 };
+        let mask = if live >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << live) - 1
+        };
         WarpState {
             pc: 0,
             mask,
@@ -901,4 +927,4 @@ impl WarpState {
 
 #[cfg(test)]
 #[path = "func_tests.rs"]
-mod tests;
+mod func_tests;

@@ -2,9 +2,9 @@
 
 use super::*;
 use gpa_isa::builder::KernelBuilder;
-use gpa_isa::instr::{CmpOp, NumTy, Pred, Reg, Src, Width};
 #[allow(unused_imports)]
 use gpa_isa::instr as _instr_mod;
+use gpa_isa::instr::{CmpOp, NumTy, Pred, Reg, Src, Width};
 
 fn machine() -> Machine {
     Machine::gtx285()
@@ -44,7 +44,11 @@ fn linear_kernel_writes_expected_values() {
     sim.set_params(&[out as u32]);
     let res = sim.run(&mut gmem).unwrap();
     for i in 0..256u64 {
-        assert_eq!(gmem.read_u32(out + i * 4).unwrap(), (i * 3 + 1) as u32, "index {i}");
+        assert_eq!(
+            gmem.read_u32(out + i * 4).unwrap(),
+            (i * 3 + 1) as u32,
+            "index {i}"
+        );
     }
     let total = res.stats.total();
     // 11 instructions (incl. exit) × 2 warps × 4 blocks.
@@ -169,7 +173,13 @@ fn nested_divergence() {
     sim.set_params(&[out as u32]);
     sim.run(&mut gmem).unwrap();
     for i in 0..32u64 {
-        let expect = if i < 8 { 11 } else if i < 16 { 12 } else { 13 };
+        let expect = if i < 8 {
+            11
+        } else if i < 16 {
+            12
+        } else {
+            13
+        };
         assert_eq!(gmem.read_u32(out + i * 4).unwrap(), expect, "lane {i}");
     }
 }
@@ -217,7 +227,7 @@ fn barrier_stages_split_statistics() {
     assert_eq!(res.stats.stages[0].barriers, 2); // 2 warps arrived
     assert_eq!(res.stats.stages[0].smem_instrs, 2); // 2 warps × 1 store
     assert_eq!(res.stats.stages[1].smem_instrs, 2); // 2 warps × 1 load
-    // Conflict-free accesses: warp-equivalent = instruction count.
+                                                    // Conflict-free accesses: warp-equivalent = instruction count.
     assert_eq!(res.stats.stages[0].smem_warp_equiv(), 2.0);
     assert_eq!(res.stats.stages[0].bank_conflict_factor(), 1.0);
 }
@@ -356,8 +366,7 @@ fn special_registers_reflect_block_and_grid() {
     let m = machine();
     let mut gmem = GlobalMemory::new();
     let out = gmem.alloc(6 * 4, 4);
-    let mut sim =
-        FunctionalSim::new(&m, &k, LaunchConfig::new_2d((3, 2), (32, 1))).unwrap();
+    let mut sim = FunctionalSim::new(&m, &k, LaunchConfig::new_2d((3, 2), (32, 1))).unwrap();
     sim.set_params(&[out as u32]);
     sim.run(&mut gmem).unwrap();
     for by in 0..2u64 {

@@ -1,12 +1,11 @@
 //! Launch configuration: grid and block shapes.
 
 use gpa_hw::Machine;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A kernel launch shape: `grid` blocks of `block` threads, each up to 2-D
 /// (the case studies use 1-D and 2-D launches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaunchConfig {
     /// Grid dimensions in blocks (x, y).
     pub grid: (u32, u32),

@@ -1,17 +1,29 @@
 //! Simulated global memory: a flat bump-allocated arena.
 
-use serde::{Deserialize, Serialize};
-
 /// The device's global memory.
 ///
 /// A flat byte arena with a bump allocator. Allocations start above address
 /// zero so stray null-ish pointers fault, and every access is
 /// bounds-checked against the allocated extent.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GlobalMemory {
     data: Vec<u8>,
     cursor: u64,
 }
+
+/// Out-of-bounds access marker returned by the read/write accessors;
+/// callers attach the faulting address and context when wrapping it into a
+/// located [`crate::SimError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OobAccess;
+
+impl std::fmt::Display for OobAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("out-of-bounds global memory access")
+    }
+}
+
+impl std::error::Error for OobAccess {}
 
 /// First valid device address (catches zero-initialized pointers).
 const BASE: u64 = 256;
@@ -73,11 +85,11 @@ impl GlobalMemory {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when out of bounds (callers wrap this into a
+    /// Returns [`OobAccess`] when out of bounds (callers wrap this into a
     /// located [`crate::SimError`]).
-    pub fn read_u32(&self, addr: u64) -> Result<u32, ()> {
+    pub fn read_u32(&self, addr: u64) -> Result<u32, OobAccess> {
         if !self.in_bounds(addr, 4) {
-            return Err(());
+            return Err(OobAccess);
         }
         let i = addr as usize;
         Ok(u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap()))
@@ -87,10 +99,10 @@ impl GlobalMemory {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when out of bounds.
-    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), ()> {
+    /// Returns [`OobAccess`] when out of bounds.
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), OobAccess> {
         if !self.in_bounds(addr, 4) {
-            return Err(());
+            return Err(OobAccess);
         }
         let i = addr as usize;
         self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
@@ -101,8 +113,8 @@ impl GlobalMemory {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when out of bounds.
-    pub fn read_f32(&self, addr: u64) -> Result<f32, ()> {
+    /// Returns [`OobAccess`] when out of bounds.
+    pub fn read_f32(&self, addr: u64) -> Result<f32, OobAccess> {
         self.read_u32(addr).map(f32::from_bits)
     }
 
@@ -110,8 +122,8 @@ impl GlobalMemory {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when any word is out of bounds.
-    pub fn read_f32s(&self, addr: u64, n: usize) -> Result<Vec<f32>, ()> {
+    /// Returns [`OobAccess`] when any word is out of bounds.
+    pub fn read_f32s(&self, addr: u64, n: usize) -> Result<Vec<f32>, OobAccess> {
         (0..n).map(|i| self.read_f32(addr + i as u64 * 4)).collect()
     }
 
@@ -119,8 +131,8 @@ impl GlobalMemory {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when any word is out of bounds.
-    pub fn read_u32s(&self, addr: u64, n: usize) -> Result<Vec<u32>, ()> {
+    /// Returns [`OobAccess`] when any word is out of bounds.
+    pub fn read_u32s(&self, addr: u64, n: usize) -> Result<Vec<u32>, OobAccess> {
         (0..n).map(|i| self.read_u32(addr + i as u64 * 4)).collect()
     }
 }

@@ -2,7 +2,6 @@
 
 use gpa_hw::InstrClass;
 use gpa_mem::coalesce::Transaction;
-use serde::{Deserialize, Serialize};
 
 /// Global-memory transaction granularities the functional simulator
 /// evaluates side by side: the real GT200 32-byte minimum plus the paper's
@@ -13,7 +12,7 @@ pub const GRANULARITIES: [u32; 3] = [32, 16, 4];
 pub const GRAN_GT200: usize = 0;
 
 /// Transaction count and bytes moved under one coalescing granularity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GmemGranStats {
     /// Hardware transactions issued.
     pub transactions: u64,
@@ -23,7 +22,7 @@ pub struct GmemGranStats {
 
 /// Dynamic statistics for one synchronization stage (the intervals between
 /// `bar.sync` instructions, paper §3).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StageStats {
     /// Warp-level dynamic instruction counts per Table 1 class.
     pub instr_by_class: [u64; 4],
@@ -137,7 +136,7 @@ impl StageStats {
 /// A named global-memory address range for traffic attribution (the paper's
 /// Figure 11a separates matrix-entry, column-index, and vector-entry
 /// bytes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionStats {
     /// Region name (e.g. `"vector"`).
     pub name: String,
@@ -162,7 +161,7 @@ impl RegionStats {
 }
 
 /// All dynamic statistics of one launch.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DynamicStats {
     /// Per-stage statistics, aggregated over blocks by stage index.
     pub stages: Vec<StageStats>,
@@ -194,7 +193,7 @@ impl DynamicStats {
 
 /// How a trace entry's destination becomes ready (selects the latency the
 /// timing simulator applies).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DstLatency {
     /// Ready after the arithmetic pipeline.
     Alu,
@@ -208,7 +207,7 @@ pub enum DstLatency {
 ///
 /// Register identifiers 0–127 are general registers; 128–131 are the four
 /// predicate registers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// Table 1 class (sets issue-port occupancy).
     pub class: InstrClass,
@@ -234,7 +233,7 @@ pub struct TraceEntry {
 }
 
 /// Per-warp instruction traces of one block.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockTrace {
     /// One entry stream per warp.
     pub warps: Vec<Vec<TraceEntry>>,
@@ -276,7 +275,10 @@ mod tests {
         let mut s = StageStats::default();
         s.instr_by_class[1] = 10;
         s.fmad = 8;
-        s.gmem[0] = GmemGranStats { transactions: 2, bytes: 64 };
+        s.gmem[0] = GmemGranStats {
+            transactions: 2,
+            bytes: 64,
+        };
         s.gmem_requested_bytes = 32;
         assert!((s.computational_density() - 0.8).abs() < 1e-12);
         assert!((s.coalesce_efficiency(0) - 0.5).abs() < 1e-12);

@@ -29,11 +29,10 @@ use crate::grid::LaunchConfig;
 use crate::stats::{BlockTrace, DstLatency};
 use gpa_hw::{occupancy, KernelResources, Machine};
 use gpa_mem::texcache::TexCache;
-use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
 /// Calibrated timing parameters (cycles at the shader clock).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingConfig {
     /// ALU pipeline depth: results ready this many cycles after issue.
     pub alu_latency: f64,
@@ -123,7 +122,7 @@ impl std::fmt::Debug for TraceSource<'_> {
 }
 
 /// Output of a timing run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingResult {
     /// End-to-end kernel cycles (max over clusters).
     pub cycles: f64,
@@ -359,7 +358,7 @@ impl<'m> TimingSim<'m> {
                     }
                 }
                 if let Some((bi, wi, t, _dist)) = sm_best {
-                    if best.map_or(true, |(_, _, _, bt)| t < bt) {
+                    if best.is_none_or(|(_, _, _, bt)| t < bt) {
                         best = Some((si, bi, wi, t));
                     }
                 }
@@ -387,8 +386,7 @@ impl<'m> TimingSim<'m> {
             // which is what makes conflict-heavy kernels shared-memory
             // bound on GT200 (paper §5.2). A conflict-free access
             // (2 half-warp transactions) fits the normal issue slot.
-            let base_occ =
-                f64::from(m.warp_size) / f64::from(m.fus(e.class)) + cfg.issue_overhead;
+            let base_occ = f64::from(m.warp_size) / f64::from(m.fus(e.class)) + cfg.issue_overhead;
             let occ_cycles = if e.smem_half_txns > 2 {
                 base_occ + cfg.smem_replay_cycles * f64::from(e.smem_half_txns - 2)
             } else {
@@ -479,10 +477,11 @@ impl<'m> TimingSim<'m> {
             }
         }
 
-        out.end = out
-            .end
-            .max(pipe_free)
-            .max(sms.iter().map(|s| s.alu_free.max(s.smem_free)).fold(0.0, f64::max));
+        out.end = out.end.max(pipe_free).max(
+            sms.iter()
+                .map(|s| s.alu_free.max(s.smem_free))
+                .fold(0.0, f64::max),
+        );
         out
     }
 }
@@ -553,4 +552,4 @@ impl WarpRun {
 
 #[cfg(test)]
 #[path = "timing_tests.rs"]
-mod tests;
+mod timing_tests;

@@ -198,8 +198,11 @@ fn gmem_saturates_cluster_pipe_bandwidth() {
                 e.dst_lat = DstLatency::Gmem;
                 e.gmem_load = true;
                 e.gmem = Some(
-                    vec![Transaction { base: 4096 + i as u64 * 128, size: 128 }]
-                        .into_boxed_slice(),
+                    vec![Transaction {
+                        base: 4096 + i as u64 * 128,
+                        size: 128,
+                    }]
+                    .into_boxed_slice(),
                 );
                 e
             })
@@ -226,11 +229,13 @@ fn blocks_fill_all_clusters() {
     let chain = vec![dependent_chain(100)];
     let t1 = {
         let mut src = one_block(chain.clone());
-        sim.run(&mut src, &LaunchConfig::new_1d(10, 32), res(32)).cycles
+        sim.run(&mut src, &LaunchConfig::new_1d(10, 32), res(32))
+            .cycles
     };
     let t2 = {
         let mut src = one_block(chain);
-        sim.run(&mut src, &LaunchConfig::new_1d(11, 32), res(32)).cycles
+        sim.run(&mut src, &LaunchConfig::new_1d(11, 32), res(32))
+            .cycles
     };
     assert!(t2 > t1 * 0.99, "11th block must not be free: {t1} vs {t2}");
 }
@@ -246,15 +251,23 @@ fn waves_scale_with_occupancy() {
         let mut src = one_block(chain.clone());
         let mut s = sim.clone();
         s.assume_uniform_clusters(true);
-        s.run(&mut src, &LaunchConfig::new_1d(30, 32), KernelResources::new(8, 9000, 32))
-            .cycles
+        s.run(
+            &mut src,
+            &LaunchConfig::new_1d(30, 32),
+            KernelResources::new(8, 9000, 32),
+        )
+        .cycles
     };
     let ten_waves = {
         let mut src = one_block(chain);
         let mut s = sim.clone();
         s.assume_uniform_clusters(true);
-        s.run(&mut src, &LaunchConfig::new_1d(300, 32), KernelResources::new(8, 9000, 32))
-            .cycles
+        s.run(
+            &mut src,
+            &LaunchConfig::new_1d(300, 32),
+            KernelResources::new(8, 9000, 32),
+        )
+        .cycles
     };
     let ratio = ten_waves / one_wave;
     assert!((8.0..=12.0).contains(&ratio), "wave scaling ratio {ratio}");
@@ -309,7 +322,11 @@ fn texture_cache_accelerates_reused_loads() {
         let mut src = one_block(warps);
         sim.run(&mut src, &LaunchConfig::new_1d(1, 128), res(128))
     };
-    assert!(cached.tex_hit_rate > 0.9, "hit rate {}", cached.tex_hit_rate);
+    assert!(
+        cached.tex_hit_rate > 0.9,
+        "hit rate {}",
+        cached.tex_hit_rate
+    );
     assert!(
         cached.cycles < plain.cycles * 0.95,
         "cache should help: {} vs {}",
@@ -343,7 +360,9 @@ fn lazy_source_is_called_per_block() {
     {
         let mut src = TraceSource::Lazy(Box::new(|_b| {
             calls += 1;
-            Rc::new(BlockTrace { warps: vec![dependent_chain(5)] })
+            Rc::new(BlockTrace {
+                warps: vec![dependent_chain(5)],
+            })
         }));
         sim.run(&mut src, &LaunchConfig::new_1d(7, 32), res(32));
     }

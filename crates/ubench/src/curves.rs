@@ -8,11 +8,11 @@
 use crate::gmem::{self, GmemConfig};
 use crate::{instr, smem};
 use gpa_hw::{InstrClass, Machine};
-use serde::{Deserialize, Serialize};
+use gpa_json::Value;
 use std::collections::HashMap;
 
 /// Measurement effort knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeasureOpts {
     /// Chain instructions per loop iteration.
     pub unroll: u32,
@@ -59,7 +59,7 @@ impl Default for MeasureOpts {
 }
 
 /// The measured machine characterization (paper Figure 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputCurves {
     /// Machine these curves were measured on.
     pub machine_name: String,
@@ -135,18 +135,91 @@ impl ThroughputCurves {
     ///
     /// # Errors
     ///
-    /// Propagates `serde_json` errors.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Fails if any measurement is non-finite (JSON has no NaN/inf
+    /// literals; refusing here keeps the on-disk cache parseable).
+    pub fn to_json(&self) -> Result<String, gpa_json::Error> {
+        let mut all = self.instr.iter().flatten().chain(&self.smem);
+        if let Some(bad) = all.find(|x| !x.is_finite()) {
+            return Err(gpa_json::Error::msg(format!(
+                "non-finite measurement {bad} cannot be cached as JSON"
+            )));
+        }
+        let num_row = |row: &[f64]| Value::Array(row.iter().copied().map(Value::from).collect());
+        let v = Value::Object(vec![
+            (
+                "machine_name".into(),
+                Value::String(self.machine_name.clone()),
+            ),
+            (
+                "warps".into(),
+                Value::Array(
+                    self.warps
+                        .iter()
+                        .map(|&w| Value::from(f64::from(w)))
+                        .collect(),
+                ),
+            ),
+            (
+                "instr".into(),
+                Value::Array(self.instr.iter().map(|c| num_row(c)).collect()),
+            ),
+            ("smem".into(), num_row(&self.smem)),
+        ]);
+        Ok(v.to_string_pretty())
     }
 
     /// Deserialize from JSON.
     ///
     /// # Errors
     ///
-    /// Propagates `serde_json` errors.
-    pub fn from_json(s: &str) -> Result<ThroughputCurves, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Propagates `gpa_json` parse and schema errors.
+    pub fn from_json(s: &str) -> Result<ThroughputCurves, gpa_json::Error> {
+        let v = Value::parse(s)?;
+        let warps = v
+            .get("warps")?
+            .as_array()?
+            .iter()
+            .map(Value::as_u32)
+            .collect::<Result<Vec<u32>, _>>()?;
+        let instr_rows = v.get("instr")?.as_array()?;
+        if instr_rows.len() != 4 {
+            return Err(gpa_json::Error::msg(format!(
+                "expected 4 instruction-class curves, found {}",
+                instr_rows.len()
+            )));
+        }
+        if warps.is_empty() {
+            return Err(gpa_json::Error::msg("empty warp sample grid"));
+        }
+        // interp() divides by warps[0] and binary-searches the grid, so the
+        // samples must be positive and strictly ascending.
+        if warps[0] == 0 || warps.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(gpa_json::Error::msg(format!(
+                "warp samples must be positive and strictly ascending, got {warps:?}"
+            )));
+        }
+        let mut instr: [Vec<f64>; 4] = Default::default();
+        for (slot, row) in instr.iter_mut().zip(instr_rows) {
+            *slot = row.as_f64_array()?;
+        }
+        let smem = v.get("smem")?.as_f64_array()?;
+        // interp() indexes rows by warp position; a row of the wrong length
+        // must fail here (falling back to re-measurement), not panic later.
+        for row in instr.iter().chain(std::iter::once(&smem)) {
+            if row.len() != warps.len() {
+                return Err(gpa_json::Error::msg(format!(
+                    "curve length {} does not match {} warp samples",
+                    row.len(),
+                    warps.len()
+                )));
+            }
+        }
+        Ok(ThroughputCurves {
+            machine_name: v.get("machine_name")?.as_str()?.to_owned(),
+            warps,
+            instr,
+            smem,
+        })
     }
 }
 
@@ -198,7 +271,10 @@ mod tests {
             let peak = m.peak_warp_instruction_throughput(class);
             let col = &c.instr[class.index()];
             for (i, v) in col.iter().enumerate() {
-                assert!(*v <= peak * 1.001, "{class} sample {i}: {v:.3e} > peak {peak:.3e}");
+                assert!(
+                    *v <= peak * 1.001,
+                    "{class} sample {i}: {v:.3e} > peak {peak:.3e}"
+                );
                 if i > 0 {
                     assert!(*v >= col[i - 1] * 0.95, "{class} not ~monotone at {i}");
                 }

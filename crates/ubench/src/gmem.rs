@@ -50,9 +50,9 @@ impl GmemConfig {
 ///
 /// Propagates builder errors.
 pub fn kernel(cfg: GmemConfig) -> Result<Kernel, BuildError> {
-    let unroll = if cfg.trans_per_thread % 4 == 0 {
+    let unroll = if cfg.trans_per_thread.is_multiple_of(4) {
         4
-    } else if cfg.trans_per_thread % 2 == 0 {
+    } else if cfg.trans_per_thread.is_multiple_of(2) {
         2
     } else {
         1
@@ -80,7 +80,9 @@ pub fn kernel(cfg: GmemConfig) -> Result<Kernel, BuildError> {
     let stride = b.alloc_reg()?;
     b.mov_imm(stride, cfg.blocks * cfg.threads * 4 * unroll);
 
-    let dsts: Vec<_> = (0..unroll).map(|_| b.alloc_reg()).collect::<Result<_, _>>()?;
+    let dsts: Vec<_> = (0..unroll)
+        .map(|_| b.alloc_reg())
+        .collect::<Result<_, _>>()?;
     b.label("loop");
     for (j, d) in dsts.iter().enumerate() {
         let off = (j as u32 * cfg.blocks * cfg.threads * 4) as i32;
@@ -88,7 +90,13 @@ pub fn kernel(cfg: GmemConfig) -> Result<Kernel, BuildError> {
     }
     b.iadd(addr, Src::Reg(addr), Src::Reg(stride));
     b.iadd(counter, Src::Reg(counter), Src::Imm(1));
-    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(counter), Src::Imm(iters as i32));
+    b.setp(
+        Pred(0),
+        CmpOp::Lt,
+        NumTy::S32,
+        Src::Reg(counter),
+        Src::Imm(iters as i32),
+    );
     b.bra_if(Pred(0), false, "loop");
     b.exit();
     b.finish()
@@ -162,7 +170,11 @@ mod tests {
         let m = Machine::gtx285();
         // Paper Figure 3: 512T, 2M stays an order of magnitude below peak.
         let bw = measure(&m, GmemConfig::new(4, 512, 2));
-        assert!(bw < 0.35 * m.peak_global_bandwidth(), "bw {:.1} GB/s", bw / 1e9);
+        assert!(
+            bw < 0.35 * m.peak_global_bandwidth(),
+            "bw {:.1} GB/s",
+            bw / 1e9
+        );
     }
 
     #[test]

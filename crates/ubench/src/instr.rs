@@ -75,7 +75,13 @@ pub fn kernel(
         }
     }
     b.iadd(counter, Src::Reg(counter), Src::Imm(1));
-    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(counter), Src::Imm(iters as i32));
+    b.setp(
+        Pred(0),
+        CmpOp::Lt,
+        NumTy::S32,
+        Src::Reg(counter),
+        Src::Imm(iters as i32),
+    );
     b.bra_if(Pred(0), false, "loop");
     b.exit();
     b.finish()
@@ -195,7 +201,12 @@ mod tests {
             .iter()
             .map(|c| measure(&m, *c, 16, 16, 10))
             .collect();
-        assert!(at16[0] > at16[1], "Type I ({:.2e}) > Type II ({:.2e})", at16[0], at16[1]);
+        assert!(
+            at16[0] > at16[1],
+            "Type I ({:.2e}) > Type II ({:.2e})",
+            at16[0],
+            at16[1]
+        );
         assert!(at16[1] > at16[2], "Type II > Type III");
         assert!(at16[2] > at16[3], "Type III > Type IV");
     }

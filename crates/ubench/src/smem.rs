@@ -59,7 +59,13 @@ pub fn kernel(iters: u32, threads: u32) -> Result<Kernel, BuildError> {
         b.st_shared(MemAddr::new(Some(addr), dst_off + b1), v1, Width::B32);
     }
     b.iadd(counter, Src::Reg(counter), Src::Imm(1));
-    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(counter), Src::Imm(iters as i32));
+    b.setp(
+        Pred(0),
+        CmpOp::Lt,
+        NumTy::S32,
+        Src::Reg(counter),
+        Src::Imm(iters as i32),
+    );
     b.bra_if(Pred(0), false, "loop");
     b.exit();
     b.finish()
@@ -106,8 +112,12 @@ pub fn functional_stats(machine: &Machine, warps_per_sm: u32, iters: u32) -> gpa
     let (launch, _) = launch_for_warps(machine, warps_per_sm);
     let k = kernel(iters, launch.threads_per_block()).unwrap();
     let mut gmem = GlobalMemory::new();
-    let sim = FunctionalSim::new(machine, &k, LaunchConfig::new_1d(1, launch.threads_per_block()))
-        .unwrap();
+    let sim = FunctionalSim::new(
+        machine,
+        &k,
+        LaunchConfig::new_1d(1, launch.threads_per_block()),
+    )
+    .unwrap();
     sim.run(&mut gmem).unwrap().stats
 }
 
@@ -130,7 +140,10 @@ mod tests {
         let m = Machine::gtx285();
         let bw32 = measure(&m, 16, 12);
         let peak = m.peak_shared_bandwidth();
-        assert!(bw32 < peak, "sustained {bw32:.3e} must stay below peak {peak:.3e}");
+        assert!(
+            bw32 < peak,
+            "sustained {bw32:.3e} must stay below peak {peak:.3e}"
+        );
         assert!(bw32 > 0.6 * peak, "sustained {bw32:.3e} too far below peak");
     }
 
@@ -154,7 +167,10 @@ mod tests {
         let mut last = 0.0;
         for w in [1u32, 2, 4, 8, 16] {
             let bw = measure(&m, w, 10);
-            assert!(bw > last * 0.98, "bw({w}) = {bw:.3e} not ≳ bw(prev) {last:.3e}");
+            assert!(
+                bw > last * 0.98,
+                "bw({w}) = {bw:.3e} not ≳ bw(prev) {last:.3e}"
+            );
             last = bw;
         }
     }

@@ -22,7 +22,10 @@ fn main() {
             run.measured_seconds() * 1e3,
             run.measured_gflops(matmul::flops(n))
         );
-        println!("{}", report::render_with_measured(&run.analysis, run.measured_seconds()));
+        println!(
+            "{}",
+            report::render_with_measured(&run.analysis, run.measured_seconds())
+        );
         let what_if = model.what_if_max_blocks(&run.input, 16);
         println!("architectural what-if (paper §5.1): {what_if}\n");
     }

@@ -93,7 +93,10 @@ fn main() {
     let mut model = Model::new(&machine, curves);
     let input = extract(&machine, "saxpy", launch, kernel.resources, out.stats);
     let analysis = model.analyze(&input);
-    println!("\n{}", report::render_with_measured(&analysis, measured.seconds));
+    println!(
+        "\n{}",
+        report::render_with_measured(&analysis, measured.seconds)
+    );
 
     let what_ifs = vec![
         model.what_if_perfect_coalescing(&input),

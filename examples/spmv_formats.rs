@@ -23,8 +23,8 @@ fn main() {
 
     for format in Format::ALL {
         for cache in [false, true] {
-            let run = spmv::run(&machine, &mut model, &matrix, format, cache, !cache)
-                .expect("spmv runs");
+            let run =
+                spmv::run(&machine, &mut model, &matrix, format, cache, !cache).expect("spmv runs");
             let label = format!("{}{}", format.name(), if cache { "+Cache" } else { "" });
             println!(
                 "{label:>16}: {:>6.1} GFLOPS | bottleneck {:>18} | bytes/entry: matrix {:.2}, colidx {:.2}, vector {:.2}",

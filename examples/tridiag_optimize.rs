@@ -17,7 +17,10 @@ fn main() {
 
     println!("==== step 1: profile plain cyclic reduction ====");
     let cr = tridiag::run(&machine, &mut model, n, nsys, false, true).expect("CR runs");
-    println!("{}", report::render_with_measured(&cr.analysis, cr.measured_seconds()));
+    println!(
+        "{}",
+        report::render_with_measured(&cr.analysis, cr.measured_seconds())
+    );
 
     println!("==== step 2: ask the model about removing bank conflicts ====");
     let what_if = model.what_if_no_bank_conflicts(&cr.input);
@@ -25,7 +28,10 @@ fn main() {
 
     println!("==== step 3: implement the padding (CR-NBC) and verify ====");
     let nbc = tridiag::run(&machine, &mut model, n, nsys, true, true).expect("CR-NBC runs");
-    println!("{}", report::render_with_measured(&nbc.analysis, nbc.measured_seconds()));
+    println!(
+        "{}",
+        report::render_with_measured(&nbc.analysis, nbc.measured_seconds())
+    );
     println!(
         "achieved speedup: x{:.2} (model predicted x{:.2}; the paper predicted, then measured, x1.6)",
         cr.measured_seconds() / nbc.measured_seconds(),

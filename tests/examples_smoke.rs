@@ -1,0 +1,50 @@
+//! Keeps the documented example path working: every example must build,
+//! and the README's quickstart must run to completion.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")));
+    cmd
+}
+
+#[test]
+fn examples_build() {
+    let out = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("spawn cargo build --examples");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("spawn cargo run --example quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The quickstart ends with the model-vs-measured comparison and the
+    // what-if table; spot-check both so a silent early exit fails loudly.
+    assert!(
+        stdout.contains("bottleneck"),
+        "missing bottleneck report:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("what-if"),
+        "missing what-if section:\n{stdout}"
+    );
+}

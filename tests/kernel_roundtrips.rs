@@ -26,7 +26,9 @@ fn all_kernels() -> Vec<Kernel> {
 #[test]
 fn binary_round_trip_preserves_every_kernel() {
     for k in all_kernels() {
-        let words = k.to_binary().unwrap_or_else(|e| panic!("{}: encode {e:?}", k.name));
+        let words = k
+            .to_binary()
+            .unwrap_or_else(|e| panic!("{}: encode {e:?}", k.name));
         let back = Kernel::from_binary(k.name.clone(), &words, k.resources, k.param_bytes)
             .unwrap_or_else(|e| panic!("{}: decode {e:?}", k.name));
         assert_eq!(back.instrs, k.instrs, "{} binary round-trip", k.name);

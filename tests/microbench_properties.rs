@@ -25,7 +25,10 @@ fn instruction_classes_never_cross() {
             .iter()
             .map(|cl| c.instruction_throughput(*cl, w))
             .collect();
-        assert!(t[0] >= t[1] * 0.98 && t[1] >= t[2] && t[2] >= t[3], "at {w} warps: {t:?}");
+        assert!(
+            t[0] >= t[1] * 0.98 && t[1] >= t[2] && t[2] >= t[3],
+            "at {w} warps: {t:?}"
+        );
     }
 }
 
@@ -33,8 +36,8 @@ fn instruction_classes_never_cross() {
 fn shared_memory_needs_more_warps_than_the_pipeline() {
     // Paper §4.2: the shared-memory pipeline is longer.
     let c = curves();
-    let instr_frac =
-        c.instruction_throughput(InstrClass::TypeII, 6) / c.instruction_throughput(InstrClass::TypeII, 32);
+    let instr_frac = c.instruction_throughput(InstrClass::TypeII, 6)
+        / c.instruction_throughput(InstrClass::TypeII, 32);
     let smem_frac = c.shared_bandwidth(6) / c.shared_bandwidth(32);
     assert!(
         smem_frac < instr_frac,
@@ -50,7 +53,10 @@ fn global_bandwidth_prefers_multiples_of_ten_blocks() {
     let m = machine();
     let bw_14 = measure(m, GmemConfig::new(14, 256, 64));
     let bw_20 = measure(m, GmemConfig::new(20, 256, 64));
-    assert!(bw_20 > bw_14, "20 blocks {bw_20:.3e} should beat 14 {bw_14:.3e}");
+    assert!(
+        bw_20 > bw_14,
+        "20 blocks {bw_20:.3e} should beat 14 {bw_14:.3e}"
+    );
 }
 
 #[test]

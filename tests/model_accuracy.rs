@@ -36,7 +36,12 @@ fn bottleneck_identities_match_the_paper() {
     let qcd = spmv::qcd_like(8, 3);
     for format in spmv::Format::ALL {
         let r = spmv::run(machine(), &mut m, &qcd, format, false, false).unwrap();
-        assert_eq!(r.analysis.bottleneck, Component::GlobalMemory, "{}", format.name());
+        assert_eq!(
+            r.analysis.bottleneck,
+            Component::GlobalMemory,
+            "{}",
+            format.name()
+        );
     }
 }
 
@@ -69,6 +74,14 @@ fn optimization_payoffs_match_the_paper_direction() {
     // §5.3: vector interleaving wins.
     let qcd = spmv::qcd_like(8, 3);
     let im = spmv::run(machine(), &mut m, &qcd, spmv::Format::BellIm, false, false).unwrap();
-    let iv = spmv::run(machine(), &mut m, &qcd, spmv::Format::BellImIv, false, false).unwrap();
+    let iv = spmv::run(
+        machine(),
+        &mut m,
+        &qcd,
+        spmv::Format::BellImIv,
+        false,
+        false,
+    )
+    .unwrap();
     assert!(iv.measured_seconds() < im.measured_seconds());
 }
