@@ -19,4 +19,4 @@ pub mod spmv;
 pub mod tridiag;
 pub mod workflow;
 
-pub use workflow::{CaseRun, TraceMode};
+pub use workflow::{CaseOpts, CaseRun, TraceMode};

@@ -21,7 +21,7 @@
 //! Layouts: A column-major, B row-major, C column-major — every global
 //! stream is coalesced.
 
-use crate::workflow::{run_case, CaseRun, Region, TraceMode};
+use crate::workflow::{run_case, CaseOpts, CaseRun, Region, TraceMode};
 use gpa_core::Model;
 use gpa_hw::{KernelResources, Machine};
 use gpa_isa::builder::{BuildError, KernelBuilder};
@@ -295,7 +295,7 @@ pub fn flops(n: u32) -> u64 {
 }
 
 /// Run the full workflow for one tile size. When `verify` is set, the
-/// device result is checked against [`reference`].
+/// device result is checked against [`reference()`].
 ///
 /// # Errors
 ///
@@ -310,6 +310,27 @@ pub fn run(
     n: u32,
     tile: u32,
     verify: bool,
+) -> Result<CaseRun, SimError> {
+    run_with_threads(machine, model, n, tile, verify, 1)
+}
+
+/// Like [`run`], with block execution sharded across `num_threads` worker
+/// threads (`0` = auto). Results are bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn run_with_threads(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    n: u32,
+    tile: u32,
+    verify: bool,
+    num_threads: usize,
 ) -> Result<CaseRun, SimError> {
     let k = kernel(n, tile).expect("matmul kernel builds");
     let mut gmem = GlobalMemory::new();
@@ -330,7 +351,7 @@ pub fn run(
         &params,
         &mut gmem,
         &regions,
-        TraceMode::Homogeneous,
+        CaseOpts::new(TraceMode::Homogeneous, num_threads),
     )?;
     if verify {
         let c = gmem

@@ -27,7 +27,7 @@
 //! of Figure 12 are produced by routing the vector region through the
 //! timing simulator's per-cluster texture cache.
 
-use crate::workflow::{run_case, CaseRun, Region, TraceMode};
+use crate::workflow::{run_case, CaseOpts, CaseRun, Region, TraceMode};
 use gpa_core::Model;
 use gpa_hw::{KernelResources, Machine};
 use gpa_isa::builder::{BuildError, KernelBuilder};
@@ -489,6 +489,29 @@ pub fn run(
     texture: bool,
     verify: bool,
 ) -> Result<CaseRun, SimError> {
+    run_with_threads(machine, model, m, format, texture, verify, 1)
+}
+
+/// Like [`run`], with block execution (and the per-block trace pass)
+/// sharded across `num_threads` worker threads (`0` = auto). Results are
+/// bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn run_with_threads(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    m: &BlockSparse,
+    format: Format,
+    texture: bool,
+    verify: bool,
+    num_threads: usize,
+) -> Result<CaseRun, SimError> {
     let kernel = match format {
         Format::Ell => ell_kernel(m).expect("ELL kernel builds"),
         Format::BellIm => bell_kernel(m, false).expect("BELL+IM kernel builds"),
@@ -524,7 +547,7 @@ pub fn run(
         &params,
         &mut gmem,
         &regions,
-        TraceMode::PerBlock,
+        CaseOpts::new(TraceMode::PerBlock, num_threads),
     )?;
     if verify {
         let got = read_y(&gmem, &data);

@@ -22,7 +22,7 @@
 //! * the solution is written into the `d` array in place, keeping the
 //!   footprint at four arrays.
 
-use crate::workflow::{run_case, CaseRun, Region, TraceMode};
+use crate::workflow::{run_case, CaseOpts, CaseRun, Region, TraceMode};
 use gpa_core::Model;
 use gpa_hw::{KernelResources, Machine};
 use gpa_isa::builder::{BuildError, KernelBuilder};
@@ -419,6 +419,28 @@ pub fn run(
     padded: bool,
     verify: bool,
 ) -> Result<CaseRun, SimError> {
+    run_with_threads(machine, model, n, nsys, padded, verify, 1)
+}
+
+/// Like [`run`], with block execution sharded across `num_threads` worker
+/// threads (`0` = auto). Results are bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn run_with_threads(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    n: u32,
+    nsys: u32,
+    padded: bool,
+    verify: bool,
+    num_threads: usize,
+) -> Result<CaseRun, SimError> {
     let k = kernel(n, padded).expect("CR kernel builds");
     let mut gmem = GlobalMemory::new();
     let data = setup(&mut gmem, n, nsys, 0xBEEF);
@@ -437,7 +459,7 @@ pub fn run(
         &params,
         &mut gmem,
         &regions,
-        TraceMode::Homogeneous,
+        CaseOpts::new(TraceMode::Homogeneous, num_threads),
     )?;
     if verify {
         let ns = n as usize;

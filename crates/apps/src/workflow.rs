@@ -20,6 +20,46 @@ pub enum TraceMode {
     PerBlock,
 }
 
+/// Options for [`run_case`]: how traces are obtained and how many worker
+/// threads the simulation engine shards blocks across.
+///
+/// `From<TraceMode>` keeps the common call sites terse:
+/// `run_case(…, TraceMode::Homogeneous)` is a sequential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseOpts {
+    /// Trace acquisition strategy.
+    pub mode: TraceMode,
+    /// Worker threads for block execution (`1` sequential, `0` auto —
+    /// see [`gpa_sim::engine::SimEngine`]). Results are bit-identical
+    /// for every thread count.
+    pub num_threads: usize,
+}
+
+impl CaseOpts {
+    /// Options with an explicit thread count.
+    pub fn new(mode: TraceMode, num_threads: usize) -> CaseOpts {
+        CaseOpts { mode, num_threads }
+    }
+}
+
+impl Default for CaseOpts {
+    fn default() -> Self {
+        CaseOpts {
+            mode: TraceMode::Homogeneous,
+            num_threads: 1,
+        }
+    }
+}
+
+impl From<TraceMode> for CaseOpts {
+    fn from(mode: TraceMode) -> CaseOpts {
+        CaseOpts {
+            mode,
+            num_threads: 1,
+        }
+    }
+}
+
 /// A named global region to attribute traffic to.
 #[derive(Debug, Clone)]
 pub struct Region {
@@ -94,7 +134,9 @@ impl CaseRun {
 ///
 /// The functional simulation runs every block (verifying memory safety and
 /// producing `gmem` side effects callers can check against references);
-/// timing traces follow `mode`.
+/// trace acquisition and block-level parallelism follow `opts` — pass a
+/// bare [`TraceMode`] for a sequential run, or a [`CaseOpts`] to shard
+/// block execution across threads (same results, less wall-clock).
 ///
 /// # Errors
 ///
@@ -110,20 +152,19 @@ pub fn run_case(
     params: &[u32],
     gmem: &mut GlobalMemory,
     regions: &[Region],
-    mode: TraceMode,
+    opts: impl Into<CaseOpts>,
 ) -> Result<CaseRun, SimError> {
-    // Trace for timing from a pristine copy of memory (the functional pass
-    // below mutates it).
-    let mut trace_mem = gmem.clone();
-    let mut tracer = FunctionalSim::new(machine, kernel, launch)?;
-    tracer.set_params(params).collect_traces(true);
-    for r in regions {
-        if r.texture {
-            tracer.add_texture_region(r.name.clone(), r.base, r.len);
-        } else {
-            tracer.add_region(r.name.clone(), r.base, r.len);
+    let opts = opts.into();
+    let configure = |sim: &mut FunctionalSim<'_>| {
+        sim.set_params(params).set_num_threads(opts.num_threads);
+        for r in regions {
+            if r.texture {
+                sim.add_texture_region(r.name.clone(), r.base, r.len);
+            } else {
+                sim.add_region(r.name.clone(), r.base, r.len);
+            }
         }
-    }
+    };
 
     let mut timing = TimingSim::new(machine);
     let tex: Vec<(u64, u64)> = regions
@@ -135,43 +176,41 @@ pub fn run_case(
         timing.set_texture_regions(tex);
     }
 
-    let timing_result = match mode {
+    let (timing_result, stats) = match opts.mode {
         TraceMode::Homogeneous => {
+            // Trace block 0 from a pristine copy of memory, then run the
+            // functional pass (all blocks, real side effects) separately.
+            let mut trace_mem = gmem.clone();
+            let mut tracer = FunctionalSim::new(machine, kernel, launch)?;
+            configure(&mut tracer);
+            tracer.collect_traces(true);
             let mut scratch = tracer.fresh_stats();
             let trace = tracer
                 .run_block(&mut trace_mem, 0, &mut scratch)?
                 .expect("trace collection enabled");
             timing.assume_uniform_clusters(true);
             let mut src = TraceSource::Homogeneous(Rc::new(trace));
-            timing.run(&mut src, &launch, kernel.resources)
+            let t = timing.run(&mut src, &launch, kernel.resources);
+
+            let mut func = FunctionalSim::new(machine, kernel, launch)?;
+            configure(&mut func);
+            (t, func.run(gmem)?.stats)
         }
         TraceMode::PerBlock => {
-            let mut scratch = tracer.fresh_stats();
-            let mut traces = Vec::with_capacity(launch.num_blocks() as usize);
-            for b in 0..launch.num_blocks() {
-                let t = tracer
-                    .run_block(&mut trace_mem, b, &mut scratch)?
-                    .expect("trace collection enabled");
-                traces.push(Rc::new(t));
-            }
-            let mut src = TraceSource::PerBlock(traces);
-            timing.run(&mut src, &launch, kernel.resources)
+            // One engine pass produces the statistics, the per-block
+            // traces (batched per shard when `num_threads > 1`), and the
+            // gmem side effects all at once.
+            let mut func = FunctionalSim::new(machine, kernel, launch)?;
+            configure(&mut func);
+            func.collect_traces(true);
+            let out = func.run(gmem)?;
+            let traces = out.traces.expect("trace collection enabled");
+            let mut src = TraceSource::from_blocks(traces);
+            (timing.run(&mut src, &launch, kernel.resources), out.stats)
         }
     };
 
-    // Functional pass: all blocks, statistics, real side effects.
-    let mut func = FunctionalSim::new(machine, kernel, launch)?;
-    func.set_params(params);
-    for r in regions {
-        if r.texture {
-            func.add_texture_region(r.name.clone(), r.base, r.len);
-        } else {
-            func.add_region(r.name.clone(), r.base, r.len);
-        }
-    }
-    let out = func.run(gmem)?;
-
-    let input = extract(machine, &kernel.name, launch, kernel.resources, out.stats);
+    let input = extract(machine, &kernel.name, launch, kernel.resources, stats);
     let analysis = model.analyze(&input);
 
     Ok(CaseRun {

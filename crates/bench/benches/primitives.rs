@@ -62,6 +62,35 @@ fn bench_functional_sim(c: &mut Criterion) {
     });
 }
 
+fn bench_engine_sharding(c: &mut Criterion) {
+    // The SimEngine speedup exhibit: one large homogeneous grid
+    // (matmul 256², 64 blocks of 64 threads), executed sequentially vs
+    // sharded across all cores. Outputs are bit-identical; only
+    // wall-clock differs.
+    let machine = Machine::gtx285();
+    let kernel = matmul::kernel(256, 16).unwrap();
+    let launch = LaunchConfig::new_2d((16, 4), (64, 1));
+    let mut gmem0 = GlobalMemory::new();
+    let data = matmul::setup(&mut gmem0, 256);
+    let params = [data.a_dev as u32, data.b_dev as u32, data.c_dev as u32];
+    for (name, threads) in [
+        ("engine/matmul256_seq", 1usize),
+        ("engine/matmul256_par", 0),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || gmem0.clone(),
+                |mut gmem| {
+                    let mut sim = FunctionalSim::new(&machine, &kernel, launch).unwrap();
+                    sim.set_params(&params).set_num_threads(threads);
+                    sim.run(&mut gmem).unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
 fn bench_timing_sim(c: &mut Criterion) {
     let machine = Machine::gtx285();
     let kernel = matmul::kernel(128, 16).unwrap();
@@ -113,6 +142,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_coalescer, bench_bank_conflicts, bench_functional_sim,
-              bench_timing_sim, bench_model, bench_spmv_generation
+              bench_engine_sharding, bench_timing_sim, bench_model,
+              bench_spmv_generation
 }
 criterion_main!(benches);

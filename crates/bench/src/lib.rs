@@ -22,12 +22,13 @@
 //!
 //! Binaries print the paper's reported values next to ours; run them in
 //! release mode (`cargo run --release -p gpa-bench --bin fig4`). Passing
-//! `--paper` selects the paper's full problem sizes. `EXPERIMENTS.md`
-//! records a full transcript.
+//! `--paper` selects the paper's full problem sizes; `--threads N` (or
+//! `--par`) shards block simulation across worker threads with
+//! bit-identical output. `EXPERIMENTS.md` records a full transcript.
 //!
 //! `benches/primitives.rs` holds Criterion microbenchmarks of the
 //! simulator substrate itself (coalescer, bank conflicts, functional and
-//! timing simulation, model analysis).
+//! timing simulation, parallel engine sharding, model analysis).
 
 use gpa_hw::Machine;
 use gpa_ubench::{MeasureOpts, ThroughputCurves};
@@ -41,10 +42,54 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Load the full-resolution throughput curves, measuring and caching them
-/// on first use (`results/curves.json`).
+/// Content-hashed cache file for one `(machine, effort)` combination:
+/// `results/curves-<name-slug>-<hash>.json`.
+///
+/// The hash covers every [`Machine`] field and the effort knobs of
+/// [`MeasureOpts`] (`unroll`, `iters`, `dense`), so per-SKU and per-effort
+/// curves never collide. `num_threads` is deliberately excluded: it
+/// changes wall-clock, not results.
+pub fn curves_cache_path(machine: &Machine, opts: &MeasureOpts) -> PathBuf {
+    // Machine derives Debug over all fields, giving a stable, complete
+    // fingerprint without hand-listing (and silently missing) fields.
+    let fingerprint = format!(
+        "{machine:?}|unroll={} iters={} dense={}",
+        opts.unroll, opts.iters, opts.dense
+    );
+    let slug: String = machine
+        .name
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    results_dir().join(format!(
+        "curves-{slug}-{:016x}.json",
+        fnv1a(fingerprint.as_bytes())
+    ))
+}
+
+/// 64-bit FNV-1a (dependency-free stable content hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Load the full-resolution throughput curves for `machine`, measuring
+/// and caching them on first use. Honors the `--threads`/`--par` CLI
+/// flag ([`threads_arg`]) for the measurement itself — sample points are
+/// independent, so the curves (and the cache key) are identical at any
+/// thread count.
 pub fn curves(machine: &Machine) -> ThroughputCurves {
-    let path = results_dir().join("curves.json");
+    curves_with(machine, MeasureOpts::paper().with_threads(threads_arg()))
+}
+
+/// Load throughput curves at explicit effort, measuring and caching on
+/// first use under a content-hashed key ([`curves_cache_path`]).
+pub fn curves_with(machine: &Machine, opts: MeasureOpts) -> ThroughputCurves {
+    let path = curves_cache_path(machine, &opts);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(c) = ThroughputCurves::from_json(&text) {
             if c.machine_name == machine.name {
@@ -56,7 +101,7 @@ pub fn curves(machine: &Machine) -> ThroughputCurves {
         "measuring throughput curves (cached at {})...",
         path.display()
     );
-    let c = ThroughputCurves::measure_with(machine, MeasureOpts::paper());
+    let c = ThroughputCurves::measure_with(machine, opts);
     if let Ok(json) = c.to_json() {
         let _ = fs::write(&path, json);
     }
@@ -66,6 +111,37 @@ pub fn curves(machine: &Machine) -> ThroughputCurves {
 /// `true` when the binary was invoked with `--paper` (full problem sizes).
 pub fn paper_scale() -> bool {
     std::env::args().any(|a| a == "--paper")
+}
+
+/// Worker threads requested on the command line: `--threads N`
+/// (`0` = auto, one per CPU core) or `--par` as shorthand for auto.
+/// Defaults to `1` (sequential). Exhibits produce bit-identical numbers
+/// for every thread count; only wall-clock changes.
+pub fn threads_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let bad = || -> ! {
+        eprintln!("error: --threads requires a count (0 = one worker per core)");
+        std::process::exit(2);
+    };
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--threads" {
+            match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => return n,
+                None => bad(),
+            }
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            match v.parse() {
+                Ok(n) => return n,
+                Err(_) => bad(),
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--par") {
+        0
+    } else {
+        1
+    }
 }
 
 /// Print a rule line.
@@ -93,6 +169,34 @@ mod tests {
     #[test]
     fn results_dir_exists() {
         assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn cache_keys_separate_skus_and_efforts() {
+        let gtx285 = Machine::gtx285();
+        let paper = MeasureOpts::paper();
+        let base = curves_cache_path(&gtx285, &paper);
+        assert!(base
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("curves-geforce-gtx-285-"));
+        // Different SKU → different key.
+        assert_ne!(base, curves_cache_path(&Machine::geforce_8800gt(), &paper));
+        // Same SKU, different effort → different key.
+        assert_ne!(base, curves_cache_path(&gtx285, &MeasureOpts::quick()));
+        // A perturbed machine (what-if experiments) → different key.
+        let mut perturbed = gtx285.clone();
+        perturbed.max_blocks_per_sm = 16;
+        assert_ne!(base, curves_cache_path(&perturbed, &paper));
+        // Thread count does not affect results, so it shares the key.
+        assert_eq!(base, curves_cache_path(&gtx285, &paper.with_threads(8)));
+        // Stable across calls.
+        assert_eq!(
+            base,
+            curves_cache_path(&Machine::gtx285(), &MeasureOpts::paper())
+        );
     }
 
     #[test]

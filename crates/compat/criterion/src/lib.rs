@@ -11,6 +11,11 @@
 //! Timing is a plain wall-clock median over `sample_size` samples — good
 //! enough to spot order-of-magnitude regressions, with no statistics,
 //! plotting, or baseline storage.
+//!
+//! Setting `GPA_BENCH_SAMPLES=<n>` overrides every benchmark's sample
+//! count (including explicit `sample_size` configuration) — CI uses
+//! `GPA_BENCH_SAMPLES=1` as a smoke mode that proves the bench paths
+//! compile and run without paying for stable medians.
 
 use std::time::{Duration, Instant};
 
@@ -99,11 +104,20 @@ impl Criterion {
     }
 
     /// Run one named benchmark and print its median time.
+    ///
+    /// The `GPA_BENCH_SAMPLES` environment variable, when set to a
+    /// positive integer, overrides the configured sample count (CI smoke
+    /// mode).
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let samples = std::env::var("GPA_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.sample_size);
+        let mut b = Bencher::new(samples);
         f(&mut b);
         let ns = b.median_ns();
         let (value, unit) = if ns >= 1_000_000_000 {
@@ -115,10 +129,7 @@ impl Criterion {
         } else {
             (ns as f64, "ns")
         };
-        println!(
-            "{id:<40} median {value:>10.3} {unit} ({} samples)",
-            self.sample_size
-        );
+        println!("{id:<40} median {value:>10.3} {unit} ({samples} samples)");
         self
     }
 }

@@ -259,7 +259,7 @@ pub mod option {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed `usize` or a range.
+    /// Length specification for [`vec()`]: a fixed `usize` or a range.
     pub trait IntoSizeRange {
         /// Lower bound (inclusive) and upper bound (exclusive).
         fn bounds(&self) -> (usize, usize);
@@ -283,7 +283,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -262,7 +262,17 @@ impl<'m> Model<'m> {
 
     /// Build a model, measuring curves at reduced (test) effort.
     pub fn with_quick_calibration(machine: &'m Machine) -> Model<'m> {
-        let curves = ThroughputCurves::measure_with(machine, MeasureOpts::quick());
+        Model::with_calibration(machine, MeasureOpts::quick())
+    }
+
+    /// Build a model, measuring curves with explicit effort options.
+    ///
+    /// `opts.num_threads` shards the calibration's independent warp
+    /// sample points across worker threads (`0` = auto); the measured
+    /// curves — and therefore every analysis — are bit-identical for any
+    /// thread count.
+    pub fn with_calibration(machine: &'m Machine, opts: MeasureOpts) -> Model<'m> {
+        let curves = ThroughputCurves::measure_with(machine, opts);
         Model::new(machine, curves)
     }
 

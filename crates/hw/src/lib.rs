@@ -13,7 +13,7 @@
 //!   execute them;
 //! * the **peak-rate formulas** of paper §4 (instruction throughput, shared
 //!   memory bandwidth, global memory bandwidth, peak GFLOPS);
-//! * the **occupancy calculator** ([`occupancy`]) reproducing paper Table 2:
+//! * the **occupancy calculator** ([`occupancy()`]) reproducing paper Table 2:
 //!   given a kernel's register/shared-memory/thread usage, how many blocks
 //!   (and therefore warps) fit on one streaming multiprocessor.
 //!

@@ -160,6 +160,61 @@ impl Machine {
         }
     }
 
+    /// The GeForce 8800 GT (G92, 112 SPs = 14 SMs) of paper Table 3.
+    ///
+    /// G92 differences from GT200 that matter to the model: two SMs per
+    /// TPC cluster, an 8192-register file allocated in 256-register
+    /// units, a 768-thread / 24-warp residency ceiling, and a 256-bit
+    /// GDDR3 bus. G92 has no dedicated double-precision unit; Type IV is
+    /// kept at one notional unit so double-precision estimates stay
+    /// finite (real G92 software-emulates doubles far slower still).
+    pub fn geforce_8800gt() -> Machine {
+        Machine {
+            name: "GeForce 8800 GT".to_owned(),
+            clock_hz: 1.5e9,
+            num_sms: 14,
+            sms_per_cluster: 2,
+            warp_size: 32,
+            half_warp: 16,
+            fus_per_class: [10, 8, 4, 1],
+            regs_per_sm: 8192,
+            reg_alloc_unit: 256,
+            smem_per_sm: 16_384,
+            smem_banks: 16,
+            smem_bank_width: 4,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 24,
+            mem_clock_hz: 1.8e9,
+            mem_bus_bits: 256,
+            gmem_segment_sizes: [32, 64, 128],
+        }
+    }
+
+    /// The GeForce 9800 GTX (G92, 128 SPs = 16 SMs) of paper Table 3:
+    /// the same G92 architecture as [`Machine::geforce_8800gt`] with two
+    /// more SMs, a faster shader clock, and faster GDDR3.
+    pub fn geforce_9800gtx() -> Machine {
+        Machine {
+            num_sms: 16,
+            clock_hz: 1.688e9,
+            mem_clock_hz: 2.2e9,
+            name: "GeForce 9800 GTX".to_owned(),
+            ..Machine::geforce_8800gt()
+        }
+    }
+
+    /// The three SKUs of paper Table 3, flagship first — the sweep list
+    /// for cross-GPU validation runs.
+    pub fn paper_table3() -> [Machine; 3] {
+        [
+            Machine::gtx285(),
+            Machine::geforce_9800gtx(),
+            Machine::geforce_8800gt(),
+        ]
+    }
+
     /// Number of TPC clusters (`num_sms / sms_per_cluster`). GTX 285: 10.
     #[inline]
     pub fn num_clusters(&self) -> u32 {
@@ -293,6 +348,51 @@ mod tests {
         // §4.3: 2.484 GHz · 512 bits / 8 = 158.976 GB/s (the paper says "160").
         let m = Machine::gtx285();
         assert!((m.peak_global_bandwidth() - 158.976e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn table3_skus_have_the_published_peaks() {
+        // 8800 GT: 8 · 1.5 GHz · 14 / 32 · 32 · 2 = 336 GFLOPS (MAD),
+        // 1.8 GHz · 256 bit / 8 = 57.6 GB/s.
+        let gt = Machine::geforce_8800gt();
+        assert!(
+            (gt.peak_flops_sp() - 336.0e9).abs() < 1e8,
+            "{}",
+            gt.peak_flops_sp()
+        );
+        assert!((gt.peak_global_bandwidth() - 57.6e9).abs() < 1e6);
+        assert_eq!(gt.num_clusters(), 7);
+        // 9800 GTX: 8 · 1.688 GHz · 16 / 32 · 32 · 2 = 432.1 GFLOPS,
+        // 2.2 GHz · 256 bit / 8 = 70.4 GB/s.
+        let gtx = Machine::geforce_9800gtx();
+        assert!(
+            (gtx.peak_flops_sp() - 432.1e9).abs() < 1e8,
+            "{}",
+            gtx.peak_flops_sp()
+        );
+        assert!((gtx.peak_global_bandwidth() - 70.4e9).abs() < 1e6);
+        assert_eq!(gtx.num_clusters(), 8);
+    }
+
+    #[test]
+    fn table3_ordering_and_identity() {
+        let [flagship, mid, low] = Machine::paper_table3();
+        assert_eq!(flagship.name, "GeForce GTX 285");
+        assert_eq!(mid.name, "GeForce 9800 GTX");
+        assert_eq!(low.name, "GeForce 8800 GT");
+        // Flagship dominates on every headline rate.
+        assert!(flagship.peak_flops_sp() > mid.peak_flops_sp());
+        assert!(mid.peak_flops_sp() > low.peak_flops_sp());
+        assert!(flagship.peak_global_bandwidth() > mid.peak_global_bandwidth());
+        assert!(mid.peak_global_bandwidth() > low.peak_global_bandwidth());
+        // G92 SKUs share the architecture, differing only in SM count
+        // and clocks.
+        let mut mid_as_low = mid.clone();
+        mid_as_low.name = low.name.clone();
+        mid_as_low.num_sms = low.num_sms;
+        mid_as_low.clock_hz = low.clock_hz;
+        mid_as_low.mem_clock_hz = low.mem_clock_hz;
+        assert_eq!(mid_as_low, low);
     }
 
     #[test]

@@ -316,6 +316,83 @@ mod tests {
 }
 
 #[cfg(test)]
+mod sku_tests {
+    //! Occupancy sanity per paper-Table-3 SKU: the G92 parts differ from
+    //! the GTX 285 in register file (8192, 256-unit allocation) and
+    //! residency ceilings (768 threads / 24 warps), so the same kernel
+    //! footprint occupies them differently.
+
+    use super::*;
+
+    #[test]
+    fn matmul_16x16_footprint_across_skus() {
+        // Paper Table 2's 16×16 row: 30 regs, 1088 B, 64 threads.
+        let res = KernelResources::new(30, 1088, 64);
+        let on_gt200 = occupancy(&Machine::gtx285(), res);
+        assert_eq!(on_gt200.blocks, 8);
+        assert_eq!(on_gt200.active_warps, 16);
+        // G92: 30 regs × 2 warps × 32 lanes = 1920 → 2048 in 256-register
+        // units → 8192 / 2048 = 4 blocks; registers bind.
+        for g92 in [Machine::geforce_8800gt(), Machine::geforce_9800gtx()] {
+            let occ = occupancy(&g92, res);
+            assert_eq!(occ.blocks_by_regs, 4, "{}", g92.name);
+            assert_eq!(occ.blocks, 4, "{}", g92.name);
+            assert_eq!(occ.active_warps, 8, "{}", g92.name);
+            assert_eq!(occ.limiter, Limiter::Registers, "{}", g92.name);
+        }
+    }
+
+    #[test]
+    fn g92_warp_ceiling_binds_at_24_warps() {
+        // 256-thread blocks, tiny footprint: GTX 285 fits 4 blocks
+        // (32 warps); G92 only 3 (768-thread / 24-warp ceiling).
+        let res = KernelResources::new(4, 0, 256);
+        assert_eq!(occupancy(&Machine::gtx285(), res).active_warps, 32);
+        for g92 in [Machine::geforce_8800gt(), Machine::geforce_9800gtx()] {
+            let occ = occupancy(&g92, res);
+            assert_eq!(occ.blocks, 3, "{}", g92.name);
+            assert_eq!(occ.active_warps, 24, "{}", g92.name);
+            assert_eq!(occ.limiter, Limiter::Threads, "{}", g92.name);
+            assert!((occ.fraction(&g92) - 1.0).abs() < 1e-12, "{}", g92.name);
+        }
+    }
+
+    #[test]
+    fn every_sku_respects_its_own_ceilings() {
+        for m in Machine::paper_table3() {
+            for (regs, smem, threads) in
+                [(0, 0, 64), (16, 2048, 128), (32, 8448, 256), (60, 4284, 64)]
+            {
+                let occ = occupancy(&m, KernelResources::new(regs, smem, threads));
+                assert!(occ.blocks <= m.max_blocks_per_sm, "{}", m.name);
+                assert!(occ.active_warps <= m.max_warps_per_sm, "{}", m.name);
+                assert!(
+                    occ.blocks * threads <= m.max_threads_per_sm || occ.blocks == 0,
+                    "{}",
+                    m.name
+                );
+                assert!(occ.fraction(&m) <= 1.0, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn g92_register_file_cliff() {
+        // 8192 registers: a 512-thread block at 16 regs/thread consumes
+        // exactly the G92 file (16 × 16 warps × 32 = 8192) → one block.
+        let res = KernelResources::new(16, 0, 512);
+        let occ = occupancy(&Machine::geforce_8800gt(), res);
+        assert_eq!(occ.blocks_by_regs, 1);
+        assert_eq!(occ.blocks, 1);
+        // One more register per thread and nothing fits.
+        let over = occupancy(&Machine::geforce_8800gt(), KernelResources::new(17, 0, 512));
+        assert_eq!(over.blocks, 0);
+        // The same footprint fits two blocks on GT200's 16384-register file.
+        assert_eq!(occupancy(&Machine::gtx285(), res).blocks_by_regs, 2);
+    }
+}
+
+#[cfg(test)]
 mod boundary_tests {
     //! Exact-boundary behaviour of each ceiling: the register allocation
     //! cliff at the 512-register unit, shared memory at and just past an

@@ -17,7 +17,7 @@
 //! * [`asm`] — a textual assembler and disassembler;
 //! * [`kernel`] — the kernel container (instructions + declared resources)
 //!   and its validator;
-//! * [`cfg`] — control-flow analysis: basic blocks, postdominators, and the
+//! * [`mod@cfg`] — control-flow analysis: basic blocks, postdominators, and the
 //!   branch reconvergence points the SIMT divergence stack needs;
 //! * [`builder`] — [`builder::KernelBuilder`], an ergonomic programmatic
 //!   emitter with label patching, a register allocator, and shared-memory /

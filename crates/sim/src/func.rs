@@ -43,6 +43,7 @@ pub struct FunctionalSim<'a> {
     region_defs: Vec<(String, u64, u64, bool)>,
     fuel: u64,
     collect_trace: bool,
+    num_threads: usize,
     cfg: Cfg,
     bank_cfg: BankConfig,
     coalesce_cfgs: [CoalesceConfig; 3],
@@ -80,6 +81,7 @@ impl<'a> FunctionalSim<'a> {
             region_defs: Vec::new(),
             fuel: 20_000_000_000,
             collect_trace: false,
+            num_threads: 1,
             cfg: Cfg::build(&kernel.instrs),
             bank_cfg: BankConfig {
                 banks: machine.smem_banks,
@@ -127,24 +129,56 @@ impl<'a> FunctionalSim<'a> {
         self
     }
 
-    /// Execute every block of the grid (sequentially, in block-id order).
+    /// Shard the grid's blocks across `n` worker threads in
+    /// [`FunctionalSim::run`] (the `par` knob). `1` — the default — is the
+    /// plain sequential path; `0` means "auto": one worker per available
+    /// CPU core. Output is bit-identical for every thread count; see
+    /// [`crate::engine`] for the sharding/merge contract.
+    pub fn set_num_threads(&mut self, n: usize) -> &mut Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Configured worker-thread count (`0` = auto).
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The launch shape being simulated.
+    pub fn launch(&self) -> &LaunchConfig {
+        &self.launch
+    }
+
+    /// Whether per-warp traces are being recorded.
+    pub fn is_collecting_traces(&self) -> bool {
+        self.collect_trace
+    }
+
+    /// Configured fuel budget (shared by a whole sequential run; applied
+    /// per shard by the parallel engine).
+    pub(crate) fn fuel_budget(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Execute every block of the grid, in block-id order.
+    ///
+    /// With the default single worker thread ([`FunctionalSim::set_num_threads`])
+    /// blocks run sequentially on the calling thread; with more, the
+    /// [`crate::engine::SimEngine`] shards blocks across workers and merges
+    /// the results into the same (bit-identical) output. Blocks must be
+    /// independent, as in a real grid launch: a block that reads global
+    /// memory written by a lower-id block of the same launch observes the
+    /// pre-launch contents under the parallel engine.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError`] (out-of-bounds access, divergent
-    /// barrier, fuel exhaustion, …).
+    /// Propagates the first (lowest-block-id) [`SimError`] (out-of-bounds
+    /// access, divergent barrier, fuel exhaustion, …). The fuel budget
+    /// covers the whole grid in a sequential run but each shard separately
+    /// in a parallel one, so only fuel-exhaustion behaviour may differ
+    /// between thread counts.
     pub fn run(&self, gmem: &mut GlobalMemory) -> Result<RunOutput, SimError> {
-        let mut stats = self.fresh_stats();
-        let mut traces = self.collect_trace.then(Vec::new);
-        let mut fuel = self.fuel;
-        for b in 0..self.launch.num_blocks() {
-            let trace = self.exec_block(gmem, b, &mut stats, &mut fuel)?;
-            if let (Some(ts), Some(t)) = (traces.as_mut(), trace) {
-                ts.push(t);
-            }
-        }
-        stats.blocks = u64::from(self.launch.num_blocks());
-        Ok(RunOutput { stats, traces })
+        crate::engine::SimEngine::new(self.num_threads).run(self, gmem)
     }
 
     /// Execute a single block (used by the timing simulator's lazy trace
@@ -186,7 +220,7 @@ impl<'a> FunctionalSim<'a> {
         }
     }
 
-    fn exec_block(
+    pub(crate) fn exec_block(
         &self,
         gmem: &mut GlobalMemory,
         block: u32,

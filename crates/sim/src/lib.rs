@@ -11,7 +11,9 @@
 //!   transactions weighted by bank conflicts, coalesced global-memory
 //!   transactions at several granularities, and per-barrier stage splits.
 //!   It can also record per-warp instruction traces for the timing
-//!   simulator.
+//!   simulator. Grids can execute sequentially or sharded across worker
+//!   threads by [`engine::SimEngine`] with bit-identical output
+//!   ([`func::FunctionalSim::set_num_threads`]).
 //! * [`timing::TimingSim`] — the **hardware substitute**: a coarse
 //!   cycle-level model of the GTX 285 (scoreboarded in-order warp issue,
 //!   per-class port occupancy, a 16-bank shared-memory port, TPC clusters
@@ -25,6 +27,7 @@
 //! See DESIGN.md §4.2 for the calibration of the timing parameters against
 //! the paper's published curves.
 
+pub mod engine;
 pub mod error;
 pub mod func;
 pub mod grid;
@@ -32,6 +35,7 @@ pub mod memory;
 pub mod stats;
 pub mod timing;
 
+pub use engine::SimEngine;
 pub use error::SimError;
 pub use func::FunctionalSim;
 pub use grid::LaunchConfig;

@@ -1,14 +1,32 @@
 //! Simulated global memory: a flat bump-allocated arena.
 
+/// One captured store: `(device address, value written)`.
+///
+/// The parallel [`crate::engine::SimEngine`] runs each block shard against
+/// a private copy of memory with capture enabled, then replays the logs in
+/// shard (= block-id) order so the merged memory image is bit-identical to
+/// a sequential run.
+pub type WriteRecord = (u64, u32);
+
 /// The device's global memory.
 ///
 /// A flat byte arena with a bump allocator. Allocations start above address
 /// zero so stray null-ish pointers fault, and every access is
 /// bounds-checked against the allocated extent.
+///
+/// Equality ([`PartialEq`]) compares the allocated contents and extent
+/// only, not instrumentation state such as an active write-capture log.
 #[derive(Debug, Clone)]
 pub struct GlobalMemory {
     data: Vec<u8>,
     cursor: u64,
+    capture: Option<Vec<WriteRecord>>,
+}
+
+impl PartialEq for GlobalMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.cursor == other.cursor && self.data == other.data
+    }
 }
 
 /// Out-of-bounds access marker returned by the read/write accessors;
@@ -34,7 +52,47 @@ impl GlobalMemory {
         GlobalMemory {
             data: Vec::new(),
             cursor: BASE,
+            capture: None,
         }
+    }
+
+    /// Start logging every [`GlobalMemory::write_u32`] into a capture
+    /// buffer (clears any previous log). Used by the parallel simulation
+    /// engine to extract a shard's side effects for deterministic replay.
+    pub fn begin_write_capture(&mut self) {
+        self.capture = Some(Vec::new());
+    }
+
+    /// Stop capturing and return the log of writes since
+    /// [`GlobalMemory::begin_write_capture`], in execution order. Returns
+    /// an empty log when capture was never enabled.
+    pub fn take_captured_writes(&mut self) -> Vec<WriteRecord> {
+        self.capture.take().unwrap_or_default()
+    }
+
+    /// Replay a captured write log into this memory. If *this* memory has
+    /// an active capture of its own, the replayed records are appended to
+    /// it — so an outer capture observes the same log whether the device
+    /// writes arrived directly (sequential run) or via a shard replay
+    /// (parallel run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OobAccess`] when any record falls outside the allocated
+    /// extent (the log came from a memory with a different layout); no
+    /// writes are applied in that case.
+    pub fn apply_writes(&mut self, writes: &[WriteRecord]) -> Result<(), OobAccess> {
+        if writes.iter().any(|&(a, _)| !self.in_bounds(a, 4)) {
+            return Err(OobAccess);
+        }
+        for &(addr, value) in writes {
+            let i = addr as usize;
+            self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        }
+        if let Some(log) = self.capture.as_mut() {
+            log.extend_from_slice(writes);
+        }
+        Ok(())
     }
 
     /// Allocate `bytes` aligned to `align` (power of two) and return the
@@ -106,6 +164,9 @@ impl GlobalMemory {
         }
         let i = addr as usize;
         self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        if let Some(log) = self.capture.as_mut() {
+            log.push((addr, value));
+        }
         Ok(())
     }
 
@@ -179,6 +240,52 @@ mod tests {
         let a = m.alloc(8, 4);
         assert!(m.read_u32(a + 8).is_err());
         assert!(m.write_u32(a + 8, 1).is_err());
+    }
+
+    #[test]
+    fn capture_logs_and_replays() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc(16, 4);
+        let mut shard = m.clone();
+        shard.begin_write_capture();
+        shard.write_u32(a, 7).unwrap();
+        shard.write_u32(a + 8, 9).unwrap();
+        shard.write_u32(a, 11).unwrap(); // overwrites preserve order
+        let log = shard.take_captured_writes();
+        assert_eq!(log, vec![(a, 7), (a + 8, 9), (a, 11)]);
+        m.apply_writes(&log).unwrap();
+        assert_eq!(m, shard);
+        assert_eq!(m.read_u32(a).unwrap(), 11);
+        assert_eq!(m.read_u32(a + 8).unwrap(), 9);
+        // Replay of an out-of-layout log is rejected.
+        let small = GlobalMemory::new();
+        assert!(small.clone().apply_writes(&log).is_err());
+        assert_ne!(small, m);
+    }
+
+    #[test]
+    fn replay_feeds_an_outer_capture() {
+        // An outer capture must see the same log whether writes arrive
+        // directly or via a shard replay (parallel-engine merge).
+        let mut m = GlobalMemory::new();
+        let a = m.alloc(8, 4);
+        m.begin_write_capture();
+        m.write_u32(a, 1).unwrap();
+        m.apply_writes(&[(a + 4, 2), (a, 3)]).unwrap();
+        assert_eq!(m.take_captured_writes(), vec![(a, 1), (a + 4, 2), (a, 3)]);
+    }
+
+    #[test]
+    fn capture_disabled_by_default_and_after_take() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc(4, 4);
+        m.write_u32(a, 1).unwrap();
+        assert!(m.take_captured_writes().is_empty());
+        m.begin_write_capture();
+        m.write_u32(a, 2).unwrap();
+        let _ = m.take_captured_writes();
+        m.write_u32(a, 3).unwrap();
+        assert!(m.take_captured_writes().is_empty());
     }
 
     #[test]

@@ -112,7 +112,29 @@ impl StageStats {
     }
 
     /// Accumulate another stage's counts into this one.
+    ///
+    /// This is the **cross-stage** combination used by
+    /// [`DynamicStats::total`]: the per-step warp-parallelism gauges
+    /// `warps_any`/`warps_smem` take the *maximum* (a program's peak
+    /// parallelism, not a sum over its stages). To combine the same stage
+    /// from disjoint block shards use [`StageStats::merge_blocks`].
     pub fn merge(&mut self, other: &StageStats) {
+        self.add_counts(other);
+        self.warps_any = self.warps_any.max(other.warps_any);
+        self.warps_smem = self.warps_smem.max(other.warps_smem);
+    }
+
+    /// Combine the same stage observed over **disjoint sets of blocks**
+    /// (the parallel engine's shard merge): every field is additive,
+    /// including `warps_any`/`warps_smem`, which are defined as warps
+    /// *summed over blocks*.
+    pub fn merge_blocks(&mut self, other: &StageStats) {
+        self.add_counts(other);
+        self.warps_any += other.warps_any;
+        self.warps_smem += other.warps_smem;
+    }
+
+    fn add_counts(&mut self, other: &StageStats) {
         for i in 0..4 {
             self.instr_by_class[i] += other.instr_by_class[i];
         }
@@ -128,8 +150,6 @@ impl StageStats {
         self.gmem_requested_bytes += other.gmem_requested_bytes;
         self.gmem_instrs += other.gmem_instrs;
         self.barriers += other.barriers;
-        self.warps_any = self.warps_any.max(other.warps_any);
-        self.warps_smem = self.warps_smem.max(other.warps_smem);
     }
 }
 
@@ -188,6 +208,42 @@ impl DynamicStats {
     /// Total warps launched.
     pub fn total_warps(&self) -> u64 {
         self.blocks * u64::from(self.warps_per_block)
+    }
+
+    /// Fold the statistics of a **disjoint block shard** into this one
+    /// (the parallel engine's deterministic merge): stages combine
+    /// index-wise via [`StageStats::merge_blocks`], per-region traffic is
+    /// summed, and `blocks` accumulates. Both sides must come from the
+    /// same launch (same region definitions and block shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region lists disagree, which indicates the shards
+    /// came from differently configured simulators.
+    pub fn merge_shard(&mut self, other: &DynamicStats) {
+        if self.stages.len() < other.stages.len() {
+            self.stages
+                .resize(other.stages.len(), StageStats::default());
+        }
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.merge_blocks(theirs);
+        }
+        assert_eq!(
+            self.regions.len(),
+            other.regions.len(),
+            "shard region lists differ"
+        );
+        for (mine, theirs) in self.regions.iter_mut().zip(&other.regions) {
+            assert_eq!(mine.name, theirs.name, "shard region lists differ");
+            for g in 0..3 {
+                mine.gmem[g].transactions += theirs.gmem[g].transactions;
+                mine.gmem[g].bytes += theirs.gmem[g].bytes;
+            }
+            mine.requested_bytes += theirs.requested_bytes;
+        }
+        self.blocks += other.blocks;
+        self.warps_per_block = other.warps_per_block;
+        self.threads_per_block = other.threads_per_block;
     }
 }
 
@@ -268,6 +324,85 @@ mod tests {
         assert_eq!(a.instr(InstrClass::TypeII), 15);
         assert_eq!(a.smem_warp_equiv(), 4.0);
         assert_eq!(a.bank_conflict_factor(), 4.0);
+    }
+
+    #[test]
+    fn merge_blocks_sums_warp_gauges() {
+        let mut a = StageStats {
+            warps_any: 4,
+            warps_smem: 2,
+            ..Default::default()
+        };
+        let b = StageStats {
+            warps_any: 3,
+            warps_smem: 5,
+            ..Default::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!((m.warps_any, m.warps_smem), (4, 5)); // cross-stage: max
+        a.merge_blocks(&b);
+        assert_eq!((a.warps_any, a.warps_smem), (7, 7)); // shards: sum
+    }
+
+    #[test]
+    fn merge_shard_is_stagewise_and_additive() {
+        let region = |n: u64| RegionStats {
+            name: "r".into(),
+            base: 0,
+            len: 64,
+            texture: false,
+            gmem: [GmemGranStats {
+                transactions: n,
+                bytes: 32 * n,
+            }; 3],
+            requested_bytes: 4 * n,
+        };
+        let stage = |instrs: u64, warps: u64| StageStats {
+            instr_by_class: [instrs, 0, 0, 0],
+            warps_any: warps,
+            ..Default::default()
+        };
+        let mut a = DynamicStats {
+            stages: vec![stage(3, 2)],
+            regions: vec![region(1)],
+            blocks: 2,
+            warps_per_block: 2,
+            threads_per_block: 64,
+        };
+        let b = DynamicStats {
+            stages: vec![stage(5, 4), stage(7, 4)],
+            regions: vec![region(10)],
+            blocks: 3,
+            warps_per_block: 2,
+            threads_per_block: 64,
+        };
+        a.merge_shard(&b);
+        assert_eq!(a.blocks, 5);
+        assert_eq!(a.stages.len(), 2);
+        assert_eq!(a.stages[0].instr(InstrClass::TypeI), 8);
+        assert_eq!(a.stages[0].warps_any, 6);
+        assert_eq!(a.stages[1].instr(InstrClass::TypeI), 7);
+        assert_eq!(a.regions[0].gmem[0].transactions, 11);
+        assert_eq!(a.regions[0].requested_bytes, 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard region lists differ")]
+    fn merge_shard_rejects_mismatched_regions() {
+        let mut a = DynamicStats::default();
+        let b = DynamicStats {
+            regions: vec![RegionStats {
+                name: "x".into(),
+                base: 0,
+                len: 4,
+                texture: false,
+                gmem: Default::default(),
+                requested_bytes: 0,
+            }],
+            ..Default::default()
+        };
+        a.merge_shard(&b);
     }
 
     #[test]

@@ -102,6 +102,15 @@ pub enum TraceSource<'a> {
 }
 
 impl<'a> TraceSource<'a> {
+    /// A [`TraceSource::PerBlock`] from already-collected traces in
+    /// block-id order — the bridge from a parallel
+    /// [`crate::engine::SimEngine`] run, which batches block execution per
+    /// shard and returns the concatenated traces, to the (inherently
+    /// sequential) timing replay.
+    pub fn from_blocks(traces: Vec<BlockTrace>) -> TraceSource<'static> {
+        TraceSource::PerBlock(traces.into_iter().map(Rc::new).collect())
+    }
+
     fn fetch(&mut self, block: u32) -> Rc<BlockTrace> {
         match self {
             TraceSource::Homogeneous(t) => Rc::clone(t),

@@ -21,6 +21,11 @@ pub struct MeasureOpts {
     /// Measure every warp count `1..=16` plus even counts to 32 when
     /// `true`; a sparse grid when `false`.
     pub dense: bool,
+    /// Worker threads measuring warp sample points concurrently
+    /// (`1` sequential, `0` auto — one per CPU core). Each sample point
+    /// is an independent simulation, so the measured curves are
+    /// bit-identical for every thread count; only wall-clock changes.
+    pub num_threads: usize,
 }
 
 impl MeasureOpts {
@@ -30,6 +35,7 @@ impl MeasureOpts {
             unroll: 64,
             iters: 50,
             dense: true,
+            num_threads: 1,
         }
     }
 
@@ -39,7 +45,14 @@ impl MeasureOpts {
             unroll: 24,
             iters: 10,
             dense: false,
+            num_threads: 1,
         }
+    }
+
+    /// The same effort, measured on `n` worker threads (`0` = auto).
+    pub fn with_threads(mut self, n: usize) -> MeasureOpts {
+        self.num_threads = n;
+        self
     }
 
     /// The warp/SM sample points.
@@ -78,25 +91,77 @@ impl ThroughputCurves {
     }
 
     /// Measure with explicit effort.
+    ///
+    /// Warp sample points are independent simulations; with
+    /// `opts.num_threads != 1` they are measured concurrently (striped
+    /// across scoped threads) and reassembled in sample order, so the
+    /// curves are identical for every thread count.
     pub fn measure_with(machine: &Machine, opts: MeasureOpts) -> ThroughputCurves {
         let warps = opts.warp_samples();
+        let n_threads = match opts.num_threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            n => n,
+        }
+        .min(warps.len())
+        .max(1);
+
+        let samples: Vec<([f64; 4], f64)> = if n_threads <= 1 {
+            warps
+                .iter()
+                .map(|&w| Self::measure_sample(machine, w, opts))
+                .collect()
+        } else {
+            let mut slots: Vec<Option<([f64; 4], f64)>> = vec![None; warps.len()];
+            std::thread::scope(|scope| {
+                let warps = &warps;
+                let handles: Vec<_> = (0..n_threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            warps
+                                .iter()
+                                .enumerate()
+                                .skip(t)
+                                .step_by(n_threads)
+                                .map(|(i, &w)| (i, Self::measure_sample(machine, w, opts)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, s) in h.join().expect("measurement worker panicked") {
+                        slots[i] = Some(s);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("all samples measured"))
+                .collect()
+        };
+
         let mut instr: [Vec<f64>; 4] = Default::default();
-        for class in InstrClass::ALL {
-            let col = &mut instr[class.index()];
-            for &w in &warps {
-                col.push(instr::measure(machine, class, w, opts.unroll, opts.iters));
+        for (per_class, _) in &samples {
+            for class in InstrClass::ALL {
+                instr[class.index()].push(per_class[class.index()]);
             }
         }
-        let smem_curve = warps
-            .iter()
-            .map(|&w| smem::measure(machine, w, opts.iters.max(4)))
-            .collect();
+        let smem_curve = samples.iter().map(|(_, s)| *s).collect();
         ThroughputCurves {
             machine_name: machine.name.clone(),
             warps,
             instr,
             smem: smem_curve,
         }
+    }
+
+    /// All measurements at one warp count: the four class throughputs
+    /// plus the shared-memory bandwidth.
+    fn measure_sample(machine: &Machine, w: u32, opts: MeasureOpts) -> ([f64; 4], f64) {
+        let mut per_class = [0.0f64; 4];
+        for class in InstrClass::ALL {
+            per_class[class.index()] = instr::measure(machine, class, w, opts.unroll, opts.iters);
+        }
+        (per_class, smem::measure(machine, w, opts.iters.max(4)))
     }
 
     fn interp(warps: &[u32], ys: &[f64], w: u32) -> f64 {
@@ -303,6 +368,17 @@ mod tests {
         // Below the first: through the origin.
         let at1 = c.shared_bandwidth(1);
         assert!(at1 > 0.0);
+    }
+
+    #[test]
+    fn parallel_measurement_is_bit_identical() {
+        let m = Machine::gtx285();
+        let seq = ThroughputCurves::measure_with(&m, MeasureOpts::quick());
+        for threads in [2usize, 3, 0] {
+            let par =
+                ThroughputCurves::measure_with(&m, MeasureOpts::quick().with_threads(threads));
+            assert_eq!(seq, par, "curves diverge at {threads} threads");
+        }
     }
 
     #[test]

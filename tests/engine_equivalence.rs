@@ -1,0 +1,188 @@
+//! Integration property: the parallel block-sharded [`gpa::sim::SimEngine`]
+//! is **observationally identical** to the sequential walk. For random
+//! kernels and launch shapes, a run sharded across worker threads must
+//! produce exactly the same `DynamicStats`, the same per-warp traces, and
+//! the same final global-memory image as `num_threads = 1` — bit for bit.
+
+use gpa::hw::Machine;
+use gpa::isa::instr::{CmpOp, MemAddr, NumTy, SpecialReg, Width};
+use gpa::isa::{Kernel, KernelBuilder, Pred, Src};
+use gpa::sim::func::RunOutput;
+use gpa::sim::{FunctionalSim, GlobalMemory, LaunchConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn machine() -> &'static Machine {
+    static M: OnceLock<Machine> = OnceLock::new();
+    M.get_or_init(Machine::gtx285)
+}
+
+/// Deterministically expand `seed` into a small but varied kernel:
+/// an integer hash chain over `tid`/`ctaid` with optional guarded ops,
+/// warp divergence, and a shared-memory staging round (store → barrier →
+/// read a rotated neighbour slot), ending in one global store per thread.
+fn random_kernel(seed: u64, threads: u32) -> Kernel {
+    let mut b = KernelBuilder::new(format!("prop_{seed:016x}"));
+    b.set_threads(threads);
+    let smem = b.smem_alloc(threads * 4, 4).unwrap() as i32;
+    let out_p = b.param_alloc();
+
+    let tid = b.alloc_reg().unwrap();
+    let cta = b.alloc_reg().unwrap();
+    let ntid = b.alloc_reg().unwrap();
+    let acc = b.alloc_reg().unwrap();
+    let tmp = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(cta, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    b.imad(acc, Src::Reg(cta), Src::Imm(1_664_525), Src::Reg(tid));
+
+    let n_ops = 1 + (seed % 8) as usize;
+    let mut bits = seed;
+    for i in 0..n_ops {
+        bits = bits
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let k = (bits >> 33) as i32;
+        match bits % 7 {
+            0 => {
+                b.iadd(acc, Src::Reg(acc), Src::Imm(k));
+            }
+            1 => {
+                b.imul(acc, Src::Reg(acc), Src::Imm(k | 1));
+            }
+            2 => {
+                b.xor(acc, Src::Reg(acc), Src::Imm(k));
+            }
+            3 => {
+                b.shl(tmp, Src::Reg(acc), Src::Imm(k.rem_euclid(8)));
+                b.xor(acc, Src::Reg(acc), Src::Reg(tmp));
+            }
+            4 => {
+                b.imax(acc, Src::Reg(acc), Src::Imm(k));
+            }
+            5 => {
+                // Guarded update: only lanes with tid & mask take it.
+                b.and(tmp, Src::Reg(tid), Src::Imm(3));
+                b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tmp), Src::Imm(2));
+                b.set_guard(Pred(0), false);
+                b.iadd(acc, Src::Reg(acc), Src::Imm(k | 7));
+                b.clear_guard();
+            }
+            _ => {
+                // Warp divergence through the PDOM stack.
+                let skip = format!("skip{i}");
+                b.and(tmp, Src::Reg(tid), Src::Imm(1));
+                b.setp(Pred(1), CmpOp::Eq, NumTy::S32, Src::Reg(tmp), Src::Imm(0));
+                b.bra_if(Pred(1), false, skip.clone());
+                b.imad(acc, Src::Reg(acc), Src::Imm(k | 3), Src::Reg(tid));
+                b.label(skip);
+            }
+        }
+    }
+
+    if seed & 1 == 0 {
+        // Shared staging round: smem[tid] = acc; bar; acc ^= smem[rot(tid)].
+        let rot = 1 + ((seed >> 8) % u64::from(threads.min(31))) as i32;
+        b.shl(addr, Src::Reg(tid), Src::Imm(2));
+        b.st_shared(MemAddr::new(Some(addr), smem), acc, Width::B32);
+        b.bar();
+        b.iadd(tmp, Src::Reg(tid), Src::Imm(rot));
+        // tmp %= threads (threads is a power-of-two-free count, so use
+        // compare-and-subtract, valid for rot < threads).
+        b.setp(
+            Pred(2),
+            CmpOp::Ge,
+            NumTy::S32,
+            Src::Reg(tmp),
+            Src::Imm(threads as i32),
+        );
+        b.set_guard(Pred(2), false);
+        b.isub(tmp, Src::Reg(tmp), Src::Imm(threads as i32));
+        b.clear_guard();
+        b.shl(tmp, Src::Reg(tmp), Src::Imm(2));
+        b.ld_shared(tmp, MemAddr::new(Some(tmp), smem), Width::B32);
+        b.xor(acc, Src::Reg(acc), Src::Reg(tmp));
+    }
+
+    // out[cta * ntid + tid] = acc
+    b.imad(addr, Src::Reg(cta), Src::Reg(ntid), Src::Reg(tid));
+    b.shl(addr, Src::Reg(addr), Src::Imm(2));
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), acc, Width::B32);
+    b.exit();
+    b.finish().expect("generated kernel is structurally valid")
+}
+
+fn run(kernel: &Kernel, launch: LaunchConfig, num_threads: usize) -> (RunOutput, GlobalMemory) {
+    let total = u64::from(launch.num_blocks()) * u64::from(launch.threads_per_block());
+    let mut gmem = GlobalMemory::new();
+    let out = gmem.alloc(total * 4, 128);
+    let mut sim = FunctionalSim::new(machine(), kernel, launch).expect("launchable");
+    sim.set_params(&[out as u32])
+        .collect_traces(true)
+        .set_num_threads(num_threads);
+    sim.add_region("out", out, total * 4);
+    let output = sim.run(&mut gmem).expect("kernel runs");
+    (output, gmem)
+}
+
+proptest! {
+    #[test]
+    fn parallel_engine_equals_sequential(
+        seed in 0u64..u64::MAX,
+        grid in 1u32..=24,
+        threads in prop_oneof![Just(32u32), Just(48), Just(64), Just(96), Just(128)],
+        workers in 2usize..=6,
+    ) {
+        let kernel = random_kernel(seed, threads);
+        let launch = LaunchConfig::new_1d(grid, threads);
+        let (seq, seq_mem) = run(&kernel, launch, 1);
+        let (par, par_mem) = run(&kernel, launch, workers);
+        prop_assert_eq!(
+            &seq.stats, &par.stats,
+            "stats diverge (seed {:#x}, {} blocks, {} workers)", seed, grid, workers
+        );
+        prop_assert_eq!(
+            &seq.traces, &par.traces,
+            "traces diverge (seed {:#x}, {} blocks, {} workers)", seed, grid, workers
+        );
+        prop_assert_eq!(
+            &seq_mem, &par_mem,
+            "memory diverges (seed {:#x}, {} blocks, {} workers)", seed, grid, workers
+        );
+    }
+}
+
+/// The real case studies, end to end: the workflow driver with a thread
+/// count produces the same extracted statistics and the same timing
+/// measurement as the sequential driver.
+#[test]
+fn case_studies_are_thread_count_invariant() {
+    use gpa::apps::{matmul, spmv, tridiag};
+    use gpa::model::Model;
+    use gpa::ubench::{MeasureOpts, ThroughputCurves};
+
+    let m = machine();
+    let curves = ThroughputCurves::measure_with(m, MeasureOpts::quick());
+    let mut model = Model::new(m, curves);
+
+    let seq = matmul::run(m, &mut model, 256, 16, true).unwrap();
+    let par = matmul::run_with_threads(m, &mut model, 256, 16, true, 0).unwrap();
+    assert_eq!(seq.input.stats, par.input.stats);
+    assert_eq!(seq.timing, par.timing);
+
+    let seq = tridiag::run(m, &mut model, 512, 16, false, true).unwrap();
+    let par = tridiag::run_with_threads(m, &mut model, 512, 16, false, true, 3).unwrap();
+    assert_eq!(seq.input.stats, par.input.stats);
+    assert_eq!(seq.timing, par.timing);
+
+    let qcd = spmv::qcd_like(4, 7);
+    let seq = spmv::run(m, &mut model, &qcd, spmv::Format::BellIm, true, true).unwrap();
+    let par =
+        spmv::run_with_threads(m, &mut model, &qcd, spmv::Format::BellIm, true, true, 4).unwrap();
+    assert_eq!(seq.input.stats, par.input.stats);
+    assert_eq!(seq.timing, par.timing);
+}
