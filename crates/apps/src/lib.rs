@@ -19,4 +19,4 @@ pub mod spmv;
 pub mod tridiag;
 pub mod workflow;
 
-pub use workflow::{CaseOpts, CaseRun, TraceMode};
+pub use workflow::{CaseError, CaseOpts, CaseRun, CaseStudy, TraceMode};

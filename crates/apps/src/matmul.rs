@@ -21,13 +21,13 @@
 //! Layouts: A column-major, B row-major, C column-major — every global
 //! stream is coalesced.
 
-use crate::workflow::{run_case, CaseOpts, CaseRun, Region, TraceMode};
+use crate::workflow::{run_study, CaseError, CaseRun, CaseStudy, Region, TraceMode};
 use gpa_core::Model;
 use gpa_hw::{KernelResources, Machine};
 use gpa_isa::builder::{BuildError, KernelBuilder};
 use gpa_isa::instr::{CmpOp, MemAddr, NumTy, Pred, Reg, SpecialReg, Src, Width};
 use gpa_isa::Kernel;
-use gpa_sim::{GlobalMemory, LaunchConfig, SimError};
+use gpa_sim::{GlobalMemory, LaunchConfig, Threads};
 
 /// Tile sizes the paper studies.
 pub const TILES: [u32; 3] = [8, 16, 32];
@@ -294,12 +294,61 @@ pub fn flops(n: u32) -> u64 {
     2 * u64::from(n) * u64::from(n) * u64::from(n)
 }
 
-/// Run the full workflow for one tile size. When `verify` is set, the
-/// device result is checked against [`reference()`].
+/// Prepare the matmul case study for one tile size: kernel, device
+/// memory image, regions, and the CPU-reference oracle.
+///
+/// # Panics
+///
+/// Panics on unsupported `n`/`tile` combinations (see [`kernel`]); the
+/// `gpa-service` request path validates before calling.
+pub fn case(n: u32, tile: u32) -> CaseStudy {
+    let k = kernel(n, tile).expect("matmul kernel builds");
+    let mut gmem = GlobalMemory::new();
+    let data = setup(&mut gmem, n);
+    let launch = LaunchConfig::new_2d((n / tile, n / STRIP_ROWS), (64, 1));
+    let params = vec![data.a_dev as u32, data.b_dev as u32, data.c_dev as u32];
+    let nn = u64::from(n) * u64::from(n) * 4;
+    let regions = vec![
+        Region::new("A", data.a_dev, u64::from(n) * u64::from(n + 32) * 4),
+        Region::new("B", data.b_dev, nn),
+        Region::new("C", data.c_dev, nn),
+    ];
+    let verify = move |gmem: &GlobalMemory| {
+        let c = gmem
+            .read_f32s(data.c_dev, (n * n) as usize)
+            .map_err(|e| format!("C unreadable: {e:?}"))?;
+        let reference = reference(&data);
+        for (i, (got, want)) in c.iter().zip(&reference).enumerate() {
+            // Negated so a NaN result fails verification too.
+            let ok = (got - want).abs() <= 1e-4 * want.abs().max(1.0);
+            if !ok {
+                return Err(format!(
+                    "C[{i}] = {got}, reference {want} (n={n}, tile={tile})"
+                ));
+            }
+        }
+        Ok(())
+    };
+    CaseStudy::new(
+        format!("matmul{tile}x{tile} n={n}"),
+        k,
+        launch,
+        params,
+        gmem,
+        regions,
+        TraceMode::Homogeneous,
+        flops(n),
+        Some(Box::new(verify)),
+    )
+}
+
+/// Run the full workflow for one tile size on a single thread (the
+/// deterministic baseline). When `verify` is set, the device result is
+/// checked against [`reference()`].
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates simulation and extraction errors.
 ///
 /// # Panics
 ///
@@ -310,16 +359,17 @@ pub fn run(
     n: u32,
     tile: u32,
     verify: bool,
-) -> Result<CaseRun, SimError> {
+) -> Result<CaseRun, CaseError> {
     run_with_threads(machine, model, n, tile, verify, 1)
 }
 
-/// Like [`run`], with block execution sharded across `num_threads` worker
-/// threads (`0` = auto). Results are bit-identical to [`run`].
+/// Like [`run`], with block execution sharded across `threads` worker
+/// threads (plain counts convert: `0` = auto). Results are bit-identical
+/// to [`run`].
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates simulation and extraction errors.
 ///
 /// # Panics
 ///
@@ -330,40 +380,12 @@ pub fn run_with_threads(
     n: u32,
     tile: u32,
     verify: bool,
-    num_threads: usize,
-) -> Result<CaseRun, SimError> {
-    let k = kernel(n, tile).expect("matmul kernel builds");
-    let mut gmem = GlobalMemory::new();
-    let data = setup(&mut gmem, n);
-    let launch = LaunchConfig::new_2d((n / tile, n / STRIP_ROWS), (64, 1));
-    let params = [data.a_dev as u32, data.b_dev as u32, data.c_dev as u32];
-    let nn = u64::from(n) * u64::from(n) * 4;
-    let regions = [
-        Region::new("A", data.a_dev, u64::from(n) * u64::from(n + 32) * 4),
-        Region::new("B", data.b_dev, nn),
-        Region::new("C", data.c_dev, nn),
-    ];
-    let run = run_case(
-        machine,
-        model,
-        &k,
-        launch,
-        &params,
-        &mut gmem,
-        &regions,
-        CaseOpts::new(TraceMode::Homogeneous, num_threads),
-    )?;
+    threads: impl Into<Threads>,
+) -> Result<CaseRun, CaseError> {
+    let mut study = case(n, tile);
+    let run = run_study(machine, model, &mut study, threads.into(), None)?;
     if verify {
-        let c = gmem
-            .read_f32s(data.c_dev, (n * n) as usize)
-            .expect("C readable");
-        let reference = reference(&data);
-        for (i, (got, want)) in c.iter().zip(&reference).enumerate() {
-            assert!(
-                (got - want).abs() <= 1e-4 * want.abs().max(1.0),
-                "C[{i}] = {got}, reference {want} (n={n}, tile={tile})"
-            );
-        }
+        study.check().unwrap_or_else(|e| panic!("{e}"));
     }
     Ok(run)
 }

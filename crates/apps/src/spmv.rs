@@ -27,13 +27,13 @@
 //! of Figure 12 are produced by routing the vector region through the
 //! timing simulator's per-cluster texture cache.
 
-use crate::workflow::{run_case, CaseOpts, CaseRun, Region, TraceMode};
+use crate::workflow::{run_study, CaseError, CaseRun, CaseStudy, Region, TraceMode};
 use gpa_core::Model;
 use gpa_hw::{KernelResources, Machine};
 use gpa_isa::builder::{BuildError, KernelBuilder};
 use gpa_isa::instr::{MemAddr, SpecialReg, Src, Width};
 use gpa_isa::Kernel;
-use gpa_sim::{GlobalMemory, LaunchConfig, SimError};
+use gpa_sim::{GlobalMemory, LaunchConfig, Threads};
 
 /// Threads per block for all SpMV kernels.
 pub const THREADS: u32 = 256;
@@ -471,47 +471,15 @@ pub fn read_y(gmem: &GlobalMemory, data: &SpmvData) -> Vec<f32> {
     }
 }
 
-/// Run the full workflow for one format, optionally with the vector bound
-/// to the texture cache (the `+Cache` variants of paper Figure 12).
-///
-/// # Errors
-///
-/// Propagates simulation errors.
+/// Prepare the SpMV case study for one format, optionally with the
+/// vector bound to the texture cache (the `+Cache` variants of paper
+/// Figure 12): kernel, device image, regions, and the CPU oracle.
 ///
 /// # Panics
 ///
-/// Panics if verification fails.
-pub fn run(
-    machine: &Machine,
-    model: &mut Model<'_>,
-    m: &BlockSparse,
-    format: Format,
-    texture: bool,
-    verify: bool,
-) -> Result<CaseRun, SimError> {
-    run_with_threads(machine, model, m, format, texture, verify, 1)
-}
-
-/// Like [`run`], with block execution (and the per-block trace pass)
-/// sharded across `num_threads` worker threads (`0` = auto). Results are
-/// bit-identical to [`run`].
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-///
-/// # Panics
-///
-/// Panics if verification fails.
-pub fn run_with_threads(
-    machine: &Machine,
-    model: &mut Model<'_>,
-    m: &BlockSparse,
-    format: Format,
-    texture: bool,
-    verify: bool,
-    num_threads: usize,
-) -> Result<CaseRun, SimError> {
+/// Panics if the format kernel cannot be built for `m`; the
+/// `gpa-service` request path validates before calling.
+pub fn case(m: &BlockSparse, format: Format, texture: bool) -> CaseStudy {
     let kernel = match format {
         Format::Ell => ell_kernel(m).expect("ELL kernel builds"),
         Format::BellIm => bell_kernel(m, false).expect("BELL+IM kernel builds"),
@@ -533,31 +501,91 @@ pub fn run_with_threads(
     let xlen = 3 * brows * 4;
     let mut xregion = Region::new("vector", data.dev[2], xlen);
     xregion.texture = texture;
-    let regions = [
+    let regions = vec![
         Region::new("colidx", data.dev[0], col_len),
         Region::new("matrix", data.dev[1], val_len),
         xregion,
         Region::new("y", data.dev[3], xlen),
     ];
-    let run = run_case(
-        machine,
-        model,
-        &kernel,
-        launch,
-        &params,
-        &mut gmem,
-        &regions,
-        CaseOpts::new(TraceMode::PerBlock, num_threads),
-    )?;
-    if verify {
-        let got = read_y(&gmem, &data);
-        let want = reference(m, &data.x);
+    let label = format!(
+        "spmv {}{} ({} rows)",
+        format.name(),
+        if texture { "+Cache" } else { "" },
+        m.rows()
+    );
+    let flops = m.flops();
+    let matrix = m.clone();
+    let verify = move |gmem: &GlobalMemory| {
+        let got = read_y(gmem, &data);
+        let want = reference(&matrix, &data.x);
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() <= 1e-4 * w.abs().max(1.0),
-                "y[{i}] = {g}, reference {w} ({format:?})"
-            );
+            // Negated so a NaN result fails verification too.
+            let ok = (g - w).abs() <= 1e-4 * w.abs().max(1.0);
+            if !ok {
+                return Err(format!("y[{i}] = {g}, reference {w} ({format:?})"));
+            }
         }
+        Ok(())
+    };
+    CaseStudy::new(
+        label,
+        kernel,
+        launch,
+        params,
+        gmem,
+        regions,
+        TraceMode::PerBlock,
+        flops,
+        Some(Box::new(verify)),
+    )
+}
+
+/// Run the full workflow for one format on a single thread (the
+/// deterministic baseline), optionally with the vector bound to the
+/// texture cache (the `+Cache` variants of paper Figure 12).
+///
+/// # Errors
+///
+/// Propagates simulation and extraction errors.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn run(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    m: &BlockSparse,
+    format: Format,
+    texture: bool,
+    verify: bool,
+) -> Result<CaseRun, CaseError> {
+    run_with_threads(machine, model, m, format, texture, verify, 1)
+}
+
+/// Like [`run`], with block execution (and the per-block trace pass)
+/// sharded across `threads` worker threads (plain counts convert: `0` =
+/// auto). Results are bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Propagates simulation and extraction errors.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn run_with_threads(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    m: &BlockSparse,
+    format: Format,
+    texture: bool,
+    verify: bool,
+    threads: impl Into<Threads>,
+) -> Result<CaseRun, CaseError> {
+    let mut study = case(m, format, texture);
+    let run = run_study(machine, model, &mut study, threads.into(), None)?;
+    if verify {
+        study.check().unwrap_or_else(|e| panic!("{e}"));
     }
     Ok(run)
 }

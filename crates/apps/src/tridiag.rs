@@ -22,13 +22,13 @@
 //! * the solution is written into the `d` array in place, keeping the
 //!   footprint at four arrays.
 
-use crate::workflow::{run_case, CaseOpts, CaseRun, Region, TraceMode};
+use crate::workflow::{run_study, CaseError, CaseRun, CaseStudy, Region, TraceMode};
 use gpa_core::Model;
 use gpa_hw::{KernelResources, Machine};
 use gpa_isa::builder::{BuildError, KernelBuilder};
 use gpa_isa::instr::{CmpOp, MemAddr, NumTy, Pred, Reg, SpecialReg, Src, Width};
 use gpa_isa::Kernel;
-use gpa_sim::{GlobalMemory, LaunchConfig, SimError};
+use gpa_sim::{GlobalMemory, LaunchConfig, Threads};
 
 /// Threads per block (the paper's configuration for 512-equation systems).
 pub const THREADS: u32 = 256;
@@ -402,11 +402,72 @@ pub fn thomas(n: usize, a: &[f32], b: &[f32], c: &[f32], d: &[f32]) -> Vec<f32> 
     x
 }
 
-/// Run the workflow for CR (`padded = false`) or CR-NBC (`padded = true`).
+/// Prepare the cyclic-reduction case study (CR, or CR-NBC when
+/// `padded`): kernel, device image, regions, and the Thomas-algorithm
+/// oracle.
+///
+/// # Panics
+///
+/// Panics on unsupported `n` (see [`kernel`]); the `gpa-service` request
+/// path validates before calling.
+pub fn case(n: u32, nsys: u32, padded: bool) -> CaseStudy {
+    let k = kernel(n, padded).expect("CR kernel builds");
+    let mut gmem = GlobalMemory::new();
+    let data = setup(&mut gmem, n, nsys, 0xBEEF);
+    let launch = LaunchConfig::new_1d(nsys, THREADS);
+    let params: Vec<u32> = data.dev.iter().map(|d| *d as u32).collect();
+    let bytes = u64::from(n) * u64::from(nsys) * 4;
+    let regions = vec![
+        Region::new("system", data.dev[0], 4 * bytes),
+        Region::new("solution", data.dev[4], bytes),
+    ];
+    let label = format!("{} n={n} nsys={nsys}", if padded { "cr_nbc" } else { "cr" });
+    let verify = move |gmem: &GlobalMemory| {
+        let ns = n as usize;
+        for sys in 0..nsys as usize {
+            let got = gmem
+                .read_f32s(data.dev[4] + (sys * ns * 4) as u64, ns)
+                .map_err(|e| format!("solution unreadable: {e:?}"))?;
+            let s = sys * ns;
+            let want = thomas(
+                ns,
+                &data.a[s..s + ns],
+                &data.b[s..s + ns],
+                &data.c[s..s + ns],
+                &data.d[s..s + ns],
+            );
+            for i in 0..ns {
+                // Negated so a NaN result fails verification too.
+                let ok = (got[i] - want[i]).abs() <= 2e-3 * want[i].abs().max(1.0);
+                if !ok {
+                    return Err(format!(
+                        "system {sys}, x[{i}] = {}, reference {} (padded={padded})",
+                        got[i], want[i]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+    CaseStudy::new(
+        label,
+        k,
+        launch,
+        params,
+        gmem,
+        regions,
+        TraceMode::Homogeneous,
+        0, // the paper reports times, not GFLOPS, for CR
+        Some(Box::new(verify)),
+    )
+}
+
+/// Run the workflow for CR (`padded = false`) or CR-NBC (`padded = true`)
+/// on a single thread (the deterministic baseline).
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates simulation and extraction errors.
 ///
 /// # Panics
 ///
@@ -418,16 +479,17 @@ pub fn run(
     nsys: u32,
     padded: bool,
     verify: bool,
-) -> Result<CaseRun, SimError> {
+) -> Result<CaseRun, CaseError> {
     run_with_threads(machine, model, n, nsys, padded, verify, 1)
 }
 
-/// Like [`run`], with block execution sharded across `num_threads` worker
-/// threads (`0` = auto). Results are bit-identical to [`run`].
+/// Like [`run`], with block execution sharded across `threads` worker
+/// threads (plain counts convert: `0` = auto). Results are bit-identical
+/// to [`run`].
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates simulation and extraction errors.
 ///
 /// # Panics
 ///
@@ -439,51 +501,12 @@ pub fn run_with_threads(
     nsys: u32,
     padded: bool,
     verify: bool,
-    num_threads: usize,
-) -> Result<CaseRun, SimError> {
-    let k = kernel(n, padded).expect("CR kernel builds");
-    let mut gmem = GlobalMemory::new();
-    let data = setup(&mut gmem, n, nsys, 0xBEEF);
-    let launch = LaunchConfig::new_1d(nsys, THREADS);
-    let params: Vec<u32> = data.dev.iter().map(|d| *d as u32).collect();
-    let bytes = u64::from(n) * u64::from(nsys) * 4;
-    let regions = [
-        Region::new("system", data.dev[0], 4 * bytes),
-        Region::new("solution", data.dev[4], bytes),
-    ];
-    let run = run_case(
-        machine,
-        model,
-        &k,
-        launch,
-        &params,
-        &mut gmem,
-        &regions,
-        CaseOpts::new(TraceMode::Homogeneous, num_threads),
-    )?;
+    threads: impl Into<Threads>,
+) -> Result<CaseRun, CaseError> {
+    let mut study = case(n, nsys, padded);
+    let run = run_study(machine, model, &mut study, threads.into(), None)?;
     if verify {
-        let ns = n as usize;
-        for sys in 0..nsys as usize {
-            let got = gmem
-                .read_f32s(data.dev[4] + (sys * ns * 4) as u64, ns)
-                .expect("solution readable");
-            let s = sys * ns;
-            let want = thomas(
-                ns,
-                &data.a[s..s + ns],
-                &data.b[s..s + ns],
-                &data.c[s..s + ns],
-                &data.d[s..s + ns],
-            );
-            for i in 0..ns {
-                assert!(
-                    (got[i] - want[i]).abs() <= 2e-3 * want[i].abs().max(1.0),
-                    "system {sys}, x[{i}] = {}, reference {} (padded={padded})",
-                    got[i],
-                    want[i]
-                );
-            }
-        }
+        study.check().unwrap_or_else(|e| panic!("{e}"));
     }
     Ok(run)
 }

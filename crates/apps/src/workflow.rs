@@ -1,11 +1,27 @@
 //! The shared case-study driver: the paper's Figure 1 workflow end to end.
+//!
+//! Two layers live here:
+//!
+//! * [`run_case`] — the raw pipeline for one kernel launch (functional
+//!   simulation → info extraction → model analysis → timing measurement);
+//! * [`CaseStudy`] + [`run_study`] — a *portable description* of one
+//!   prepared case study (kernel, launch, device memory image, regions,
+//!   canonical trace mode, verification oracle). The per-application
+//!   `case()` constructors ([`crate::matmul::case`],
+//!   [`crate::tridiag::case`], [`crate::spmv::case`]) build these, and
+//!   both the in-crate `run`/`run_with_threads` drivers and the
+//!   `gpa-service` `Analyzer` execute them through the same code path, so
+//!   a service request and a direct driver call produce bit-identical
+//!   results.
 
-use gpa_core::{extract, Analysis, Model, ModelInput};
+use gpa_core::{extract, Analysis, InputError, Model, ModelInput};
 use gpa_hw::Machine;
 use gpa_isa::Kernel;
 use gpa_sim::{
-    FunctionalSim, GlobalMemory, LaunchConfig, SimError, TimingResult, TimingSim, TraceSource,
+    FunctionalSim, GlobalMemory, LaunchConfig, SimError, Threads, TimingResult, TimingSim,
+    TraceSource,
 };
+use std::fmt;
 use std::rc::Rc;
 
 /// How timing traces are obtained.
@@ -20,25 +36,44 @@ pub enum TraceMode {
     PerBlock,
 }
 
-/// Options for [`run_case`]: how traces are obtained and how many worker
-/// threads the simulation engine shards blocks across.
+/// Options for [`run_case`]: how traces are obtained, how many worker
+/// threads the simulation engine shards blocks across, and the optional
+/// fuel budget.
 ///
 /// `From<TraceMode>` keeps the common call sites terse:
-/// `run_case(…, TraceMode::Homogeneous)` is a sequential run.
+/// `run_case(…, TraceMode::Homogeneous)` runs with the default options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CaseOpts {
     /// Trace acquisition strategy.
     pub mode: TraceMode,
-    /// Worker threads for block execution (`1` sequential, `0` auto —
-    /// see [`gpa_sim::engine::SimEngine`]). Results are bit-identical
-    /// for every thread count.
-    pub num_threads: usize,
+    /// Worker threads for block execution. Results are bit-identical for
+    /// every selection (see [`gpa_sim::engine::SimEngine`]), so the
+    /// default is [`Threads::Auto`].
+    pub threads: Threads,
+    /// Warp-instruction fuel budget (runaway-loop guard); `None` keeps
+    /// the simulator's default. **Accounting granularity depends on
+    /// threading**: a sequential run spends one budget across the whole
+    /// grid, a sharded run one budget *per shard* — a grid that exhausts
+    /// fuel sequentially may complete in parallel, never the reverse for
+    /// per-block-affordable kernels (see [`gpa_sim::engine`]).
+    pub fuel: Option<u64>,
 }
 
 impl CaseOpts {
-    /// Options with an explicit thread count.
-    pub fn new(mode: TraceMode, num_threads: usize) -> CaseOpts {
-        CaseOpts { mode, num_threads }
+    /// Options with an explicit thread selection (plain `usize` counts
+    /// convert: `0` = auto, `n` = exactly `n` workers).
+    pub fn new(mode: TraceMode, threads: impl Into<Threads>) -> CaseOpts {
+        CaseOpts {
+            mode,
+            threads: threads.into(),
+            fuel: None,
+        }
+    }
+
+    /// The same options with an explicit fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> CaseOpts {
+        self.fuel = Some(fuel);
+        self
     }
 }
 
@@ -46,7 +81,8 @@ impl Default for CaseOpts {
     fn default() -> Self {
         CaseOpts {
             mode: TraceMode::Homogeneous,
-            num_threads: 1,
+            threads: Threads::Auto,
+            fuel: None,
         }
     }
 }
@@ -55,8 +91,42 @@ impl From<TraceMode> for CaseOpts {
     fn from(mode: TraceMode) -> CaseOpts {
         CaseOpts {
             mode,
-            num_threads: 1,
+            ..CaseOpts::default()
         }
+    }
+}
+
+/// Why a case run failed: the simulation itself, or assembling the
+/// model's input from inconsistent pieces. The drivers used to panic on
+/// the latter; the service API surfaces both as values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseError {
+    /// The functional simulation failed.
+    Sim(SimError),
+    /// The extracted statistics do not describe the launch.
+    Input(InputError),
+}
+
+impl fmt::Display for CaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CaseError::Input(e) => write!(f, "info extraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+impl From<SimError> for CaseError {
+    fn from(e: SimError) -> CaseError {
+        CaseError::Sim(e)
+    }
+}
+
+impl From<InputError> for CaseError {
+    fn from(e: InputError) -> CaseError {
+        CaseError::Input(e)
     }
 }
 
@@ -130,17 +200,141 @@ impl CaseRun {
     }
 }
 
+/// Verification oracle of a [`CaseStudy`]: inspects the post-run global
+/// memory and reports the first mismatch against the CPU reference.
+pub type Verifier = Box<dyn Fn(&GlobalMemory) -> Result<(), String> + Send + Sync>;
+
+/// One prepared case study: everything [`run_study`] needs to execute the
+/// full workflow, plus the CPU-reference oracle to check the result.
+///
+/// Built by [`crate::matmul::case`], [`crate::tridiag::case`], and
+/// [`crate::spmv::case`]; consumed by the in-crate drivers and by
+/// `gpa-service`'s `Analyzer` through the same code path.
+pub struct CaseStudy {
+    /// Human-readable label (e.g. `"matmul16x16 n=256"`).
+    pub label: String,
+    /// The kernel to launch.
+    pub kernel: Kernel,
+    /// Launch shape.
+    pub launch: LaunchConfig,
+    /// Kernel parameter words.
+    pub params: Vec<u32>,
+    /// The prepared device-memory image; mutated in place by the run.
+    pub gmem: GlobalMemory,
+    /// Named regions for traffic attribution (and texture binding).
+    pub regions: Vec<Region>,
+    /// The case's canonical trace mode (callers may override).
+    pub mode: TraceMode,
+    /// Floating-point operations of the workload (`0` = not meaningful).
+    pub flops: u64,
+    verify: Option<Verifier>,
+}
+
+impl fmt::Debug for CaseStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CaseStudy")
+            .field("label", &self.label)
+            .field("kernel", &self.kernel.name)
+            .field("launch", &self.launch)
+            .field("mode", &self.mode)
+            .field("flops", &self.flops)
+            .field("verified", &self.verify.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CaseStudy {
+    /// Construct a study; `verify` is the optional CPU-reference oracle.
+    // One argument per field; the per-app `case()` constructors are the
+    // only callers and already have every piece in hand.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: impl Into<String>,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        params: Vec<u32>,
+        gmem: GlobalMemory,
+        regions: Vec<Region>,
+        mode: TraceMode,
+        flops: u64,
+        verify: Option<Verifier>,
+    ) -> CaseStudy {
+        CaseStudy {
+            label: label.into(),
+            kernel,
+            launch,
+            params,
+            gmem,
+            regions,
+            mode,
+            flops,
+            verify,
+        }
+    }
+
+    /// Whether this study carries a verification oracle.
+    pub fn has_verifier(&self) -> bool {
+        self.verify.is_some()
+    }
+
+    /// Check the current memory image against the CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch. Studies without an
+    /// oracle trivially pass.
+    pub fn check(&self) -> Result<(), String> {
+        match &self.verify {
+            Some(v) => v(&self.gmem),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Run the full workflow for one prepared [`CaseStudy`]: the study's
+/// canonical trace mode with `threads`/`fuel` from `opts` (the study's
+/// memory image is mutated in place, so [`CaseStudy::check`] can verify
+/// afterwards).
+///
+/// # Errors
+///
+/// Propagates simulation and info-extraction errors.
+pub fn run_study(
+    machine: &Machine,
+    model: &mut Model<'_>,
+    study: &mut CaseStudy,
+    threads: Threads,
+    fuel: Option<u64>,
+) -> Result<CaseRun, CaseError> {
+    let opts = CaseOpts {
+        mode: study.mode,
+        threads,
+        fuel,
+    };
+    run_case(
+        machine,
+        model,
+        &study.kernel,
+        study.launch,
+        &study.params,
+        &mut study.gmem,
+        &study.regions,
+        opts,
+    )
+}
+
 /// Run the full workflow for one kernel launch.
 ///
 /// The functional simulation runs every block (verifying memory safety and
 /// producing `gmem` side effects callers can check against references);
-/// trace acquisition and block-level parallelism follow `opts` — pass a
-/// bare [`TraceMode`] for a sequential run, or a [`CaseOpts`] to shard
-/// block execution across threads (same results, less wall-clock).
+/// trace acquisition, block-level parallelism, and the fuel budget follow
+/// `opts` — pass a bare [`TraceMode`] for the defaults, or a [`CaseOpts`]
+/// to pick them explicitly. Results are bit-identical for every thread
+/// selection.
 ///
 /// # Errors
 ///
-/// Propagates functional-simulation errors.
+/// Propagates functional-simulation errors and info-extraction errors.
 // One argument per pipeline stage input; bundling them into a struct would
 // just move the same list into a builder at every call site.
 #[allow(clippy::too_many_arguments)]
@@ -153,10 +347,13 @@ pub fn run_case(
     gmem: &mut GlobalMemory,
     regions: &[Region],
     opts: impl Into<CaseOpts>,
-) -> Result<CaseRun, SimError> {
+) -> Result<CaseRun, CaseError> {
     let opts = opts.into();
     let configure = |sim: &mut FunctionalSim<'_>| {
-        sim.set_params(params).set_num_threads(opts.num_threads);
+        sim.set_params(params).set_threads(opts.threads);
+        if let Some(fuel) = opts.fuel {
+            sim.set_fuel(fuel);
+        }
         for r in regions {
             if r.texture {
                 sim.add_texture_region(r.name.clone(), r.base, r.len);
@@ -198,8 +395,8 @@ pub fn run_case(
         }
         TraceMode::PerBlock => {
             // One engine pass produces the statistics, the per-block
-            // traces (batched per shard when `num_threads > 1`), and the
-            // gmem side effects all at once.
+            // traces (batched per shard when sharded), and the gmem side
+            // effects all at once.
             let mut func = FunctionalSim::new(machine, kernel, launch)?;
             configure(&mut func);
             func.collect_traces(true);
@@ -210,7 +407,7 @@ pub fn run_case(
         }
     };
 
-    let input = extract(machine, &kernel.name, launch, kernel.resources, stats);
+    let input = extract(machine, &kernel.name, launch, kernel.resources, stats)?;
     let analysis = model.analyze(&input);
 
     Ok(CaseRun {

@@ -127,7 +127,8 @@ fn bench_model(c: &mut Criterion) {
     let params: Vec<u32> = data.dev.iter().map(|d| *d as u32).collect();
     sim.set_params(&params);
     let out = sim.run(&mut gmem).unwrap();
-    let input = extract(&machine, "cr", launch, kernel.resources, out.stats);
+    let input = extract(&machine, "cr", launch, kernel.resources, out.stats)
+        .expect("statistics match the launch");
     c.bench_function("model/analyze_cr", |b| {
         let mut model = Model::new(&machine, curves.clone());
         b.iter(|| model.analyze(black_box(&input)))

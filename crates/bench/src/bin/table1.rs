@@ -1,12 +1,18 @@
 //! Table 1: instruction classes, functional units, and peak throughputs,
-//! plus our measured saturated throughput for each class.
+//! plus our measured saturated throughput for each class — read from an
+//! `Analyzer` session holding the (disk-cached) calibration.
 
 use gpa_bench::{curves, rule};
 use gpa_hw::{InstrClass, Machine};
+use gpa_service::Analyzer;
 
 fn main() {
     let m = Machine::gtx285();
-    let c = curves(&m);
+    let mut analyzer = Analyzer::new();
+    analyzer
+        .install(m.clone(), curves(&m))
+        .expect("cached curves match the machine");
+    let c = analyzer.curves("gtx285").expect("calibrated");
     println!("Table 1: instruction types ({})", m.name);
     rule(78);
     println!(

@@ -11,6 +11,7 @@
 //! | `fig2_smem` | Figure 2 (right): shared-memory bandwidth vs warps/SM |
 //! | `fig3_gmem` | Figure 3: global bandwidth vs blocks, eight configs |
 //! | `table2` | Table 2: matmul occupancy |
+//! | `table3` | Table 3: case studies across all three SKUs via `gpa_service::Analyzer` |
 //! | `fig4` | Figure 4: matmul counts, breakdown, GFLOPS |
 //! | `fig5` | Figure 5: CR communication pattern / conflict degrees |
 //! | `fig6` | Figure 6: CR and CR-NBC per-step breakdown |
@@ -47,8 +48,8 @@ pub fn results_dir() -> PathBuf {
 ///
 /// The hash covers every [`Machine`] field and the effort knobs of
 /// [`MeasureOpts`] (`unroll`, `iters`, `dense`), so per-SKU and per-effort
-/// curves never collide. `num_threads` is deliberately excluded: it
-/// changes wall-clock, not results.
+/// curves never collide. The `threads` selection is deliberately
+/// excluded: it changes wall-clock, not results.
 pub fn curves_cache_path(machine: &Machine, opts: &MeasureOpts) -> PathBuf {
     // Machine derives Debug over all fields, giving a stable, complete
     // fingerprint without hand-listing (and silently missing) fields.

@@ -5,6 +5,7 @@ use gpa_hw::{InstrClass, Machine};
 use gpa_sim::stats::{StageStats, GRAN_GT200};
 use gpa_ubench::gmem::GmemConfig;
 use gpa_ubench::{GmemBench, MeasureOpts, ThroughputCurves};
+use std::borrow::Cow;
 use std::fmt;
 
 /// The three GPU execution components the model prices (paper §3).
@@ -246,16 +247,27 @@ pub struct Analysis {
 #[derive(Debug)]
 pub struct Model<'m> {
     machine: &'m Machine,
-    curves: ThroughputCurves,
+    curves: Cow<'m, ThroughputCurves>,
     gmem_bench: GmemBench<'m>,
 }
 
 impl<'m> Model<'m> {
-    /// Build a model from previously measured curves.
+    /// Build a model from previously measured curves, taking ownership.
     pub fn new(machine: &'m Machine, curves: ThroughputCurves) -> Model<'m> {
         Model {
             machine,
-            curves,
+            curves: Cow::Owned(curves),
+            gmem_bench: GmemBench::new(machine),
+        }
+    }
+
+    /// Build a model borrowing long-lived curves — no copy, so sessions
+    /// that answer many queries against one calibration (the
+    /// `gpa-service` `Analyzer`) can build a per-query model for free.
+    pub fn with_curves(machine: &'m Machine, curves: &'m ThroughputCurves) -> Model<'m> {
+        Model {
+            machine,
+            curves: Cow::Borrowed(curves),
             gmem_bench: GmemBench::new(machine),
         }
     }
@@ -267,10 +279,9 @@ impl<'m> Model<'m> {
 
     /// Build a model, measuring curves with explicit effort options.
     ///
-    /// `opts.num_threads` shards the calibration's independent warp
-    /// sample points across worker threads (`0` = auto); the measured
-    /// curves — and therefore every analysis — are bit-identical for any
-    /// thread count.
+    /// `opts.threads` shards the calibration's independent warp sample
+    /// points across worker threads; the measured curves — and therefore
+    /// every analysis — are bit-identical for any thread count.
     pub fn with_calibration(machine: &'m Machine, opts: MeasureOpts) -> Model<'m> {
         let curves = ThroughputCurves::measure_with(machine, opts);
         Model::new(machine, curves)

@@ -42,7 +42,8 @@ fn run_case(
     let timing = TimingSim::new(m);
     let mut src = TraceSource::PerBlock(traces);
     let measured = timing.run(&mut src, &launch, kernel.resources);
-    let input = crate::input::extract(m, &kernel.name, launch, kernel.resources, out.stats);
+    let input =
+        crate::input::extract(m, &kernel.name, launch, kernel.resources, out.stats).unwrap();
     (input, measured.seconds)
 }
 

@@ -2,6 +2,7 @@
 
 use gpa_hw::{occupancy, KernelResources, Machine, Occupancy};
 use gpa_sim::{DynamicStats, LaunchConfig};
+use std::fmt;
 
 /// Everything the model needs about one kernel launch: the launch shape,
 /// the kernel's resource footprint (⇒ occupancy, paper Table 2), and the
@@ -20,32 +21,65 @@ pub struct ModelInput {
     pub stats: DynamicStats,
 }
 
+/// Why [`extract`] rejected its inputs: the statistics and the launch
+/// cannot describe the same run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputError {
+    /// The statistics were collected over a different number of blocks
+    /// than the launch declares — they came from a different run.
+    BlockCountMismatch {
+        /// Blocks covered by the statistics.
+        stats_blocks: u64,
+        /// Blocks the launch declares.
+        launch_blocks: u32,
+    },
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::BlockCountMismatch {
+                stats_blocks,
+                launch_blocks,
+            } => write!(
+                f,
+                "statistics cover {stats_blocks} block(s) but the launch declares \
+                 {launch_blocks}: they were collected for a different launch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
 /// Assemble a [`ModelInput`] — the paper's "info extractor" step.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `stats` is inconsistent with `launch` (different block
-/// count), which indicates the statistics came from a different run.
+/// Returns [`InputError::BlockCountMismatch`] if `stats` is inconsistent
+/// with `launch` (different block count), which indicates the statistics
+/// came from a different run.
 pub fn extract(
     machine: &Machine,
     kernel_name: impl Into<String>,
     launch: LaunchConfig,
     resources: KernelResources,
     stats: DynamicStats,
-) -> ModelInput {
-    assert_eq!(
-        stats.blocks,
-        u64::from(launch.num_blocks()),
-        "statistics were collected for a different launch"
-    );
+) -> Result<ModelInput, InputError> {
+    if stats.blocks != u64::from(launch.num_blocks()) {
+        return Err(InputError::BlockCountMismatch {
+            stats_blocks: stats.blocks,
+            launch_blocks: launch.num_blocks(),
+        });
+    }
     let occupancy = occupancy(machine, resources);
-    ModelInput {
+    Ok(ModelInput {
         kernel_name: kernel_name.into(),
         launch,
         resources,
         occupancy,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -65,22 +99,31 @@ mod tests {
             LaunchConfig::new_1d(512, 256),
             KernelResources::new(12, 8448, 256),
             stats,
-        );
+        )
+        .unwrap();
         assert_eq!(input.occupancy.blocks, 1);
         assert_eq!(input.kernel_name, "cr");
     }
 
     #[test]
-    #[should_panic(expected = "different launch")]
     fn mismatched_blocks_rejected() {
         let m = Machine::gtx285();
         let stats = DynamicStats::default(); // 0 blocks
-        extract(
+        let err = extract(
             &m,
             "x",
             LaunchConfig::new_1d(4, 64),
             KernelResources::new(8, 0, 64),
             stats,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            InputError::BlockCountMismatch {
+                stats_blocks: 0,
+                launch_blocks: 4
+            }
         );
+        assert!(err.to_string().contains("different launch"), "{err}");
     }
 }

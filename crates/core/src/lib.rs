@@ -29,7 +29,8 @@
 //!     gpa_sim::LaunchConfig::new_1d(512, 256),
 //!     KernelResources::new(12, 8448, 256),
 //!     stats,
-//! );
+//! )
+//! .expect("statistics match the launch");
 //! let analysis = model.analyze(&input);
 //! println!("{}", gpa_core::report::render(&analysis));
 //! ```
@@ -42,5 +43,5 @@ pub mod traditional;
 
 pub use advisor::WhatIf;
 pub use analysis::{Analysis, Cause, Component, ComponentTimes, Model, StageAnalysis};
-pub use input::{extract, ModelInput};
+pub use input::{extract, InputError, ModelInput};
 pub use traditional::{traditional_analysis, TraditionalAnalysis, TraditionalVerdict};

@@ -88,6 +88,18 @@ impl From<&str> for Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(f64::from(n))
+    }
+}
+
 impl Value {
     /// Parse a complete JSON document (trailing garbage is an error).
     pub fn parse(text: &str) -> Result<Value, Error> {
@@ -191,6 +203,30 @@ impl Value {
             return Err(Error::msg(format!("expected u32, found {x}")));
         }
         Ok(n)
+    }
+
+    /// The number value as an exact `u64`; `Err` on loss or other
+    /// variants. Counters above 2⁵³ do not survive the `f64` wire
+    /// representation, so writers must keep integral fields below that
+    /// (every counter in this workspace is).
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        let x = self.as_f64()?;
+        if !(0.0..=9_007_199_254_740_992.0).contains(&x) {
+            return Err(Error::msg(format!("expected u64 within 2^53, found {x}")));
+        }
+        let n = x as u64;
+        if n as f64 != x {
+            return Err(Error::msg(format!("expected u64, found {x}")));
+        }
+        Ok(n)
+    }
+
+    /// The boolean value; `Err` for any other variant.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
     }
 
     /// The string value; `Err` for any other variant.
@@ -559,6 +595,21 @@ mod tests {
             .unwrap()
             .as_u32()
             .is_err());
+    }
+
+    #[test]
+    fn u64_and_bool_helpers() {
+        let v = Value::parse(r#"{"n": 9007199254740992, "b": true, "x": 1.5, "neg": -1}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64().unwrap(), 1 << 53);
+        assert!(v.get("b").unwrap().as_bool().unwrap());
+        assert!(v.get("x").unwrap().as_u64().is_err());
+        assert!(v.get("neg").unwrap().as_u64().is_err());
+        assert!(v.get("n").unwrap().as_bool().is_err());
+        // Above 2^53 integers lose exactness in f64; the range check
+        // rejects them even when the rounded value happens to be integral.
+        assert!(Value::Number(1.8446744073709552e19).as_u64().is_err());
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7u32), Value::Number(7.0));
     }
 
     #[test]

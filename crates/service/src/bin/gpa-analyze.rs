@@ -1,0 +1,182 @@
+//! `gpa-analyze`: drive the analysis service from JSON, no Rust needed.
+//!
+//! Reads an [`AnalysisRequest`] (or an array of them) as JSON from a file
+//! argument or stdin, calibrates the named machines once per process
+//! (honoring each request's `"calibration"` effort; `"paper"` wins over
+//! `"quick"` when requests share a machine), answers every request, and
+//! writes the report JSON to stdout — an object for a single request, an
+//! array (in request order) for a batch.
+//!
+//! ```text
+//! gpa-analyze request.json            # file
+//! gpa-analyze < request.json          # stdin
+//! gpa-analyze - < request.json       # stdin, explicit
+//! ```
+//!
+//! A failed single request prints the error to stderr and exits 1. In a
+//! batch, failed requests become `{"error": "..."}` elements so the
+//! healthy answers still come back; the exit code is 1 if any failed.
+
+use gpa_json::Value;
+use gpa_service::{find_builtin, AnalysisReport, AnalysisRequest, Analyzer, Effort, ServiceError};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: gpa-analyze [REQUEST.json | -]
+
+Reads an analysis request (JSON object) or batch (JSON array) from the
+given file or stdin and writes the report JSON to stdout. See the
+`gpa_service::wire` docs for the schema; machines: gtx285, 8800gt,
+9800gtx.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        emit(&format!("{USAGE}\n"));
+        return ExitCode::SUCCESS;
+    }
+    let text = match read_input(&args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gpa-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let doc = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("gpa-analyze: malformed JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (reqs, batch) = match &doc {
+        Value::Array(items) => {
+            let parsed: Result<Vec<_>, _> = items.iter().map(AnalysisRequest::from_value).collect();
+            match parsed {
+                Ok(reqs) => (reqs, true),
+                Err(e) => {
+                    eprintln!("gpa-analyze: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        v => match AnalysisRequest::from_value(v) {
+            Ok(req) => (vec![req], false),
+            Err(e) => {
+                eprintln!("gpa-analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    // Resolve every selector against the built-in presets up front and
+    // rewrite it to the canonical machine name, so a request's answer
+    // never depends on which machines *other* requests caused to be
+    // calibrated (an ambiguous selector stays ambiguous in a batch).
+    let mut reqs = reqs;
+    let resolutions: Vec<Result<(), ServiceError>> = reqs
+        .iter_mut()
+        .map(|req| {
+            find_builtin(&req.machine).map(|machine| {
+                req.machine = machine.name.clone();
+            })
+        })
+        .collect();
+
+    // Calibrate each distinct machine once, at the highest effort any of
+    // its requests asks for (the expensive step; answers are cheap).
+    let mut analyzer = Analyzer::new();
+    let mut calibrated: Vec<(String, Effort)> = Vec::new();
+    for (req, resolution) in reqs.iter().zip(&resolutions) {
+        if resolution.is_err() {
+            continue;
+        }
+        let effort = req.options.calibration;
+        match calibrated.iter_mut().find(|(name, _)| *name == req.machine) {
+            Some((_, have)) if *have >= effort => {}
+            Some(entry) => entry.1 = effort,
+            None => calibrated.push((req.machine.clone(), effort)),
+        }
+    }
+    for (name, effort) in &calibrated {
+        let machine = find_builtin(name).expect("calibration list holds resolved names");
+        eprintln!("calibrating {name} ({effort:?})...");
+        analyzer.calibrate(machine, effort.measure_opts());
+    }
+
+    // Answer: requests whose selector did not resolve keep their
+    // resolution error; the rest go through the batch path.
+    let resolvable: Vec<AnalysisRequest> = reqs
+        .iter()
+        .zip(&resolutions)
+        .filter(|(_, r)| r.is_ok())
+        .map(|(req, _)| req.clone())
+        .collect();
+    let mut batch_answers = analyzer.analyze_batch(&resolvable).into_iter();
+    let answers: Vec<Result<AnalysisReport, ServiceError>> = resolutions
+        .into_iter()
+        .map(|resolution| match resolution {
+            Ok(()) => batch_answers
+                .next()
+                .expect("one answer per resolvable request"),
+            Err(e) => Err(e),
+        })
+        .collect();
+
+    if batch {
+        let mut failed = false;
+        let items: Vec<Value> = answers
+            .into_iter()
+            .map(|r| match r {
+                Ok(report) => report.to_value(),
+                Err(e) => {
+                    failed = true;
+                    Value::Object(vec![("error".into(), Value::from(e.to_string().as_str()))])
+                }
+            })
+            .collect();
+        emit(&Value::Array(items).to_string_pretty());
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    } else {
+        match answers.into_iter().next().expect("one request") {
+            Ok(report) => {
+                emit(&report.to_json());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gpa-analyze: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// Write to stdout, swallowing broken-pipe errors so `gpa-analyze … |
+/// head` exits quietly instead of panicking mid-print.
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn read_input(args: &[String]) -> Result<String, String> {
+    match args {
+        [] => read_stdin(),
+        [path] if path == "-" => read_stdin(),
+        [path] => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+        _ => Err(format!("expected one input file\n{USAGE}")),
+    }
+}
+
+fn read_stdin() -> Result<String, String> {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| format!("cannot read stdin: {e}"))?;
+    Ok(text)
+}

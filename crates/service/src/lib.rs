@@ -1,0 +1,956 @@
+#![warn(missing_docs)]
+
+//! The unified analysis service: one typed entry point over the whole
+//! paper workflow (kernel → functional sim → info extractor → model →
+//! bottleneck report), built for answering *many* queries against
+//! calibrated machine profiles.
+//!
+//! # Shape
+//!
+//! * [`Analyzer`] — the session object. It owns one calibrated profile
+//!   ([`gpa_ubench::ThroughputCurves`]) per registered
+//!   [`Machine`]: **calibrate once, answer many**.
+//! * [`AnalysisRequest`] — one query: a [`KernelSpec`] (which case-study
+//!   kernel, at what size), a machine selector, and [`AnalysisOptions`]
+//!   (trace mode, [`Threads`], fuel, verification, what-if toggles).
+//! * [`AnalysisReport`] — the typed answer: the model's full
+//!   [`Analysis`] (component times, per-stage breakdown, bottleneck,
+//!   occupancy, diagnosed causes), the timing-simulator measurement,
+//!   and any requested [`WhatIf`] advisor estimates.
+//! * [`Analyzer::analyze_batch`] — shards independent requests across
+//!   worker threads (via [`gpa_sim::SimEngine::shard_plan`]); answers
+//!   are identical to sequential [`Analyzer::analyze`] calls.
+//! * [`wire`] — the JSON wire format: requests and reports serialize
+//!   over `gpa-json` with exact `f64` round-trips, and the
+//!   `gpa-analyze` binary drives the service from request JSON on a
+//!   file or stdin, no Rust required.
+//!
+//! Every fallible path returns [`ServiceError`] — the service never
+//! panics on inconsistent requests.
+//!
+//! ```
+//! use gpa_service::{Analyzer, AnalysisRequest, KernelSpec};
+//! use gpa_hw::Machine;
+//! use gpa_ubench::MeasureOpts;
+//!
+//! let mut analyzer = Analyzer::new();
+//! analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
+//! let req = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285");
+//! let report = analyzer.analyze(&req).unwrap();
+//! assert_eq!(report.machine, "GeForce GTX 285");
+//! assert!(report.analysis.predicted_seconds > 0.0);
+//! ```
+
+pub mod wire;
+
+use gpa_apps::workflow::{run_study, CaseError, CaseStudy, Region, TraceMode};
+use gpa_apps::{matmul, spmv, tridiag};
+use gpa_core::{Analysis, InputError, Model, ModelInput, WhatIf};
+use gpa_hw::Machine;
+use gpa_isa::Kernel;
+use gpa_sim::{GlobalMemory, LaunchConfig, SimEngine, SimError, Threads};
+use gpa_ubench::{MeasureOpts, ThroughputCurves};
+use std::fmt;
+
+pub use gpa_apps::workflow::TraceMode as RequestTraceMode;
+
+/// Why the service refused or failed a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// No calibrated machine matches the selector.
+    UnknownMachine(String),
+    /// The selector matches more than one calibrated machine.
+    AmbiguousMachine(String),
+    /// The request's kernel specification is out of the supported range.
+    InvalidRequest(String),
+    /// The functional simulation failed.
+    Sim(SimError),
+    /// Info extraction rejected the collected statistics.
+    Input(InputError),
+    /// The result did not match the CPU reference oracle.
+    VerificationFailed(String),
+    /// The wire payload could not be parsed.
+    Wire(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownMachine(s) => {
+                write!(f, "no calibrated machine matches `{s}`")
+            }
+            ServiceError::AmbiguousMachine(s) => {
+                write!(f, "machine selector `{s}` is ambiguous")
+            }
+            ServiceError::InvalidRequest(s) => write!(f, "invalid request: {s}"),
+            ServiceError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ServiceError::Input(e) => write!(f, "info extraction failed: {e}"),
+            ServiceError::VerificationFailed(s) => {
+                write!(f, "result does not match the CPU reference: {s}")
+            }
+            ServiceError::Wire(s) => write!(f, "malformed wire payload: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SimError> for ServiceError {
+    fn from(e: SimError) -> ServiceError {
+        ServiceError::Sim(e)
+    }
+}
+
+impl From<InputError> for ServiceError {
+    fn from(e: InputError) -> ServiceError {
+        ServiceError::Input(e)
+    }
+}
+
+impl From<CaseError> for ServiceError {
+    fn from(e: CaseError) -> ServiceError {
+        match e {
+            CaseError::Sim(e) => ServiceError::Sim(e),
+            CaseError::Input(e) => ServiceError::Input(e),
+        }
+    }
+}
+
+impl From<gpa_json::Error> for ServiceError {
+    fn from(e: gpa_json::Error) -> ServiceError {
+        ServiceError::Wire(e.to_string())
+    }
+}
+
+/// Which prepared case-study kernel a request targets, and at what size.
+///
+/// These are the paper's three workloads; each maps to the corresponding
+/// `gpa_apps::*::case` constructor, so a service request and a direct
+/// driver call are bit-identical. [`KernelSpec::validate`] checks the
+/// size constraints the constructors would otherwise panic on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelSpec {
+    /// Dense matmul (§5.1): `n × n` matrices, `tile × tile` B sub-matrix.
+    Matmul {
+        /// Matrix dimension (multiple of `tile` and 64, ≤ 1024).
+        n: u32,
+        /// Sub-matrix size: 8, 16, or 32.
+        tile: u32,
+    },
+    /// Cyclic-reduction tridiagonal solver (§5.2).
+    Tridiag {
+        /// Equations per system (must be 512: two per thread).
+        n: u32,
+        /// Independent systems (one per block).
+        nsys: u32,
+        /// Pad shared memory to remove bank conflicts (CR-NBC).
+        padded: bool,
+    },
+    /// Sparse matrix–vector multiply on the QCD-like operator (§5.3).
+    Spmv {
+        /// Lattice extent: the operator has `l⁴` block rows
+        /// (`l⁴ · 3` scalar rows; `l⁴` must be a multiple of 256).
+        l: u32,
+        /// Operator sparsity seed (deterministic).
+        seed: u32,
+        /// Storage format.
+        format: spmv::Format,
+        /// Route vector gathers through the texture cache.
+        texture: bool,
+    },
+}
+
+/// Largest accepted tridiagonal system count (see
+/// [`KernelSpec::validate`]).
+pub const MAX_TRIDIAG_NSYS: u32 = 8192;
+
+/// Largest accepted SpMV lattice extent (see [`KernelSpec::validate`]).
+pub const MAX_SPMV_L: u32 = 16;
+
+impl KernelSpec {
+    /// Check the size constraints the case constructors require.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidRequest`] describing the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        let bad = |msg: String| Err(ServiceError::InvalidRequest(msg));
+        match *self {
+            KernelSpec::Matmul { n, tile } => {
+                if !matmul::TILES.contains(&tile) {
+                    return bad(format!("matmul tile {tile} not in {:?}", matmul::TILES));
+                }
+                if n == 0 || n % tile != 0 || n % matmul::STRIP_ROWS != 0 {
+                    return bad(format!(
+                        "matmul n={n} must be a positive multiple of tile ({tile}) and {}",
+                        matmul::STRIP_ROWS
+                    ));
+                }
+                if n > 1024 {
+                    return bad(format!("matmul n={n} exceeds the supported 1024"));
+                }
+                Ok(())
+            }
+            KernelSpec::Tridiag { n, nsys, .. } => {
+                if n != 2 * tridiag::THREADS {
+                    return bad(format!(
+                        "tridiag n={n} must be {} (two equations per thread)",
+                        2 * tridiag::THREADS
+                    ));
+                }
+                // The ceiling keeps the five n×nsys device arrays (plus
+                // host references) in the hundreds of MB and n·nsys far
+                // from u32 overflow — a wire request must not OOM or
+                // panic the service.
+                if nsys == 0 || nsys > MAX_TRIDIAG_NSYS {
+                    return bad(format!(
+                        "tridiag nsys={nsys} must be in 1..={MAX_TRIDIAG_NSYS}"
+                    ));
+                }
+                Ok(())
+            }
+            KernelSpec::Spmv { l, .. } => {
+                // Computed in u64: the generator works in u32, so the
+                // ceiling also guarantees l⁴ (and the ~l⁴·81·4-byte
+                // operator) stays far inside u32 and memory budgets.
+                let sites = u64::from(l).pow(4);
+                if !(2..=MAX_SPMV_L).contains(&l) || sites % u64::from(spmv::THREADS) != 0 {
+                    return bad(format!(
+                        "spmv l={l}: need 2 ≤ l ≤ {MAX_SPMV_L} with l⁴ a multiple of {}",
+                        spmv::THREADS
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Build the prepared case study (validates first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidRequest`] on out-of-range sizes.
+    pub fn build(&self) -> Result<CaseStudy, ServiceError> {
+        self.validate()?;
+        Ok(match *self {
+            KernelSpec::Matmul { n, tile } => matmul::case(n, tile),
+            KernelSpec::Tridiag { n, nsys, padded } => tridiag::case(n, nsys, padded),
+            KernelSpec::Spmv {
+                l,
+                seed,
+                format,
+                texture,
+            } => spmv::case(&spmv::qcd_like(l, seed), format, texture),
+        })
+    }
+}
+
+/// Calibration effort for machines registered on demand (the
+/// `gpa-analyze` CLI). An [`Analyzer`] calibrated explicitly via
+/// [`Analyzer::calibrate`]/[`Analyzer::install`] ignores this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Effort {
+    /// Sparse warp grid, short loops ([`MeasureOpts::quick`]).
+    #[default]
+    Quick,
+    /// Full-resolution measurement ([`MeasureOpts::paper`]).
+    Paper,
+}
+
+impl Effort {
+    /// The corresponding measurement options.
+    pub fn measure_opts(self) -> MeasureOpts {
+        match self {
+            Effort::Quick => MeasureOpts::quick(),
+            Effort::Paper => MeasureOpts::paper(),
+        }
+    }
+}
+
+/// An advisor estimate to attach to the report (paper §5's use of the
+/// model to price optimizations before implementing them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WhatIfSpec {
+    /// Eliminate all shared-memory bank conflicts (CR → CR-NBC).
+    NoBankConflicts,
+    /// Perfectly coalesce all global accesses.
+    PerfectCoalescing,
+    /// Shrink the global transaction granularity to 16 bytes (§5.3).
+    Granularity16,
+    /// Shrink the global transaction granularity to 4 bytes (§5.3).
+    Granularity4,
+    /// Raise the resident-block ceiling (§5.1's architectural ask).
+    MaxBlocks(u32),
+    /// Scale the per-SM register file and shared memory (§5.1).
+    ResourcesScaled(u32),
+}
+
+impl WhatIfSpec {
+    fn eval(self, model: &mut Model<'_>, input: &ModelInput) -> WhatIf {
+        match self {
+            WhatIfSpec::NoBankConflicts => model.what_if_no_bank_conflicts(input),
+            WhatIfSpec::PerfectCoalescing => model.what_if_perfect_coalescing(input),
+            WhatIfSpec::Granularity16 => model.what_if_granularity(input, 1),
+            WhatIfSpec::Granularity4 => model.what_if_granularity(input, 2),
+            WhatIfSpec::MaxBlocks(b) => model.what_if_max_blocks(input, b),
+            WhatIfSpec::ResourcesScaled(f) => model.what_if_resources_scaled(input, f),
+        }
+    }
+}
+
+/// Per-request options: trace acquisition, threading, fuel,
+/// verification, advisor toggles, and on-demand calibration effort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisOptions {
+    /// Override the case's canonical trace mode (`None` keeps it:
+    /// homogeneous for matmul/tridiag, per-block for SpMV).
+    pub mode: Option<TraceMode>,
+    /// Worker threads for block execution within this request. Reports
+    /// are bit-identical for every selection; defaults to auto.
+    pub threads: Threads,
+    /// Warp-instruction fuel budget (runaway-loop guard); `None` keeps
+    /// the simulator default (20 × 10⁹). **Accounting granularity
+    /// depends on `threads`**: a sequential run spends one budget across
+    /// the whole grid, a sharded run one budget *per shard* of blocks —
+    /// so a grid that exhausts fuel sequentially may complete when
+    /// sharded, never the reverse for per-block-affordable kernels (see
+    /// [`gpa_sim::engine`] for the contract).
+    pub fuel: Option<u64>,
+    /// Check the simulated result against the CPU reference oracle and
+    /// record the outcome in [`AnalysisReport::verified`].
+    pub verify: bool,
+    /// Advisor estimates to attach to the report.
+    pub what_ifs: Vec<WhatIfSpec>,
+    /// Calibration effort for hosts that register machines on demand
+    /// (the CLI); ignored by explicitly calibrated analyzers.
+    pub calibration: Effort,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            mode: None,
+            threads: Threads::Auto,
+            fuel: None,
+            verify: false,
+            what_ifs: Vec::new(),
+            calibration: Effort::Quick,
+        }
+    }
+}
+
+/// One analysis query: which kernel, on which machine, with what options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisRequest {
+    /// The kernel and problem size.
+    pub kernel: KernelSpec,
+    /// Machine selector, matched case-insensitively against calibrated
+    /// machine names with punctuation ignored (`"gtx285"`,
+    /// `"GeForce 8800 GT"`, `"9800gtx"`, …).
+    pub machine: String,
+    /// Per-request options.
+    pub options: AnalysisOptions,
+}
+
+impl AnalysisRequest {
+    /// A request with default options.
+    pub fn new(kernel: KernelSpec, machine: impl Into<String>) -> AnalysisRequest {
+        AnalysisRequest {
+            kernel,
+            machine: machine.into(),
+            options: AnalysisOptions::default(),
+        }
+    }
+
+    /// The same request with different options.
+    pub fn with_options(mut self, options: AnalysisOptions) -> AnalysisRequest {
+        self.options = options;
+        self
+    }
+}
+
+/// Global traffic attributed to one named device region at the real
+/// GT200 transaction granularity (the paper's Figure 11a metric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionTraffic {
+    /// Region name (e.g. `"vector"`).
+    pub name: String,
+    /// Hardware transactions issued against the region.
+    pub transactions: u64,
+    /// Bytes moved (transaction sizes summed).
+    pub bytes: u64,
+    /// Bytes the lanes actually asked for (coalescing-independent).
+    pub requested_bytes: u64,
+}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Kernel name (e.g. `"matmul16x16"`).
+    pub kernel: String,
+    /// Full machine name (e.g. `"GeForce GTX 285"`).
+    pub machine: String,
+    /// The model's complete output: per-stage breakdown, component
+    /// times, bottleneck and runner-up, occupancy, diagnosed causes.
+    pub analysis: Analysis,
+    /// The timing simulator's end-to-end measurement, seconds.
+    pub measured_seconds: f64,
+    /// The measurement in shader-clock cycles.
+    pub measured_cycles: f64,
+    /// Floating-point operations of the workload (`0` = not meaningful).
+    pub flops: u64,
+    /// Per-region global traffic attribution, in region order.
+    pub regions: Vec<RegionTraffic>,
+    /// Advisor estimates, in request order.
+    pub what_ifs: Vec<WhatIf>,
+    /// CPU-reference verification outcome: `Some(true)` when requested
+    /// and passed, `None` when not requested. (A failed check surfaces
+    /// as [`ServiceError::VerificationFailed`] instead of a report.)
+    pub verified: Option<bool>,
+}
+
+impl AnalysisReport {
+    /// Signed relative model error vs the measurement.
+    pub fn model_error(&self) -> f64 {
+        (self.analysis.predicted_seconds - self.measured_seconds) / self.measured_seconds
+    }
+
+    /// The named region's traffic, if the request attributed one.
+    pub fn region(&self, name: &str) -> Option<&RegionTraffic> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// GFLOP/s at the measured time (0.0 when `flops` is 0).
+    pub fn measured_gflops(&self) -> f64 {
+        self.flops as f64 / self.measured_seconds / 1e9
+    }
+
+    /// Render as the fixed-width text report a profiler would print.
+    pub fn render(&self) -> String {
+        let mut out = gpa_core::report::render_with_measured(&self.analysis, self.measured_seconds);
+        if self.flops > 0 {
+            out.push_str(&format!(
+                "measured throughput: {:.1} GFLOPS\n",
+                self.measured_gflops()
+            ));
+        }
+        if let Some(v) = self.verified {
+            out.push_str(if v {
+                "functional result verified against the CPU reference\n"
+            } else {
+                "verification FAILED\n"
+            });
+        }
+        if !self.what_ifs.is_empty() {
+            out.push_str(&gpa_core::report::render_what_ifs(&self.what_ifs));
+        }
+        out
+    }
+}
+
+/// One registered machine: the description plus its measured profile.
+#[derive(Debug, Clone)]
+struct Calibrated {
+    machine: Machine,
+    curves: ThroughputCurves,
+}
+
+/// Summarize a run's per-region traffic at the real GT200 granularity.
+fn region_traffic(input: &ModelInput) -> Vec<RegionTraffic> {
+    use gpa_sim::stats::GRAN_GT200;
+    input
+        .stats
+        .regions
+        .iter()
+        .map(|r| RegionTraffic {
+            name: r.name.clone(),
+            transactions: r.gmem[GRAN_GT200].transactions,
+            bytes: r.gmem[GRAN_GT200].bytes,
+            requested_bytes: r.requested_bytes,
+        })
+        .collect()
+}
+
+/// The session object: calibrated machine profiles plus the analysis
+/// entry points. See the [crate docs](crate) for the full shape.
+///
+/// `Analyzer` is `Sync`: concurrent [`Analyzer::analyze`] calls (and
+/// [`Analyzer::analyze_batch`], which makes them for you) share the
+/// calibration read-only.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    entries: Vec<Calibrated>,
+}
+
+/// Selector normalization: lowercase, punctuation and spaces dropped.
+fn slug(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Find the unique machine in `machines` matching `selector`. An exact
+/// slug match wins outright; otherwise the selector must be a substring
+/// of exactly one machine's slug.
+fn select<'m>(
+    machines: impl Iterator<Item = &'m Machine>,
+    selector: &str,
+) -> Result<&'m Machine, ServiceError> {
+    let want = slug(selector);
+    if want.is_empty() {
+        return Err(ServiceError::UnknownMachine(selector.to_owned()));
+    }
+    let mut substring: Vec<&Machine> = Vec::new();
+    for m in machines {
+        let have = slug(&m.name);
+        if have == want {
+            // Exact matches short-circuit so a machine whose full name
+            // is a prefix of another's stays addressable.
+            return Ok(m);
+        }
+        if have.contains(&want) {
+            substring.push(m);
+        }
+    }
+    match substring.len() {
+        0 => Err(ServiceError::UnknownMachine(selector.to_owned())),
+        1 => Ok(substring[0]),
+        _ => Err(ServiceError::AmbiguousMachine(selector.to_owned())),
+    }
+}
+
+/// The built-in machine presets a selector can name without a custom
+/// [`Machine`]: the paper's GTX 285 and the two Table 3 G92 SKUs.
+pub fn builtin_machines() -> [Machine; 3] {
+    Machine::paper_table3()
+}
+
+/// Resolve a selector against [`builtin_machines`].
+///
+/// # Errors
+///
+/// [`ServiceError::UnknownMachine`] / [`ServiceError::AmbiguousMachine`].
+pub fn find_builtin(selector: &str) -> Result<Machine, ServiceError> {
+    let machines = builtin_machines();
+    select(machines.iter(), selector).cloned()
+}
+
+impl Analyzer {
+    /// An analyzer with no machines registered.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Measure `machine`'s throughput curves at `opts` effort and
+    /// register the profile (the expensive step — amortized over every
+    /// subsequent request). Re-registering a machine with the same name
+    /// replaces its profile.
+    pub fn calibrate(&mut self, machine: Machine, opts: MeasureOpts) -> &mut Self {
+        let curves = ThroughputCurves::measure_with(&machine, opts);
+        self.entries.retain(|e| e.machine.name != machine.name);
+        self.entries.push(Calibrated { machine, curves });
+        self
+    }
+
+    /// Register a machine with previously measured curves (e.g. from the
+    /// on-disk cache the bench harness keeps).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidRequest`] if the curves were measured on a
+    /// differently named machine.
+    pub fn install(
+        &mut self,
+        machine: Machine,
+        curves: ThroughputCurves,
+    ) -> Result<&mut Self, ServiceError> {
+        if curves.machine_name != machine.name {
+            return Err(ServiceError::InvalidRequest(format!(
+                "curves were measured on `{}`, not `{}`",
+                curves.machine_name, machine.name
+            )));
+        }
+        self.entries.retain(|e| e.machine.name != machine.name);
+        self.entries.push(Calibrated { machine, curves });
+        Ok(self)
+    }
+
+    /// Names of the registered machines, in registration order.
+    pub fn machines(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .map(|e| e.machine.name.as_str())
+            .collect()
+    }
+
+    /// Whether a selector resolves to a registered machine.
+    pub fn has_machine(&self, selector: &str) -> bool {
+        self.lookup(selector).is_ok()
+    }
+
+    /// The registered machine a selector resolves to.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownMachine`] / [`ServiceError::AmbiguousMachine`].
+    pub fn machine(&self, selector: &str) -> Result<&Machine, ServiceError> {
+        Ok(&self.lookup(selector)?.machine)
+    }
+
+    /// The calibrated curves a selector resolves to.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownMachine`] / [`ServiceError::AmbiguousMachine`].
+    pub fn curves(&self, selector: &str) -> Result<&ThroughputCurves, ServiceError> {
+        Ok(&self.lookup(selector)?.curves)
+    }
+
+    fn lookup(&self, selector: &str) -> Result<&Calibrated, ServiceError> {
+        let machine = select(self.entries.iter().map(|e| &e.machine), selector)?;
+        // Identity-free re-find: names are unique by construction.
+        Ok(self
+            .entries
+            .iter()
+            .find(|e| e.machine.name == machine.name)
+            .expect("selected machine is registered"))
+    }
+
+    /// Answer one request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`]: unknown machine, invalid sizes, simulation
+    /// or extraction failure, or a failed verification.
+    pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReport, ServiceError> {
+        let entry = self.lookup(&req.machine)?;
+        let mut study = req.kernel.build()?;
+        if let Some(mode) = req.options.mode {
+            study.mode = mode;
+        }
+        let mut model = Model::with_curves(&entry.machine, &entry.curves);
+        let run = run_study(
+            &entry.machine,
+            &mut model,
+            &mut study,
+            req.options.threads,
+            req.options.fuel,
+        )?;
+        let verified = if req.options.verify {
+            study.check().map_err(ServiceError::VerificationFailed)?;
+            Some(true)
+        } else {
+            None
+        };
+        let what_ifs = req
+            .options
+            .what_ifs
+            .iter()
+            .map(|w| w.eval(&mut model, &run.input))
+            .collect();
+        Ok(AnalysisReport {
+            kernel: run.input.kernel_name.clone(),
+            machine: entry.machine.name.clone(),
+            regions: region_traffic(&run.input),
+            analysis: run.analysis,
+            measured_seconds: run.timing.seconds,
+            measured_cycles: run.timing.cycles,
+            flops: study.flops,
+            what_ifs,
+            verified,
+        })
+    }
+
+    /// Answer one ad-hoc kernel (anything `KernelBuilder` can produce)
+    /// against a calibrated profile — the in-process path for kernels
+    /// the JSON wire cannot name. The caller owns the device memory;
+    /// side effects land in `gmem` exactly as under
+    /// [`gpa_apps::workflow::run_case`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown machine, simulation, or extraction errors; also
+    /// [`ServiceError::InvalidRequest`] when `options.verify` is set —
+    /// ad-hoc kernels carry no reference oracle, so the request would
+    /// otherwise silently go unchecked.
+    #[allow(clippy::too_many_arguments)] // mirrors run_case: one per pipeline input
+    pub fn analyze_kernel(
+        &self,
+        selector: &str,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        params: &[u32],
+        gmem: &mut GlobalMemory,
+        regions: &[Region],
+        options: &AnalysisOptions,
+    ) -> Result<AnalysisReport, ServiceError> {
+        if options.verify {
+            // No CPU-reference oracle exists for ad-hoc kernels; refuse
+            // rather than silently returning `verified: None` to a
+            // caller who asked for a check.
+            return Err(ServiceError::InvalidRequest(
+                "verify is only available for case-study requests (ad-hoc kernels have no \
+                 reference oracle); check side effects in `gmem` instead"
+                    .into(),
+            ));
+        }
+        let entry = self.lookup(selector)?;
+        let mut model = Model::with_curves(&entry.machine, &entry.curves);
+        let opts = gpa_apps::CaseOpts {
+            mode: options.mode.unwrap_or(TraceMode::Homogeneous),
+            threads: options.threads,
+            fuel: options.fuel,
+        };
+        let run = gpa_apps::workflow::run_case(
+            &entry.machine,
+            &mut model,
+            kernel,
+            launch,
+            params,
+            gmem,
+            regions,
+            opts,
+        )?;
+        let what_ifs = options
+            .what_ifs
+            .iter()
+            .map(|w| w.eval(&mut model, &run.input))
+            .collect();
+        Ok(AnalysisReport {
+            kernel: run.input.kernel_name.clone(),
+            machine: entry.machine.name.clone(),
+            regions: region_traffic(&run.input),
+            analysis: run.analysis,
+            measured_seconds: run.timing.seconds,
+            measured_cycles: run.timing.cycles,
+            flops: 0,
+            what_ifs,
+            verified: None,
+        })
+    }
+
+    /// Answer a batch, sharding the independent requests across one
+    /// worker per available CPU core. Per-request results (including
+    /// per-request failures) come back in request order and are
+    /// identical to sequential [`Analyzer::analyze`] calls.
+    pub fn analyze_batch(
+        &self,
+        reqs: &[AnalysisRequest],
+    ) -> Vec<Result<AnalysisReport, ServiceError>> {
+        self.analyze_batch_with(reqs, Threads::Auto)
+    }
+
+    /// [`Analyzer::analyze_batch`] with an explicit worker selection for
+    /// the batch dimension (each request additionally shards its own
+    /// block execution per its `options.threads`).
+    pub fn analyze_batch_with(
+        &self,
+        reqs: &[AnalysisRequest],
+        threads: Threads,
+    ) -> Vec<Result<AnalysisReport, ServiceError>> {
+        let n = reqs.len();
+        let workers = threads.count().min(n);
+        if workers <= 1 {
+            return reqs.iter().map(|r| self.analyze(r)).collect();
+        }
+        // Reuse the engine's contiguous near-equal sharding so batch
+        // assignment is deterministic (not that it matters for results:
+        // requests are independent and individually deterministic).
+        let plan = SimEngine::shard_plan(n as u32, workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .map(|range| {
+                    let shard = &reqs[range.start as usize..range.end as usize];
+                    scope.spawn(move || shard.iter().map(|r| self.analyze(r)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_slugs_match_presets() {
+        assert_eq!(find_builtin("gtx285").unwrap().name, "GeForce GTX 285");
+        assert_eq!(find_builtin("GTX 285").unwrap().name, "GeForce GTX 285");
+        assert_eq!(find_builtin("8800gt").unwrap().name, "GeForce 8800 GT");
+        assert_eq!(
+            find_builtin("geforce 9800 gtx").unwrap().name,
+            "GeForce 9800 GTX"
+        );
+        assert!(matches!(
+            find_builtin("geforce"),
+            Err(ServiceError::AmbiguousMachine(_))
+        ));
+        assert!(matches!(
+            find_builtin("tesla"),
+            Err(ServiceError::UnknownMachine(_))
+        ));
+        assert!(matches!(
+            find_builtin("  "),
+            Err(ServiceError::UnknownMachine(_))
+        ));
+    }
+
+    #[test]
+    fn kernel_specs_validate_sizes() {
+        assert!(KernelSpec::Matmul { n: 64, tile: 16 }.validate().is_ok());
+        assert!(KernelSpec::Matmul { n: 64, tile: 7 }.validate().is_err());
+        assert!(KernelSpec::Matmul { n: 100, tile: 8 }.validate().is_err());
+        assert!(KernelSpec::Matmul { n: 2048, tile: 16 }.validate().is_err());
+        assert!(KernelSpec::Tridiag {
+            n: 512,
+            nsys: 4,
+            padded: false
+        }
+        .validate()
+        .is_ok());
+        assert!(KernelSpec::Tridiag {
+            n: 256,
+            nsys: 4,
+            padded: false
+        }
+        .validate()
+        .is_err());
+        assert!(KernelSpec::Tridiag {
+            n: 512,
+            nsys: 0,
+            padded: true
+        }
+        .validate()
+        .is_err());
+        let spmv_ok = KernelSpec::Spmv {
+            l: 4,
+            seed: 42,
+            format: spmv::Format::Ell,
+            texture: false,
+        };
+        assert!(spmv_ok.validate().is_ok());
+        let spmv_bad = KernelSpec::Spmv {
+            l: 3,
+            seed: 42,
+            format: spmv::Format::Ell,
+            texture: false,
+        };
+        assert!(spmv_bad.validate().is_err());
+    }
+
+    /// Tiny synthetic curves (selector tests never analyze with them).
+    fn fake_curves(name: &str) -> ThroughputCurves {
+        ThroughputCurves {
+            machine_name: name.to_owned(),
+            warps: vec![1, 32],
+            instr: std::array::from_fn(|_| vec![1e9, 1e10]),
+            smem: vec![1e10, 1e11],
+        }
+    }
+
+    #[test]
+    fn exact_selector_beats_substring_shadowing() {
+        let mut analyzer = Analyzer::new();
+        for name in ["Tesla", "Tesla Plus"] {
+            let mut m = Machine::gtx285();
+            m.name = name.to_owned();
+            analyzer.install(m, fake_curves(name)).unwrap();
+        }
+        // "tesla" is the exact slug of the first machine — it must not
+        // be reported ambiguous just because it prefixes the second.
+        assert_eq!(analyzer.machine("tesla").unwrap().name, "Tesla");
+        assert_eq!(analyzer.machine("tesla plus").unwrap().name, "Tesla Plus");
+        assert!(matches!(
+            analyzer.machine("tesl"),
+            Err(ServiceError::AmbiguousMachine(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_run() {
+        // These would overflow u32 arithmetic (or exhaust memory) in the
+        // case constructors; validation must catch them first.
+        assert!(KernelSpec::Spmv {
+            l: 256,
+            seed: 1,
+            format: spmv::Format::Ell,
+            texture: false,
+        }
+        .validate()
+        .is_err());
+        assert!(KernelSpec::Tridiag {
+            n: 512,
+            nsys: 10_000_000,
+            padded: false,
+        }
+        .validate()
+        .is_err());
+        assert!(KernelSpec::Tridiag {
+            n: 512,
+            nsys: crate::MAX_TRIDIAG_NSYS,
+            padded: false,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn analyze_kernel_refuses_unverifiable_verify() {
+        use gpa_isa::builder::KernelBuilder;
+        let mut analyzer = Analyzer::new();
+        analyzer
+            .install(Machine::gtx285(), fake_curves("GeForce GTX 285"))
+            .unwrap();
+        let mut b = KernelBuilder::new("noop");
+        b.set_threads(32);
+        b.exit();
+        let kernel = b.finish().unwrap();
+        let mut gmem = GlobalMemory::new();
+        let err = analyzer
+            .analyze_kernel(
+                "gtx285",
+                &kernel,
+                LaunchConfig::new_1d(1, 32),
+                &[],
+                &mut gmem,
+                &[],
+                &AnalysisOptions {
+                    verify: true,
+                    ..AnalysisOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_machine_is_an_error_not_a_panic() {
+        let analyzer = Analyzer::new();
+        let req = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285");
+        assert!(matches!(
+            analyzer.analyze(&req),
+            Err(ServiceError::UnknownMachine(_))
+        ));
+    }
+
+    #[test]
+    fn install_rejects_mismatched_curves() {
+        let mut analyzer = Analyzer::new();
+        let gtx = Machine::gtx285();
+        let curves = ThroughputCurves::measure_with(&gtx, MeasureOpts::quick());
+        assert!(analyzer
+            .install(Machine::geforce_8800gt(), curves.clone())
+            .is_err());
+        analyzer.install(gtx, curves).unwrap();
+        assert_eq!(analyzer.machines(), vec!["GeForce GTX 285"]);
+        assert!(analyzer.has_machine("gtx285"));
+        assert!(!analyzer.has_machine("8800gt"));
+    }
+}

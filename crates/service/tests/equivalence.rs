@@ -1,0 +1,138 @@
+//! Acceptance: the redesigned service answers are *identical* to the
+//! pre-redesign `run_case` driver path — same curves in, same `Analysis`
+//! and timing out, bit for bit — and `analyze_batch` is identical to
+//! sequential `analyze` calls.
+
+use gpa_apps::{matmul, spmv, tridiag};
+use gpa_core::Model;
+use gpa_hw::Machine;
+use gpa_service::{AnalysisRequest, Analyzer, KernelSpec, ServiceError};
+use gpa_sim::Threads;
+use gpa_ubench::{MeasureOpts, ThroughputCurves};
+use std::sync::OnceLock;
+
+fn machine() -> &'static Machine {
+    static M: OnceLock<Machine> = OnceLock::new();
+    M.get_or_init(Machine::gtx285)
+}
+
+fn curves() -> &'static ThroughputCurves {
+    static C: OnceLock<ThroughputCurves> = OnceLock::new();
+    C.get_or_init(|| ThroughputCurves::measure_with(machine(), MeasureOpts::quick()))
+}
+
+fn analyzer() -> Analyzer {
+    let mut a = Analyzer::new();
+    a.install(machine().clone(), curves().clone()).unwrap();
+    a
+}
+
+fn case_requests() -> Vec<AnalysisRequest> {
+    vec![
+        AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285"),
+        AnalysisRequest::new(
+            KernelSpec::Tridiag {
+                n: 512,
+                nsys: 4,
+                padded: false,
+            },
+            "gtx285",
+        ),
+        AnalysisRequest::new(
+            KernelSpec::Spmv {
+                l: 4,
+                seed: 42,
+                format: spmv::Format::BellIm,
+                texture: false,
+            },
+            "gtx285",
+        ),
+    ]
+}
+
+#[test]
+fn batch_reports_match_the_run_case_path_bitwise() {
+    let analyzer = analyzer();
+    let reports: Vec<_> = analyzer
+        .analyze_batch(&case_requests())
+        .into_iter()
+        .map(|r| r.expect("case study analyzes"))
+        .collect();
+
+    // The pre-redesign path: per-app drivers over run_case, one shared
+    // model built from the same measured curves.
+    let mut model = Model::new(machine(), curves().clone());
+    let direct = [
+        matmul::run(machine(), &mut model, 64, 16, false).unwrap(),
+        tridiag::run(machine(), &mut model, 512, 4, false, false).unwrap(),
+        spmv::run(
+            machine(),
+            &mut model,
+            &spmv::qcd_like(4, 42),
+            spmv::Format::BellIm,
+            false,
+            false,
+        )
+        .unwrap(),
+    ];
+
+    for (report, case) in reports.iter().zip(&direct) {
+        assert_eq!(report.analysis, case.analysis, "{}", report.kernel);
+        assert_eq!(
+            report.measured_seconds.to_bits(),
+            case.timing.seconds.to_bits(),
+            "{}: measured time diverges",
+            report.kernel
+        );
+        assert_eq!(
+            report.measured_cycles.to_bits(),
+            case.timing.cycles.to_bits(),
+            "{}: measured cycles diverge",
+            report.kernel
+        );
+    }
+}
+
+#[test]
+fn batch_is_identical_to_sequential_analyze() {
+    let analyzer = analyzer();
+    let reqs = case_requests();
+    let batched = analyzer.analyze_batch_with(&reqs, Threads::Fixed(3));
+    let sequential: Vec<_> = reqs.iter().map(|r| analyzer.analyze(r)).collect();
+    assert_eq!(batched, sequential);
+}
+
+#[test]
+fn batch_surfaces_per_request_failures_in_order() {
+    let analyzer = analyzer();
+    let reqs = vec![
+        AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285"),
+        AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 7 }, "gtx285"),
+        AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "titan"),
+    ];
+    let results = analyzer.analyze_batch(&reqs);
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(ServiceError::InvalidRequest(_))));
+    assert!(matches!(results[2], Err(ServiceError::UnknownMachine(_))));
+}
+
+#[test]
+fn verification_and_what_ifs_ride_along() {
+    use gpa_service::{AnalysisOptions, WhatIfSpec};
+    let analyzer = analyzer();
+    let mut req = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285");
+    req.options = AnalysisOptions {
+        verify: true,
+        what_ifs: vec![WhatIfSpec::MaxBlocks(16), WhatIfSpec::PerfectCoalescing],
+        ..AnalysisOptions::default()
+    };
+    let report = analyzer.analyze(&req).unwrap();
+    assert_eq!(report.verified, Some(true));
+    assert_eq!(report.what_ifs.len(), 2);
+    assert_eq!(report.what_ifs[0].name, "max-blocks");
+    assert!(report.flops > 0);
+    assert!(report.measured_gflops() > 0.0);
+    let rendered = report.render();
+    assert!(rendered.contains("bottleneck"), "{rendered}");
+    assert!(rendered.contains("what-if"), "{rendered}");
+}

@@ -1,0 +1,57 @@
+//! Golden-file test: the wire representation of one fixed matmul report
+//! is stable byte for byte (quick-effort calibration and the simulators
+//! are fully deterministic, so any drift here is a real wire or model
+//! change). Regenerate with `GPA_BLESS=1 cargo test -p gpa-service
+//! --test golden_report`.
+
+use gpa_hw::Machine;
+use gpa_service::{AnalysisOptions, AnalysisRequest, Analyzer, KernelSpec, WhatIfSpec};
+use gpa_sim::Threads;
+use gpa_ubench::MeasureOpts;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/matmul_report.json")
+}
+
+fn golden_request() -> AnalysisRequest {
+    AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285").with_options(
+        AnalysisOptions {
+            threads: Threads::sequential(),
+            verify: true,
+            what_ifs: vec![WhatIfSpec::MaxBlocks(16)],
+            ..AnalysisOptions::default()
+        },
+    )
+}
+
+#[test]
+fn matmul_report_matches_golden_file() {
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
+    let report = analyzer.analyze(&golden_request()).unwrap();
+    let json = report.to_json();
+
+    let path = golden_path();
+    if std::env::var_os("GPA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with GPA_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json,
+        golden,
+        "report drifted from {}; if intended, regenerate with GPA_BLESS=1",
+        path.display()
+    );
+
+    // And the golden file itself parses back to the same report.
+    let parsed = gpa_service::AnalysisReport::from_json(&golden).unwrap();
+    assert_eq!(parsed, report);
+}

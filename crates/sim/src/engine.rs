@@ -41,7 +41,13 @@
 //! accounting: a sequential run spends one budget across the whole grid,
 //! a parallel run one budget per shard, so a grid that exhausts fuel
 //! sequentially may complete in parallel (never the reverse for
-//! per-block-affordable kernels).
+//! per-block-affordable kernels). This is deliberate: fuel is a
+//! runaway-loop guard, not a metered resource, and the deterministic
+//! alternative — splitting one budget across shards up front — would
+//! make parallel runs fail where sequential ones succeed. Layers that
+//! expose a fuel knob (`CaseOpts::fuel` in `gpa-apps`,
+//! `AnalysisOptions::fuel` in `gpa-service`) document the same
+//! per-shard semantics.
 
 use crate::error::SimError;
 use crate::func::{FunctionalSim, RunOutput};
@@ -49,6 +55,63 @@ use crate::memory::{GlobalMemory, WriteRecord};
 use crate::stats::{BlockTrace, DynamicStats};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread selection, the one threading knob shared by every layer
+/// that shards independent work: block execution ([`SimEngine`],
+/// `CaseOpts` in `gpa-apps`), curve calibration (`MeasureOpts` in
+/// `gpa-ubench`), and batch analysis (`AnalysisOptions` in `gpa-service`).
+///
+/// Sharded results are **bit-identical at every thread count** throughout
+/// the workspace, so the options layers default to [`Threads::Auto`]; pick
+/// [`Threads::sequential`] only when wall-clock determinism or single-core
+/// profiling matters. (The exception is fuel accounting: a parallel run
+/// budgets fuel per shard — see the [module docs](crate::engine).)
+///
+/// The legacy `usize` encoding (`0` = auto, `n` = exactly `n` workers)
+/// converts via `From`, so call sites may pass plain counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Threads {
+    /// One worker per available CPU core.
+    #[default]
+    Auto,
+    /// Exactly `n` workers; `Fixed(1)` is the sequential special case.
+    Fixed(usize),
+}
+
+impl Threads {
+    /// The sequential special case (`Fixed(1)`).
+    pub fn sequential() -> Threads {
+        Threads::Fixed(1)
+    }
+
+    /// Resolved worker count (≥ 1): `Auto` asks the OS for the number of
+    /// available CPU cores, `Fixed(0)` is normalized to one worker.
+    pub fn count(self) -> usize {
+        match self {
+            Threads::Auto => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            Threads::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// The legacy `usize` encoding: `0` = auto, `n` = exactly `n` workers.
+    pub fn raw(self) -> usize {
+        match self {
+            Threads::Auto => 0,
+            Threads::Fixed(n) => n,
+        }
+    }
+}
+
+impl From<usize> for Threads {
+    /// Legacy encoding: `0` = auto, `n` = exactly `n` workers.
+    fn from(n: usize) -> Threads {
+        if n == 0 {
+            Threads::Auto
+        } else {
+            Threads::Fixed(n)
+        }
+    }
+}
 
 /// Executes a [`FunctionalSim`]'s grid across worker threads.
 ///
@@ -84,6 +147,13 @@ impl SimEngine {
     /// One worker per available CPU core.
     pub fn auto() -> SimEngine {
         SimEngine::new(0)
+    }
+
+    /// An engine from a [`Threads`] selection.
+    pub fn with_threads(threads: Threads) -> SimEngine {
+        SimEngine {
+            num_threads: threads.count(),
+        }
     }
 
     /// Resolved worker count (≥ 1).
@@ -395,5 +465,23 @@ mod tests {
         assert!(SimEngine::auto().num_threads() >= 1);
         assert_eq!(SimEngine::new(5).num_threads(), 5);
         assert_eq!(SimEngine::default(), SimEngine::auto());
+    }
+
+    #[test]
+    fn threads_resolution_and_legacy_encoding() {
+        assert_eq!(Threads::default(), Threads::Auto);
+        assert_eq!(Threads::sequential(), Threads::Fixed(1));
+        assert_eq!(Threads::sequential().count(), 1);
+        assert_eq!(Threads::Fixed(0).count(), 1);
+        assert_eq!(Threads::Fixed(7).count(), 7);
+        assert!(Threads::Auto.count() >= 1);
+        assert_eq!(Threads::from(0usize), Threads::Auto);
+        assert_eq!(Threads::from(3usize), Threads::Fixed(3));
+        assert_eq!(Threads::Auto.raw(), 0);
+        assert_eq!(Threads::Fixed(3).raw(), 3);
+        assert_eq!(
+            SimEngine::with_threads(Threads::Fixed(4)),
+            SimEngine::new(4)
+        );
     }
 }

@@ -139,6 +139,15 @@ impl<'a> FunctionalSim<'a> {
         self
     }
 
+    /// [`set_num_threads`](FunctionalSim::set_num_threads) via the shared
+    /// [`Threads`](crate::engine::Threads) selector. The simulator itself
+    /// defaults to the sequential walk (the deterministic low-level
+    /// baseline, including fuel accounting); the options layers above
+    /// (`CaseOpts`, `MeasureOpts`, `gpa-service`) default to auto.
+    pub fn set_threads(&mut self, threads: crate::engine::Threads) -> &mut Self {
+        self.set_num_threads(threads.raw())
+    }
+
     /// Configured worker-thread count (`0` = auto).
     pub fn num_threads(&self) -> usize {
         self.num_threads

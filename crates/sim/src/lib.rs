@@ -35,7 +35,7 @@ pub mod memory;
 pub mod stats;
 pub mod timing;
 
-pub use engine::SimEngine;
+pub use engine::{SimEngine, Threads};
 pub use error::SimError;
 pub use func::FunctionalSim;
 pub use grid::LaunchConfig;

@@ -9,6 +9,7 @@ use crate::gmem::{self, GmemConfig};
 use crate::{instr, smem};
 use gpa_hw::{InstrClass, Machine};
 use gpa_json::Value;
+use gpa_sim::Threads;
 use std::collections::HashMap;
 
 /// Measurement effort knobs.
@@ -21,11 +22,11 @@ pub struct MeasureOpts {
     /// Measure every warp count `1..=16` plus even counts to 32 when
     /// `true`; a sparse grid when `false`.
     pub dense: bool,
-    /// Worker threads measuring warp sample points concurrently
-    /// (`1` sequential, `0` auto — one per CPU core). Each sample point
-    /// is an independent simulation, so the measured curves are
-    /// bit-identical for every thread count; only wall-clock changes.
-    pub num_threads: usize,
+    /// Worker threads measuring warp sample points concurrently. Each
+    /// sample point is an independent simulation, so the measured curves
+    /// are bit-identical for every [`Threads`] selection; only wall-clock
+    /// changes — hence the default of [`Threads::Auto`].
+    pub threads: Threads,
 }
 
 impl MeasureOpts {
@@ -35,7 +36,7 @@ impl MeasureOpts {
             unroll: 64,
             iters: 50,
             dense: true,
-            num_threads: 1,
+            threads: Threads::Auto,
         }
     }
 
@@ -45,13 +46,14 @@ impl MeasureOpts {
             unroll: 24,
             iters: 10,
             dense: false,
-            num_threads: 1,
+            threads: Threads::Auto,
         }
     }
 
-    /// The same effort, measured on `n` worker threads (`0` = auto).
-    pub fn with_threads(mut self, n: usize) -> MeasureOpts {
-        self.num_threads = n;
+    /// The same effort, measured on an explicit [`Threads`] selection
+    /// (plain `usize` counts convert: `0` = auto, `n` = exactly `n`).
+    pub fn with_threads(mut self, threads: impl Into<Threads>) -> MeasureOpts {
+        self.threads = threads.into();
         self
     }
 
@@ -92,18 +94,13 @@ impl ThroughputCurves {
 
     /// Measure with explicit effort.
     ///
-    /// Warp sample points are independent simulations; with
-    /// `opts.num_threads != 1` they are measured concurrently (striped
+    /// Warp sample points are independent simulations; with more than one
+    /// worker (`opts.threads`) they are measured concurrently (striped
     /// across scoped threads) and reassembled in sample order, so the
     /// curves are identical for every thread count.
     pub fn measure_with(machine: &Machine, opts: MeasureOpts) -> ThroughputCurves {
         let warps = opts.warp_samples();
-        let n_threads = match opts.num_threads {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
-            n => n,
-        }
-        .min(warps.len())
-        .max(1);
+        let n_threads = opts.threads.count().min(warps.len()).max(1);
 
         let samples: Vec<([f64; 4], f64)> = if n_threads <= 1 {
             warps

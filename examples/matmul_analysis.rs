@@ -1,32 +1,43 @@
 //! Paper §5.1: analyze dense matrix multiply across sub-matrix sizes and
 //! print the model's verdict on each (why 16×16 wins, why 32×32 turns
-//! shared-memory-bound).
+//! shared-memory-bound) — one calibrated `Analyzer`, one batch of typed
+//! requests.
 //!
 //! Run with: `cargo run --release --example matmul_analysis`
 
 use gpa::apps::matmul;
 use gpa::hw::Machine;
-use gpa::model::{report, Model};
-use gpa::ubench::{MeasureOpts, ThroughputCurves};
+use gpa::service::{AnalysisOptions, AnalysisRequest, Analyzer, KernelSpec, WhatIfSpec};
+use gpa::ubench::MeasureOpts;
 
 fn main() {
-    let machine = Machine::gtx285();
-    let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
-    let mut model = Model::new(&machine, curves);
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
     let n = 256;
-    for tile in matmul::TILES {
-        let run = matmul::run(&machine, &mut model, n, tile, true).expect("matmul runs");
+
+    let requests: Vec<AnalysisRequest> = matmul::TILES
+        .iter()
+        .map(|&tile| {
+            AnalysisRequest::new(KernelSpec::Matmul { n, tile }, "gtx285").with_options(
+                AnalysisOptions {
+                    verify: true,
+                    // The paper's §5.1 architectural what-if: would 16
+                    // resident blocks per SM lift the bottleneck?
+                    what_ifs: vec![WhatIfSpec::MaxBlocks(16)],
+                    ..AnalysisOptions::default()
+                },
+            )
+        })
+        .collect();
+
+    for (tile, report) in matmul::TILES.iter().zip(analyzer.analyze_batch(&requests)) {
+        let report = report.expect("matmul analyzes");
         println!("==== {tile}x{tile} sub-matrix, n = {n} (verified against CPU) ====");
         println!(
             "measured {:.3} ms ({:.0} GFLOPS)",
-            run.measured_seconds() * 1e3,
-            run.measured_gflops(matmul::flops(n))
+            report.measured_seconds * 1e3,
+            report.measured_gflops()
         );
-        println!(
-            "{}",
-            report::render_with_measured(&run.analysis, run.measured_seconds())
-        );
-        let what_if = model.what_if_max_blocks(&run.input, 16);
-        println!("architectural what-if (paper §5.1): {what_if}\n");
+        println!("{}", report.render());
     }
 }

@@ -1,19 +1,22 @@
-//! Quickstart: the full paper workflow on a small custom kernel.
+//! Quickstart: the full paper workflow on a small custom kernel, served
+//! through the `Analyzer` session API.
 //!
-//! Builds a native-ISA kernel with `KernelBuilder`, runs it on the
-//! functional simulator (the Barra substitute), extracts dynamic
-//! statistics, runs the performance model, and prints the bottleneck
-//! report next to the timing simulator's "measured" time.
+//! Builds a native-ISA kernel with `KernelBuilder`, calibrates an
+//! `Analyzer` for the GTX 285 once, and submits the kernel: the service
+//! runs the functional simulator (the Barra substitute), extracts dynamic
+//! statistics, "measures" on the timing simulator, runs the performance
+//! model, and returns the typed bottleneck report — with what-if advisor
+//! estimates riding along.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use gpa::apps::workflow::Region;
 use gpa::hw::Machine;
 use gpa::isa::builder::KernelBuilder;
 use gpa::isa::instr::{CmpOp, MemAddr, NumTy, Pred, SpecialReg, Src, Width};
-use gpa::model::{extract, report, Model};
-use gpa::sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
-use gpa::ubench::{MeasureOpts, ThroughputCurves};
-use std::rc::Rc;
+use gpa::service::{AnalysisOptions, Analyzer, WhatIfSpec};
+use gpa::sim::{GlobalMemory, LaunchConfig};
+use gpa::ubench::MeasureOpts;
 
 fn main() {
     let machine = Machine::gtx285();
@@ -64,7 +67,7 @@ fn main() {
     let kernel = b.finish().expect("kernel builds");
     println!("kernel: {kernel}");
 
-    // ---- 2. Set up device memory and run the functional simulator ----
+    // ---- 2. Set up device memory ----
     let elems = 1 << 18;
     let mut gmem = GlobalMemory::new();
     let x: Vec<f32> = (0..elems).map(|k| k as f32 / 1000.0).collect();
@@ -72,36 +75,45 @@ fn main() {
     let x_dev = gmem.alloc_f32(&x);
     let y_dev = gmem.alloc_f32(&y);
     let launch = LaunchConfig::new_1d(60, 256);
-    let mut sim = FunctionalSim::new(&machine, &kernel, launch).unwrap();
-    sim.set_params(&[x_dev as u32, y_dev as u32, elems as u32]);
-    sim.collect_traces(true);
-    let out = sim.run(&mut gmem).expect("runs");
 
-    // Sanity: y[5] = 2·0.005 + 1.
+    // ---- 3. Calibrate the Analyzer once (the expensive step) ----
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(machine, MeasureOpts::quick());
+
+    // ---- 4. Submit the kernel: simulate, measure, model, report ----
+    let options = AnalysisOptions {
+        what_ifs: vec![
+            WhatIfSpec::PerfectCoalescing,
+            WhatIfSpec::Granularity4,
+            WhatIfSpec::MaxBlocks(16),
+        ],
+        ..AnalysisOptions::default()
+    };
+    let regions = [
+        Region::new("x", x_dev, 4 * elems as u64),
+        Region::new("y", y_dev, 4 * elems as u64),
+    ];
+    let report = analyzer
+        .analyze_kernel(
+            "gtx285",
+            &kernel,
+            launch,
+            &[x_dev as u32, y_dev as u32, elems as u32],
+            &mut gmem,
+            &regions,
+            &options,
+        )
+        .expect("saxpy analyzes");
+
+    // Sanity: side effects landed in our memory (y[5] = 2·0.005 + 1).
     let y5 = gmem.read_f32(y_dev + 20).unwrap();
     assert!((y5 - (2.0 * x[5] + 1.0)).abs() < 1e-6);
     println!("functional result verified (y[5] = {y5})");
 
-    // ---- 3. "Measure" on the timing simulator ----
-    let timing = TimingSim::new(&machine);
-    let traces: Vec<_> = out.traces.unwrap().into_iter().map(Rc::new).collect();
-    let mut src = TraceSource::PerBlock(traces);
-    let measured = timing.run(&mut src, &launch, kernel.resources);
-
-    // ---- 4. Run the paper's model and print the report ----
-    let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
-    let mut model = Model::new(&machine, curves);
-    let input = extract(&machine, "saxpy", launch, kernel.resources, out.stats);
-    let analysis = model.analyze(&input);
+    println!("\n{}", report.render());
+    let yt = report.region("y").expect("y region attributed");
     println!(
-        "\n{}",
-        report::render_with_measured(&analysis, measured.seconds)
+        "region `y`: {} transactions, {} bytes moved for {} requested",
+        yt.transactions, yt.bytes, yt.requested_bytes
     );
-
-    let what_ifs = vec![
-        model.what_if_perfect_coalescing(&input),
-        model.what_if_granularity(&input, 1),
-        model.what_if_max_blocks(&input, 16),
-    ];
-    println!("{}", report::render_what_ifs(&what_ifs));
 }

@@ -1,40 +1,64 @@
 //! Paper §5.2: use the model to *predict* the benefit of removing the
 //! cyclic-reduction solver's bank conflicts, then verify by running the
-//! padded CR-NBC variant — the paper's optimization workflow end to end.
+//! padded CR-NBC variant — the paper's optimization workflow end to end,
+//! as two requests against one calibrated `Analyzer`.
 //!
 //! Run with: `cargo run --release --example tridiag_optimize`
 
-use gpa::apps::tridiag;
 use gpa::hw::Machine;
-use gpa::model::{report, Model};
-use gpa::ubench::{MeasureOpts, ThroughputCurves};
+use gpa::service::{AnalysisOptions, AnalysisRequest, Analyzer, KernelSpec, WhatIfSpec};
+use gpa::ubench::MeasureOpts;
 
 fn main() {
-    let machine = Machine::gtx285();
-    let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
-    let mut model = Model::new(&machine, curves);
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
     let (n, nsys) = (512, 64);
 
     println!("==== step 1: profile plain cyclic reduction ====");
-    let cr = tridiag::run(&machine, &mut model, n, nsys, false, true).expect("CR runs");
-    println!(
-        "{}",
-        report::render_with_measured(&cr.analysis, cr.measured_seconds())
-    );
+    let cr = analyzer
+        .analyze(
+            &AnalysisRequest::new(
+                KernelSpec::Tridiag {
+                    n,
+                    nsys,
+                    padded: false,
+                },
+                "gtx285",
+            )
+            .with_options(AnalysisOptions {
+                verify: true,
+                what_ifs: vec![WhatIfSpec::NoBankConflicts],
+                ..AnalysisOptions::default()
+            }),
+        )
+        .expect("CR analyzes");
+    println!("{}", cr.render());
 
     println!("==== step 2: ask the model about removing bank conflicts ====");
-    let what_if = model.what_if_no_bank_conflicts(&cr.input);
+    let what_if = &cr.what_ifs[0];
     println!("{what_if}\n");
 
     println!("==== step 3: implement the padding (CR-NBC) and verify ====");
-    let nbc = tridiag::run(&machine, &mut model, n, nsys, true, true).expect("CR-NBC runs");
-    println!(
-        "{}",
-        report::render_with_measured(&nbc.analysis, nbc.measured_seconds())
-    );
+    let nbc = analyzer
+        .analyze(
+            &AnalysisRequest::new(
+                KernelSpec::Tridiag {
+                    n,
+                    nsys,
+                    padded: true,
+                },
+                "gtx285",
+            )
+            .with_options(AnalysisOptions {
+                verify: true,
+                ..AnalysisOptions::default()
+            }),
+        )
+        .expect("CR-NBC analyzes");
+    println!("{}", nbc.render());
     println!(
         "achieved speedup: x{:.2} (model predicted x{:.2}; the paper predicted, then measured, x1.6)",
-        cr.measured_seconds() / nbc.measured_seconds(),
+        cr.measured_seconds / nbc.measured_seconds,
         what_if.speedup
     );
 }

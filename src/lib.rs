@@ -18,6 +18,7 @@
 //! | [`ubench`] | `gpa-ubench` | microbenchmarks and throughput curves |
 //! | [`model`] | `gpa-core` | **the paper's model**: component times, bottleneck, advisor |
 //! | [`apps`] | `gpa-apps` | case studies: matmul, tridiagonal solver, SpMV |
+//! | [`service`] | `gpa-service` | the serving surface: `Analyzer` sessions, typed requests, batch submission, JSON wire format, `gpa-analyze` CLI |
 //!
 //! # Quickstart
 //!
@@ -42,5 +43,6 @@ pub use gpa_core as model;
 pub use gpa_hw as hw;
 pub use gpa_isa as isa;
 pub use gpa_mem as mem;
+pub use gpa_service as service;
 pub use gpa_sim as sim;
 pub use gpa_ubench as ubench;
