@@ -36,9 +36,12 @@ use gpa_ubench::{MeasureOpts, ThroughputCurves};
 use std::fs;
 use std::path::PathBuf;
 
-/// Where figure outputs and cached measurements live.
+/// Where figure outputs and cached measurements live — the same
+/// `results/` directory `gpa-analyze` and `gpa-serve` use
+/// ([`gpa_ubench::cache::default_dir`] is the single definition, so the
+/// three surfaces can never drift apart and stop sharing calibration).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let dir = gpa_ubench::cache::default_dir();
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -46,36 +49,14 @@ pub fn results_dir() -> PathBuf {
 /// Content-hashed cache file for one `(machine, effort)` combination:
 /// `results/curves-<name-slug>-<hash>.json`.
 ///
-/// The hash covers every [`Machine`] field and the effort knobs of
-/// [`MeasureOpts`] (`unroll`, `iters`, `dense`), so per-SKU and per-effort
-/// curves never collide. The `threads` selection is deliberately
-/// excluded: it changes wall-clock, not results.
+/// Delegates to [`gpa_ubench::cache::cache_path`] (the shared cache the
+/// `gpa-analyze` CLI and the `gpa-serve` HTTP server also read): the key
+/// covers every [`Machine`] field and the effort knobs of
+/// [`MeasureOpts`] (`unroll`, `iters`, `dense`), so per-SKU and
+/// per-effort curves never collide. The `threads` selection is
+/// deliberately excluded: it changes wall-clock, not results.
 pub fn curves_cache_path(machine: &Machine, opts: &MeasureOpts) -> PathBuf {
-    // Machine derives Debug over all fields, giving a stable, complete
-    // fingerprint without hand-listing (and silently missing) fields.
-    let fingerprint = format!(
-        "{machine:?}|unroll={} iters={} dense={}",
-        opts.unroll, opts.iters, opts.dense
-    );
-    let slug: String = machine
-        .name
-        .to_lowercase()
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect();
-    results_dir().join(format!(
-        "curves-{slug}-{:016x}.json",
-        fnv1a(fingerprint.as_bytes())
-    ))
-}
-
-/// 64-bit FNV-1a (dependency-free stable content hash).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    gpa_ubench::cache::cache_path(&results_dir(), machine, opts)
 }
 
 /// Load the full-resolution throughput curves for `machine`, measuring
@@ -89,24 +70,13 @@ pub fn curves(machine: &Machine) -> ThroughputCurves {
 
 /// Load throughput curves at explicit effort, measuring and caching on
 /// first use under a content-hashed key ([`curves_cache_path`]).
+///
+/// Entries are written atomically (temp file + rename) and a torn or
+/// unparseable entry falls back to recalibration, so concurrent
+/// `gpa-bench` / `gpa-analyze` / `gpa-serve` processes can share
+/// `results/` safely — see [`gpa_ubench::cache`].
 pub fn curves_with(machine: &Machine, opts: MeasureOpts) -> ThroughputCurves {
-    let path = curves_cache_path(machine, &opts);
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(c) = ThroughputCurves::from_json(&text) {
-            if c.machine_name == machine.name {
-                return c;
-            }
-        }
-    }
-    eprintln!(
-        "measuring throughput curves (cached at {})...",
-        path.display()
-    );
-    let c = ThroughputCurves::measure_with(machine, opts);
-    if let Ok(json) = c.to_json() {
-        let _ = fs::write(&path, json);
-    }
-    c
+    gpa_ubench::cache::load_or_measure(&results_dir(), machine, opts)
 }
 
 /// `true` when the binary was invoked with `--paper` (full problem sizes).

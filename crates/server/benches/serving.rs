@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the serving hot path: HTTP parsing in
+//! isolation, then full loopback round trips (connect → parse →
+//! dispatch → serialize → close) against a running server — the
+//! baseline for future keep-alive and async I/O work.
+//!
+//! As everywhere in the workspace, `GPA_BENCH_SAMPLES=<n>` overrides the
+//! sample counts (CI smokes these with `GPA_BENCH_SAMPLES=1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpa_hw::Machine;
+use gpa_server::api::AnalyzeApi;
+use gpa_server::client::Client;
+use gpa_server::http;
+use gpa_server::server::{Server, ServerConfig};
+use gpa_service::Analyzer;
+use gpa_ubench::MeasureOpts;
+use std::hint::black_box;
+use std::io::BufReader;
+use std::sync::Arc;
+
+const ANALYZE_BODY: &str = r#"{
+  "kernel": {"case": "matmul", "n": 64, "tile": 16},
+  "machine": "gtx285"
+}"#;
+
+fn bench_http_parse(c: &mut Criterion) {
+    let mut raw = format!(
+        "POST /v1/analyze HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        ANALYZE_BODY.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(ANALYZE_BODY.as_bytes());
+    c.bench_function("serve/http_parse", |b| {
+        b.iter(|| {
+            http::read_request(
+                &mut BufReader::new(black_box(&raw[..])),
+                http::DEFAULT_MAX_BODY_BYTES,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(AnalyzeApi::new(Arc::new(analyzer))),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    // Parse + dispatch + serialize with no analysis work: the transport
+    // floor a keep-alive or async implementation has to beat.
+    c.bench_function("serve/healthz_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client.get("/healthz").unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+
+    // The full serving path including one matmul analysis.
+    c.bench_function("serve/analyze_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client.post_json("/v1/analyze", ANALYZE_BODY).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+
+    server.shutdown();
+}
+
+criterion_group!(
+    name = serving;
+    config = Criterion::default().sample_size(10);
+    targets = bench_http_parse, bench_loopback
+);
+criterion_main!(serving);

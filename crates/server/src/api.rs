@@ -1,0 +1,321 @@
+//! The analysis API: routes over one shared, calibrated
+//! [`Analyzer`].
+//!
+//! | Route | Answer |
+//! |-------|--------|
+//! | `POST /v1/analyze` | report JSON for one request object, or an array of per-request reports/`{"error"}` elements for a batch array — the same `gpa_service::wire` JSON as `gpa-analyze` |
+//! | `GET /v1/machines` | `{"machines": [...]}`, the calibrated machine names |
+//! | `GET /healthz` | `{"status": "ok", "machines": N}` |
+//! | `GET /v1/stats` | served/error/rejected counters, queue depth, workers |
+//!
+//! Unknown paths answer 404, known paths with the wrong method 405
+//! (with `Allow`), malformed JSON or failed single requests 400. The
+//! analyzer is calibrated **before** the server starts and never
+//! mutated afterwards, so every worker shares it read-only.
+//!
+//! Unlike `gpa-analyze` (which calibrates per run, honoring each
+//! request's `"calibration"` effort), the server calibrates once at
+//! startup. A request asking for *more* effort than the server
+//! calibrated with is refused (400, or an `{"error"}` element in a
+//! batch) rather than silently answered from coarser curves — so
+//! whenever the server's effort matches what `gpa-analyze` would use,
+//! accepted answers are **byte-identical** to `gpa-analyze` stdout.
+
+use crate::http::{Request, Response};
+use crate::server::{Handler, StatsSnapshot};
+use gpa_json::Value;
+use gpa_service::{AnalysisRequest, Analyzer, Effort, ServiceError};
+use std::sync::Arc;
+
+/// The route table over a calibrated [`Analyzer`].
+pub struct AnalyzeApi {
+    analyzer: Arc<Analyzer>,
+    effort: Effort,
+}
+
+impl AnalyzeApi {
+    /// An API over `analyzer` (calibrate it first; the server answers
+    /// only machines the analyzer already knows). Defaults to
+    /// advertising [`Effort::Paper`] calibration — pass the real effort
+    /// via [`AnalyzeApi::with_effort`] if the analyzer was calibrated
+    /// more coarsely.
+    pub fn new(analyzer: Arc<Analyzer>) -> AnalyzeApi {
+        AnalyzeApi {
+            analyzer,
+            effort: Effort::Paper,
+        }
+    }
+
+    /// Declare the effort the analyzer was calibrated with; requests
+    /// asking for more are refused instead of silently downgraded.
+    pub fn with_effort(mut self, effort: Effort) -> AnalyzeApi {
+        self.effort = effort;
+        self
+    }
+
+    /// Refuse requests wanting finer calibration than the server has.
+    fn check_effort(&self, request: &AnalysisRequest) -> Result<(), ServiceError> {
+        if request.options.calibration > self.effort {
+            return Err(ServiceError::InvalidRequest(format!(
+                "request asks for {:?} calibration but this server calibrated at {:?}",
+                request.options.calibration, self.effort
+            )));
+        }
+        Ok(())
+    }
+
+    fn analyze(&self, req: &Request) -> Response {
+        let text = match req.body_utf8() {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &e.message()),
+        };
+        let doc = match Value::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("malformed JSON: {e}")),
+        };
+        match &doc {
+            Value::Array(items) => {
+                let parsed: Result<Vec<AnalysisRequest>, _> =
+                    items.iter().map(AnalysisRequest::from_value).collect();
+                let reqs = match parsed {
+                    Ok(reqs) => reqs,
+                    Err(e) => return Response::error(400, &e.to_string()),
+                };
+                // Effort refusals become per-request errors; the rest go
+                // through the sharded batch path in request order.
+                let admitted: Vec<AnalysisRequest> = reqs
+                    .iter()
+                    .filter(|r| self.check_effort(r).is_ok())
+                    .cloned()
+                    .collect();
+                let mut answers = self.analyzer.analyze_batch(&admitted).into_iter();
+                // Batch answers mirror `gpa-analyze`: healthy reports in
+                // request order, failures degraded to `{"error"}`
+                // elements — the transport never hides partial success.
+                let items: Vec<Value> = reqs
+                    .iter()
+                    .map(|r| {
+                        let answer = match self.check_effort(r) {
+                            Ok(()) => answers.next().expect("one answer per admitted request"),
+                            Err(e) => Err(e),
+                        };
+                        match answer {
+                            Ok(report) => report.to_value(),
+                            Err(e) => {
+                                Value::Object(vec![("error".into(), Value::String(e.to_string()))])
+                            }
+                        }
+                    })
+                    .collect();
+                Response::json(200, Value::Array(items).to_string_pretty())
+            }
+            v => {
+                let request = match AnalysisRequest::from_value(v) {
+                    Ok(r) => r,
+                    Err(e) => return Response::error(400, &e.to_string()),
+                };
+                let answer = self
+                    .check_effort(&request)
+                    .and_then(|()| self.analyzer.analyze(&request));
+                match answer {
+                    Ok(report) => Response::json(200, report.to_json()),
+                    // Every analysis failure is something the request
+                    // asked for (unknown machine, out-of-range size,
+                    // failed verification): a client error, not a 500.
+                    Err(e) => Response::error(400, &e.to_string()),
+                }
+            }
+        }
+    }
+
+    fn machines(&self) -> Response {
+        let names = self
+            .analyzer
+            .machines()
+            .into_iter()
+            .map(Value::from)
+            .collect();
+        Response::json(
+            200,
+            Value::Object(vec![("machines".into(), Value::Array(names))]).to_string_pretty(),
+        )
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            Value::Object(vec![
+                ("status".into(), Value::from("ok")),
+                (
+                    "machines".into(),
+                    Value::from(self.analyzer.machines().len() as u32),
+                ),
+            ])
+            .to_string_pretty(),
+        )
+    }
+
+    fn stats(&self, stats: StatsSnapshot) -> Response {
+        Response::json(
+            200,
+            Value::Object(vec![
+                ("served".into(), Value::Number(stats.served as f64)),
+                ("errors".into(), Value::Number(stats.errors as f64)),
+                ("rejected".into(), Value::Number(stats.rejected as f64)),
+                (
+                    "queue_depth".into(),
+                    Value::Number(stats.queue_depth as f64),
+                ),
+                ("workers".into(), Value::Number(stats.workers as f64)),
+            ])
+            .to_string_pretty(),
+        )
+    }
+}
+
+impl Handler for AnalyzeApi {
+    fn handle(&self, req: &Request, stats: StatsSnapshot) -> Response {
+        // Route on the path first so a wrong method gets a 405 naming
+        // the right one, not a 404.
+        let allowed: &'static str = match req.target.as_str() {
+            "/v1/analyze" => "POST",
+            "/v1/machines" | "/v1/stats" | "/healthz" => "GET",
+            _ => return Response::error(404, &format!("no such path `{}`", req.target)),
+        };
+        if req.method != allowed {
+            return Response::error(405, &format!("use {allowed} for `{}`", req.target))
+                .with_header("Allow", allowed);
+        }
+        match req.target.as_str() {
+            "/v1/analyze" => self.analyze(req),
+            "/v1/machines" => self.machines(),
+            "/v1/stats" => self.stats(stats),
+            "/healthz" => self.healthz(),
+            _ => unreachable!("routed above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn api() -> AnalyzeApi {
+        AnalyzeApi::new(Arc::new(Analyzer::new()))
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn stats0() -> StatsSnapshot {
+        StatsSnapshot {
+            served: 5,
+            errors: 2,
+            rejected: 1,
+            queue_depth: 3,
+            workers: 4,
+        }
+    }
+
+    #[test]
+    fn routes_without_an_analyzer_entry() {
+        let api = api();
+        assert_eq!(api.handle(&get("/healthz"), stats0()).status, 200);
+        assert_eq!(api.handle(&get("/v1/machines"), stats0()).status, 200);
+        assert_eq!(api.handle(&get("/nope"), stats0()).status, 404);
+        let post = Request {
+            method: "POST".into(),
+            ..get("/healthz")
+        };
+        let resp = api.handle(&post, stats0());
+        assert_eq!(resp.status, 405);
+        assert!(resp.headers.contains(&("Allow".into(), "GET".into())));
+    }
+
+    #[test]
+    fn stats_serialize_every_counter() {
+        let api = api();
+        let resp = api.handle(&get("/v1/stats"), stats0());
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("served").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(v.get("errors").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(v.get("rejected").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(v.get("queue_depth").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(v.get("workers").unwrap().as_u64().unwrap(), 4);
+    }
+
+    #[test]
+    fn requests_beyond_the_server_effort_are_refused_not_downgraded() {
+        let api = AnalyzeApi::new(Arc::new(Analyzer::new())).with_effort(Effort::Quick);
+        let body = |calibration: &str| {
+            format!(
+                "{{\"kernel\": {{\"case\": \"matmul\", \"n\": 64, \"tile\": 16}}, \
+                 \"machine\": \"gtx285\", \"options\": {{\"calibration\": \"{calibration}\"}}}}"
+            )
+        };
+        let post = |payload: String| Request {
+            method: "POST".into(),
+            target: "/v1/analyze".into(),
+            headers: Vec::new(),
+            body: payload.into_bytes(),
+        };
+        // Paper-effort request on a quick-effort server: refused with a
+        // message naming both efforts.
+        let resp = api.handle(&post(body("paper")), stats0());
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("Paper") && text.contains("Quick"), "{text}");
+        // Matching effort passes the gate (and then fails on the empty
+        // analyzer, proving the gate ran first).
+        let resp = api.handle(&post(body("quick")), stats0());
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("no calibrated machine"), "{text}");
+        // In a batch, the refusal is an {"error"} element in order.
+        let batch = format!("[{}, {}]", body("quick"), body("paper"));
+        let resp = api.handle(&post(batch), stats0());
+        assert_eq!(resp.status, 200);
+        let doc = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let items = doc.as_array().unwrap();
+        assert!(items[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("no calibrated machine"));
+        assert!(items[1]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("calibration"));
+    }
+
+    #[test]
+    fn analyze_rejects_bad_payloads_cleanly() {
+        let api = api();
+        for (body, want) in [
+            (&b"\xff\xfe"[..], "not valid UTF-8"),
+            (b"{", "malformed JSON"),
+            (b"{\"machine\": \"gtx285\"}", "missing"),
+            (b"{\"kernel\": {\"case\": \"matmul\", \"n\": 64, \"tile\": 16}, \"machine\": \"gtx285\"}",
+             "no calibrated machine"),
+        ] {
+            let req = Request {
+                method: "POST".into(),
+                target: "/v1/analyze".into(),
+                headers: Vec::new(),
+                body: body.to_vec(),
+            };
+            let resp = api.handle(&req, stats0());
+            assert_eq!(resp.status, 400, "{want}");
+            let text = String::from_utf8(resp.body).unwrap();
+            assert!(text.contains(want), "`{text}` missing `{want}`");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! `gpa-http`: a curl stand-in over the built-in blocking client, so
+//! CI and shell scripts can drive `gpa-serve` with no external tools.
+//!
+//! ```text
+//! gpa-http get  http://127.0.0.1:7070/healthz
+//! gpa-http post http://127.0.0.1:7070/v1/analyze request.json
+//! gpa-http post http://127.0.0.1:7070/v1/analyze - < request.json
+//! ```
+//!
+//! The response body goes to stdout, the status line to stderr; the
+//! exit code is 0 for 2xx, 1 for any other status, 2 for usage or
+//! transport errors.
+
+use gpa_server::client::{split_url, Client};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: gpa-http get URL
+       gpa-http post URL [BODY.json | -]
+
+URL is http://host:port/path. POST bodies come from the file argument,
+or stdin with `-` (or no argument).";
+
+fn run() -> Result<u16, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(200);
+    }
+    let (verb, url, body_arg) = match args.as_slice() {
+        [verb, url] => (verb.as_str(), url, None),
+        [verb, url, body] => (verb.as_str(), url, Some(body.as_str())),
+        _ => return Err(USAGE.to_owned()),
+    };
+    let (addr, path) = split_url(url)?;
+    let client = Client::new(addr);
+    let response = match verb {
+        "get" => {
+            if body_arg.is_some() {
+                return Err("get takes no body".into());
+            }
+            client.get(&path)
+        }
+        "post" => {
+            let body = match body_arg {
+                None | Some("-") => {
+                    let mut text = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut text)
+                        .map_err(|e| format!("cannot read stdin: {e}"))?;
+                    text
+                }
+                Some(file) => {
+                    std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?
+                }
+            };
+            client.post_json(&path, &body)
+        }
+        other => return Err(format!("unknown verb `{other}`\n{USAGE}")),
+    }
+    .map_err(|e| format!("{url}: {e}"))?;
+
+    eprintln!(
+        "gpa-http: {} {}",
+        response.status,
+        gpa_server::http::status_reason(response.status)
+    );
+    // Swallow EPIPE so `gpa-http ... | head` exits quietly.
+    let _ = std::io::stdout().write_all(&response.body);
+    Ok(response.status)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(status) if (200..300).contains(&status) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("gpa-http: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! `gpa-serve`: the analysis model as a network service.
+//!
+//! Calibrates the requested machines once at startup — through the
+//! shared on-disk curve cache (`gpa_ubench::cache`), so a warm
+//! `results/` directory (from a previous run, from `gpa-analyze`, or
+//! from `gpa-bench`) makes startup instant — then serves analysis
+//! requests over HTTP until killed:
+//!
+//! ```text
+//! gpa-serve --addr 127.0.0.1:7070 --machines gtx285,8800gt --effort quick
+//! gpa-http post http://127.0.0.1:7070/v1/analyze request.json
+//! ```
+//!
+//! The first stdout line is `listening on http://<addr>` (flushed), so
+//! scripts can scrape the bound address even with `--addr :0`'s
+//! ephemeral port.
+
+use gpa_server::api::AnalyzeApi;
+use gpa_server::server::{Server, ServerConfig};
+use gpa_service::{find_builtin, Analyzer, Effort};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: gpa-serve [options]
+
+Serve the calibrated analysis model over HTTP (POST /v1/analyze,
+GET /v1/machines, GET /healthz, GET /v1/stats).
+
+Options:
+  --addr HOST:PORT   listen address (default 127.0.0.1:7070; port 0 = ephemeral)
+  --workers N        worker threads (default 0 = one per CPU core)
+  --queue-depth N    pending connections beyond in-flight before 503 (default 64)
+  --machines LIST    comma-separated machine selectors to calibrate
+                     (default gtx285; also: 8800gt, 9800gtx)
+  --effort LEVEL     calibration effort: quick | paper (default quick)
+  --cache-dir DIR    curve cache directory (default: shared workspace results/)
+  --no-cache         always measure; do not touch the on-disk cache
+  --max-body BYTES   request body ceiling (default 1048576)";
+
+struct Options {
+    addr: String,
+    config: ServerConfig,
+    machines: Vec<String>,
+    effort: Effort,
+    cache_dir: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7070".into(),
+        config: ServerConfig::default(),
+        machines: vec!["gtx285".into()],
+        effort: Effort::Quick,
+        cache_dir: Some(gpa_ubench::cache::default_dir()),
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => opts.addr = value(&mut i, "--addr")?,
+            "--workers" => {
+                opts.config.workers = value(&mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers requires a count (0 = auto)".to_owned())?;
+            }
+            "--queue-depth" => {
+                opts.config.queue_depth = value(&mut i, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth requires a count".to_owned())?;
+            }
+            "--machines" => {
+                let list = value(&mut i, "--machines")?;
+                opts.machines = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if opts.machines.is_empty() {
+                    return Err("--machines requires at least one selector".into());
+                }
+            }
+            "--effort" => {
+                opts.effort = match value(&mut i, "--effort")?.as_str() {
+                    "quick" => Effort::Quick,
+                    "paper" => Effort::Paper,
+                    other => return Err(format!("unknown effort `{other}` (quick | paper)")),
+                };
+            }
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value(&mut i, "--cache-dir")?)),
+            "--no-cache" => opts.cache_dir = None,
+            "--max-body" => {
+                opts.config.max_body_bytes = value(&mut i, "--max-body")?
+                    .parse()
+                    .map_err(|_| "--max-body requires a byte count".to_owned())?;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gpa-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Calibrate every requested machine before accepting a single
+    // connection: requests are then pure read-only lookups and the
+    // worker pool shares one Analyzer with no locking.
+    let mut analyzer = Analyzer::new();
+    for selector in &opts.machines {
+        let machine = match find_builtin(selector) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("gpa-serve: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        eprintln!("calibrating {} ({:?})...", machine.name, opts.effort);
+        match &opts.cache_dir {
+            Some(dir) => analyzer.calibrate_cached(machine, opts.effort.measure_opts(), dir),
+            None => analyzer.calibrate(machine, opts.effort.measure_opts()),
+        };
+    }
+
+    // Advertise the startup effort: requests asking for finer
+    // calibration get refused instead of silently coarser answers.
+    let handler = Arc::new(AnalyzeApi::new(Arc::new(analyzer)).with_effort(opts.effort));
+    let server = match Server::start(opts.addr.as_str(), opts.config, handler) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gpa-serve: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Scripts scrape this line for the bound (possibly ephemeral) port;
+    // stdout is block-buffered under a pipe, so flush explicitly.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "listening on http://{}", server.local_addr());
+    let _ = stdout.flush();
+    eprintln!(
+        "gpa-serve: {} machine(s), {} worker(s), queue depth {}",
+        opts.machines.len(),
+        server.stats().workers,
+        opts.config.queue_depth
+    );
+
+    server.wait(); // runs until the process is killed
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,230 @@
+//! A minimal blocking HTTP/1.1 client — just enough to drive
+//! `gpa-serve` from tests, CI, and the `gpa-http` binary without curl.
+//!
+//! One request per connection (matching the server's
+//! `Connection: close`), `Content-Length`-framed bodies on both sides,
+//! and a read timeout so a dead server fails fast instead of hanging a
+//! caller.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The complete body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8 (every `gpa-serve` body is JSON).
+    ///
+    /// # Errors
+    ///
+    /// `io::Error` when the body is not valid UTF-8.
+    pub fn body_str(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not valid UTF-8"))
+    }
+
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with a 60-second read timeout
+    /// (analysis requests are allowed to take a while; `gpa-serve`
+    /// calibrates up front so requests are answered in milliseconds).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// The same client with a different read timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, timeout, or response-framing failures.
+    pub fn get(&self, path: &str) -> io::Result<HttpResponse> {
+        self.roundtrip("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Connection, timeout, or response-framing failures.
+    pub fn post_json(&self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.roundtrip("POST", path, Some(body.as_bytes()))
+    }
+
+    fn roundtrip(&self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<HttpResponse> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            self.addr
+        );
+        if body.is_some() {
+            head.push_str("Content-Type: application/json\r\n");
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\n\r\n",
+            body.map_or(0, <[u8]>::len)
+        ));
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        read_response(&mut BufReader::new(stream))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Parse a response off `reader`: status line, headers, then either a
+/// `Content-Length`-framed body or (absent that header) read-to-EOF.
+fn read_response(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad("server closed the connection before responding"));
+    }
+    let mut parts = status_line.trim_end().splitn(3, ' ');
+    let (proto, code) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !proto.starts_with("HTTP/1.") {
+        return Err(bad(format!("not an HTTP response: `{status_line}`")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| bad(format!("unparseable status in `{status_line}`")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("EOF inside response head"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("Content-Length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad(format!("unparseable Content-Length `{v}`")))
+        })
+        .transpose()?;
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Split an `http://host:port/path` URL into `(host:port, /path)` for
+/// the `gpa-http` binary.
+///
+/// # Errors
+///
+/// A description of what is missing (scheme, host, or port).
+pub fn split_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("`{url}`: only http:// URLs are supported"))?;
+    let (addr, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if addr.is_empty() || !addr.contains(':') {
+        return Err(format!("`{url}`: expected http://host:port/path"));
+    }
+    Ok((addr.to_owned(), path.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_framed_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body_str().unwrap(), "{}");
+    }
+
+    #[test]
+    fn parses_an_unframed_response_to_eof() {
+        let raw = b"HTTP/1.0 503 Service Unavailable\r\n\r\nbusy";
+        let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, b"busy");
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert!(read_response(&mut BufReader::new(&b"SSH-2.0-OpenSSH\r\n"[..])).is_err());
+        assert!(read_response(&mut BufReader::new(&b""[..])).is_err());
+    }
+
+    #[test]
+    fn splits_urls() {
+        assert_eq!(
+            split_url("http://127.0.0.1:7070/v1/analyze").unwrap(),
+            ("127.0.0.1:7070".to_owned(), "/v1/analyze".to_owned())
+        );
+        assert_eq!(
+            split_url("http://localhost:80").unwrap(),
+            ("localhost:80".to_owned(), "/".to_owned())
+        );
+        assert!(split_url("https://x:1/").is_err());
+        assert!(split_url("http://nohost/").is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! A minimal HTTP/1.1 message layer over `std::io` streams.
+//!
+//! Exactly the subset the serving subsystem needs, implemented from
+//! scratch (the build image has no crates.io access): request-line and
+//! header parsing with hard size ceilings, `Content-Length`-framed
+//! bodies, and a response writer that always emits `Content-Length` and
+//! `Connection: close` (one request per connection; keep-alive is future
+//! work and the framing here is forward-compatible with it).
+//!
+//! The parser is deliberately strict — anything outside the subset
+//! (chunked transfer encoding, HTTP/2 preludes, missing versions) is a
+//! clean [`HttpError::BadRequest`], never a panic or a mis-framed read.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Default ceiling on request bodies (1 MiB — a batch of thousands of
+/// analysis requests fits in a few hundred KiB).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Ceiling on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Why a request could not be read. Each variant maps onto exactly one
+/// response status ([`HttpError::status`]).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection closed before a single request byte arrived — a
+    /// normal hang-up, not worth a response.
+    Closed,
+    /// The bytes are not a well-formed HTTP/1.x request (or use a
+    /// feature outside the supported subset). Maps to 400.
+    BadRequest(String),
+    /// The declared body exceeds the configured ceiling. Maps to 413.
+    PayloadTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured ceiling it exceeded.
+        limit: usize,
+    },
+    /// The underlying socket failed (timeout, reset) mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The response status this error maps to (`Closed` and `Io` get no
+    /// response; by convention they report as 400 here).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::PayloadTooLarge { .. } => 413,
+            _ => 400,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Closed => "connection closed".into(),
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => format!("i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request: method, target path, headers, and the complete
+/// (`Content-Length`-framed) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (`/v1/analyze`).
+    pub target: String,
+    /// Header name/value pairs in arrival order, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::BadRequest`] when the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("request body is not valid UTF-8".into()))
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, charging its bytes
+/// against `budget`.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    let mut take = reader.take(*budget as u64 + 1);
+    let n = take.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None); // EOF
+    }
+    if n > *budget {
+        return Err(HttpError::BadRequest(format!(
+            "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+        )));
+    }
+    *budget -= n;
+    if raw.last() != Some(&b'\n') {
+        return Err(HttpError::BadRequest("truncated header line".into()));
+    }
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest("header line is not valid UTF-8".into()))
+}
+
+/// Read and parse one request from `reader`, enforcing the
+/// [`MAX_HEAD_BYTES`] head ceiling and the caller's body ceiling.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on a clean pre-request hang-up, otherwise the
+/// variant naming what was malformed or oversized.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        Some(line) if line.is_empty() => {
+            return Err(HttpError::BadRequest("empty request line".into()))
+        }
+        Some(line) => line,
+    };
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget)? {
+            None => return Err(HttpError::BadRequest("EOF inside request head".into())),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header line `{line}`"
+            )));
+        };
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+
+    let req = Request {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("Transfer-Encoding").is_some() {
+        // Refusing is the only safe option: honoring Content-Length on a
+        // chunked body would mis-frame the connection.
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let body_len = match req.header("Content-Length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("unparseable Content-Length `{v}`")))?,
+    };
+    if body_len > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            declared: body_len,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body)?;
+    Ok(Request { body, ..req })
+}
+
+/// One response: status, content type, extra headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Allow` on a 405).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response: `{"error": <message>}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = gpa_json::Value::Object(vec![(
+            "error".into(),
+            gpa_json::Value::String(message.to_owned()),
+        )])
+        .to_string_pretty();
+        Response::json(status, body)
+    }
+
+    /// The response with an extra header attached.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `resp` onto `writer` (HTTP/1.1, explicit `Content-Length`,
+/// `Connection: close`).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(writer: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&resp.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\n{\"a\"")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/analyze");
+        assert_eq!(req.header("CONTENT-LENGTH"), Some("4"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_a_bare_lf_get() {
+        let req = parse(b"GET /healthz HTTP/1.0\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for bytes in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            b"GET /healthz HTTP/2\r\n\r\n",
+            b"GET nothing-absolute HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"\r\n\r\n",
+        ] {
+            let err = parse(bytes).unwrap_err();
+            assert!(
+                matches!(err, HttpError::BadRequest(_)),
+                "{bytes:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_hangup_is_distinguished_from_garbage() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading() {
+        let err = read_request(
+            &mut BufReader::new(&b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n"[..]),
+            64,
+        )
+        .unwrap_err();
+        match err {
+            HttpError::PayloadTooLarge { declared, limit } => {
+                assert_eq!((declared, limit), (100, 64));
+            }
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+        assert_eq!(
+            err_status_of(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 64),
+            413
+        );
+    }
+
+    fn err_status_of(bytes: &[u8], max_body: usize) -> u16 {
+        read_request(&mut BufReader::new(bytes), max_body)
+            .unwrap_err()
+            .status()
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let mut head = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..2000 {
+            head.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+        }
+        head.extend_from_slice(b"\r\n");
+        assert_eq!(err_status_of(&head, DEFAULT_MAX_BODY_BYTES), 400);
+    }
+
+    #[test]
+    fn responses_round_trip_the_writer() {
+        let resp = Response::json(200, "{}").with_header("Allow", "GET");
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Allow: GET\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let resp = Response::error(400, "nope");
+        assert_eq!(resp.status, 400);
+        let v = gpa_json::Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str().unwrap(), "nope");
+    }
+}

@@ -1,0 +1,449 @@
+//! The connection engine: a `TcpListener` acceptor, a bounded queue of
+//! accepted connections, and a worker thread pool that parses, routes,
+//! and answers them.
+//!
+//! # Overload and shutdown semantics
+//!
+//! * The queue holds at most `queue_depth` connections beyond the ones
+//!   workers are already serving. When it is full, the acceptor answers
+//!   **503 Service Unavailable** immediately and hangs up — overload
+//!   degrades predictably instead of piling latency onto every client.
+//! * [`Server::shutdown`] is graceful: the listener stops accepting,
+//!   queued connections are **drained** (every request already accepted
+//!   gets a real answer), in-flight work finishes, and all threads are
+//!   joined before the call returns.
+//!
+//! The handler sees one parsed [`Request`] per connection
+//! (`Connection: close`; keep-alive is the next scaling step and the
+//! queue/worker shape here is built to accommodate it).
+
+use crate::http::{self, HttpError, Request, Response};
+use std::collections::VecDeque;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the pool is shaped. `Default` gives a small general-purpose
+/// server: auto-sized workers, a 64-connection queue, 1 MiB bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads (`0` = one per available CPU core).
+    pub workers: usize,
+    /// Connections held beyond the ones being served; the 503 threshold.
+    pub queue_depth: usize,
+    /// Request-body ceiling in bytes (the 413 threshold).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            queue_depth: 64,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// What the server has done so far; served by `GET /v1/stats` and
+/// readable in-process via [`Server::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests answered with a 2xx status.
+    pub served: u64,
+    /// Requests answered with a 4xx/5xx status (excluding queue-full
+    /// rejections, counted separately).
+    pub errors: u64,
+    /// Connections refused with 503 because the queue was full.
+    pub rejected: u64,
+    /// Connections waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Worker threads serving requests.
+    pub workers: usize,
+}
+
+/// A request handler. One instance is shared by every worker thread, so
+/// implementations must be internally synchronized (the analyzer API is
+/// read-only after calibration, which is why the whole server can share
+/// one [`gpa_service::Analyzer`] behind an `Arc`).
+pub trait Handler: Send + Sync + 'static {
+    /// Answer one parsed request.
+    fn handle(&self, req: &Request, stats: StatsSnapshot) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request, StatsSnapshot) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request, stats: StatsSnapshot) -> Response {
+        self(req, stats)
+    }
+}
+
+/// Counters plus the connection queue, shared by acceptor and workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    served: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    /// Live 503-rejector threads (bounded by [`MAX_REJECTORS`]).
+    rejectors: AtomicUsize,
+    /// Set by [`Server::shutdown`]; checked by the acceptor between
+    /// accepts and by workers between jobs.
+    stopping: AtomicBool,
+    workers: usize,
+    config: ServerConfig,
+}
+
+struct QueueState {
+    pending: VecDeque<TcpStream>,
+    /// Mirrors `stopping` under the queue lock so workers can't miss the
+    /// wake-up between their emptiness check and their `wait`.
+    closed: bool,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().expect("queue poisoned").pending.len(),
+            workers: self.workers,
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        if status < 400 {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A running HTTP server. Dropping it without calling
+/// [`Server::shutdown`] detaches the threads (the process exit reaps
+/// them); call `shutdown` for a drained, joined stop.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission).
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = config.worker_count();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rejectors: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            workers,
+            config,
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("gpa-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, handler.as_ref()))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gpa-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters and queue depth.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Stop accepting, drain every queued connection, finish in-flight
+    /// requests, and join all threads. Consumes the server; the final
+    /// counters come back so a caller can log them.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // `accept` has no cancellation in std; a throwaway connection to
+        // ourselves unblocks it so it can observe `stopping`. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable everywhere, so
+        // aim the wake-up at the matching loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        if let Ok(stream) = TcpStream::connect_timeout(&wake, Duration::from_secs(2)) {
+            drop(stream);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.closed = true;
+            self.shared.ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.snapshot()
+    }
+
+    /// Block until the server is shut down from another thread (or
+    /// forever in the `gpa-serve` binary, which runs until killed).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent failure (e.g. EMFILE) returns instantly;
+                // back off instead of spinning a core until it clears.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The wake-up connection (or a client racing the shutdown):
+            // stop accepting. Queued connections still get drained.
+            return;
+        }
+        let over_quota = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            if queue.pending.len() >= shared.config.queue_depth {
+                Some(stream)
+            } else {
+                queue.pending.push_back(stream);
+                shared.ready.notify_one();
+                None
+            }
+        };
+        if let Some(stream) = over_quota {
+            reject_overload(shared, stream);
+        }
+    }
+}
+
+/// Most concurrent rejector threads; above this a flood gets the cheap
+/// best-effort 503 so rejection cost stays bounded.
+const MAX_REJECTORS: usize = 64;
+
+/// Decrements the rejector count when the thread finishes — or when the
+/// closure is dropped unrun because spawning failed.
+struct RejectorSlot(Arc<Shared>);
+
+impl Drop for RejectorSlot {
+    fn drop(&mut self) {
+        self.0.rejectors.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Tell an over-quota client to back off with a 503. The well-mannered
+/// path runs on a short-lived thread (so a slow client can't stall
+/// accept) and drains the unread request before closing — closing with
+/// unread data would RST the socket and risk destroying the 503 in
+/// flight. Under a flood (rejector budget exhausted) or thread-spawn
+/// failure, degrade to a best-effort inline write: bounded acceptor
+/// work beats a guaranteed delivery.
+fn reject_overload(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.rejected.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::error(503, "server is at capacity, retry later");
+    if shared.rejectors.fetch_add(1, Ordering::SeqCst) >= MAX_REJECTORS {
+        shared.rejectors.fetch_sub(1, Ordering::SeqCst);
+        let _ = http::write_response(&mut stream, &resp);
+        return;
+    }
+    let slot = RejectorSlot(Arc::clone(shared));
+    let spawned = std::thread::Builder::new()
+        .name("gpa-serve-reject".into())
+        .spawn(move || {
+            let _slot = slot; // freed when the thread (or unrun closure) drops
+            if http::write_response(&mut stream, &resp).is_ok() {
+                let _ = stream.shutdown(Shutdown::Write);
+                drain(&mut stream);
+            }
+        });
+    // On spawn failure the closure is dropped unrun: the slot frees
+    // itself and the connection closes — the safe floor when the
+    // process is out of threads.
+    drop(spawned);
+}
+
+/// Read and discard until EOF, a 2-second stall, or a 256 KiB cap.
+fn drain(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut sink = [0u8; 4096];
+    let mut budget = 256 * 1024;
+    while budget > 0 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget -= n.min(budget),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, handler: &dyn Handler) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = queue.pending.pop_front() {
+                    break Some(stream);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared.ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some(stream) = stream else {
+            return; // shutdown, queue fully drained
+        };
+        serve_connection(stream, shared, handler);
+    }
+}
+
+/// Parse one request off the connection, answer it, close.
+fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
+    // A silent client must not wedge a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream);
+    match http::read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(req) => {
+            // A handler panic answers 500 and keeps the worker alive.
+            let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                handler.handle(&req, shared.snapshot())
+            }))
+            .unwrap_or_else(|_| Response::error(500, "internal server error"));
+            shared.count_response(resp.status);
+            let mut stream = reader.into_inner();
+            let _ = http::write_response(&mut stream, &resp);
+            // The request was fully read, so closing now is a clean FIN.
+        }
+        Err(HttpError::Closed) | Err(HttpError::Io(_)) => {
+            // Hang-up or dead socket: nothing to answer.
+        }
+        Err(e) => {
+            let resp = Response::error(e.status(), &e.message());
+            shared.count_response(resp.status);
+            let mut stream = reader.into_inner();
+            if http::write_response(&mut stream, &resp).is_ok() {
+                // The request may have unread bytes (an oversized body we
+                // refused to read, trailing garbage): drain before closing
+                // so the error response survives the trip.
+                let _ = stream.shutdown(Shutdown::Write);
+                drain(&mut stream);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_resolves_auto() {
+        let auto = ServerConfig::default();
+        assert!(auto.worker_count() >= 1);
+        let fixed = ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        };
+        assert_eq!(fixed.worker_count(), 3);
+    }
+
+    #[test]
+    fn stats_classify_statuses() {
+        let shared = Shared {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rejectors: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            workers: 2,
+            config: ServerConfig::default(),
+        };
+        shared.count_response(200);
+        shared.count_response(404);
+        shared.count_response(500);
+        let snap = shared.snapshot();
+        assert_eq!((snap.served, snap.errors, snap.rejected), (1, 2, 0));
+        assert_eq!(snap.workers, 2);
+    }
+}

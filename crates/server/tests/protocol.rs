@@ -1,0 +1,269 @@
+//! Protocol-level behavior of the connection engine, tested against
+//! small deterministic handlers: malformed requests, oversized bodies,
+//! unknown paths, wrong methods, queue-full 503s, and graceful-shutdown
+//! draining. No analysis work happens here — the analyzer-specific
+//! behavior is covered by `e2e.rs`.
+
+use gpa_json::Value;
+use gpa_server::api::AnalyzeApi;
+use gpa_server::client::Client;
+use gpa_server::http::{Request, Response};
+use gpa_server::server::{Server, ServerConfig, StatsSnapshot};
+use gpa_service::Analyzer;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// An API server over an uncalibrated analyzer (routing behavior only).
+fn api_server(config: ServerConfig) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        config,
+        Arc::new(AnalyzeApi::new(Arc::new(Analyzer::new()))),
+    )
+    .expect("bind loopback")
+}
+
+/// Raw socket exchange: write `bytes`, read the full response text.
+fn raw_roundtrip(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(bytes).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_correct_statuses() {
+    let server = api_server(ServerConfig {
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Not HTTP at all → 400.
+    let resp = raw_roundtrip(addr, b"NOT-HTTP\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    // Unsupported framing → 400.
+    let resp = raw_roundtrip(
+        addr,
+        b"POST /v1/analyze HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    // A body over the ceiling → 413, even though the body was sent.
+    let mut oversized = b"POST /v1/analyze HTTP/1.1\r\nContent-Length: 2048\r\n\r\n".to_vec();
+    oversized.extend(vec![b'x'; 2048]);
+    let resp = raw_roundtrip(addr, &oversized);
+    assert!(resp.starts_with("HTTP/1.1 413 "), "{resp}");
+    assert!(resp.contains("exceeds the 1024-byte limit"), "{resp}");
+
+    let client = Client::new(addr.to_string());
+    // Unknown path → 404.
+    assert_eq!(client.get("/v2/analyze").unwrap().status, 404);
+    // Known path, wrong method → 405 with Allow.
+    let resp = client.post_json("/healthz", "{}").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    let resp = client.get("/v1/analyze").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.errors, 6);
+}
+
+#[test]
+fn handler_panics_become_500s_and_the_worker_survives() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        Arc::new(|req: &Request, _: StatsSnapshot| {
+            if req.target == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::json(200, "{}")
+        }),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    assert_eq!(client.get("/boom").unwrap().status, 500);
+    // The single worker must still be alive to answer this.
+    assert_eq!(client.get("/fine").unwrap().status, 200);
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.errors), (1, 1));
+}
+
+/// A handler whose requests block until the test opens the gate —
+/// making "worker busy" and "queue occupied" deterministic states.
+struct Gate {
+    open: Mutex<bool>,
+    opened: Condvar,
+    entered: AtomicUsize,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            opened: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        })
+    }
+
+    fn handler(self: &Arc<Gate>) -> Arc<dyn gpa_server::server::Handler> {
+        let gate = Arc::clone(self);
+        Arc::new(move |_: &Request, _: StatsSnapshot| {
+            gate.entered.fetch_add(1, Ordering::SeqCst);
+            let mut open = gate.open.lock().unwrap();
+            while !*open {
+                open = gate.opened.wait(open).unwrap();
+            }
+            Response::json(200, "{\"done\": true}")
+        })
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.opened.notify_all();
+    }
+
+    /// Spin until `n` requests have entered the handler.
+    fn await_entered(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.entered.load(Ordering::SeqCst) < n {
+            assert!(Instant::now() < deadline, "handler never entered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Spin until the queue holds exactly `n` connections.
+fn await_queue_depth(server: &Server, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().queue_depth != n {
+        assert!(
+            Instant::now() < deadline,
+            "queue never reached depth {n}: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn queue_full_rejects_with_503_and_overload_is_counted() {
+    let gate = Gate::new();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+        gate.handler(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    std::thread::scope(|scope| {
+        // A: occupies the single worker (blocked inside the handler).
+        let a = {
+            let addr = addr.clone();
+            scope.spawn(move || Client::new(addr).get("/a").unwrap().status)
+        };
+        gate.await_entered(1);
+
+        // B: occupies the single queue slot.
+        let b = {
+            let addr = addr.clone();
+            scope.spawn(move || Client::new(addr).get("/b").unwrap().status)
+        };
+        await_queue_depth(&server, 1);
+
+        // C: over quota → an immediate 503, no queueing, no handler work.
+        let c = Client::new(addr.clone()).get("/c").unwrap();
+        assert_eq!(c.status, 503);
+        let doc = Value::parse(c.body_str().unwrap()).unwrap();
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("capacity"));
+
+        // The flood is over: let A and B complete normally.
+        gate.release();
+        assert_eq!(a.join().unwrap(), 200);
+        assert_eq!(b.join().unwrap(), 200);
+    });
+    assert_eq!(
+        gate.entered.load(Ordering::SeqCst),
+        2,
+        "only A and B may reach the handler"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_work() {
+    let gate = Gate::new();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..ServerConfig::default()
+        },
+        gate.handler(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    std::thread::scope(|scope| {
+        // A in-flight, B queued.
+        let a = {
+            let addr = addr.clone();
+            scope.spawn(move || Client::new(addr).get("/a").unwrap().status)
+        };
+        gate.await_entered(1);
+        let b = {
+            let addr = addr.clone();
+            scope.spawn(move || Client::new(addr).get("/b").unwrap().status)
+        };
+        await_queue_depth(&server, 1);
+
+        // Open the gate a beat after shutdown starts, so the drain
+        // provably begins while work is still queued and in flight.
+        let release = {
+            let gate = Arc::clone(&gate);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                gate.release();
+            })
+        };
+        let stats = server.shutdown();
+        release.join().unwrap();
+
+        // Both the in-flight and the queued request got real answers.
+        assert_eq!(a.join().unwrap(), 200);
+        assert_eq!(b.join().unwrap(), 200);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.queue_depth, 0);
+    });
+}

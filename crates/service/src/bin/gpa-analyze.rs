@@ -13,6 +13,13 @@
 //! gpa-analyze - < request.json       # stdin, explicit
 //! ```
 //!
+//! Calibration goes through the shared on-disk curve cache
+//! (`gpa_ubench::cache`, the workspace `results/` directory by default,
+//! `--cache-dir DIR` to relocate, `--no-cache` to always measure), so
+//! repeated CLI runs — and a `gpa-serve` instance next door — measure
+//! each machine once. Cache hits register bit-identical curves, so
+//! reports never depend on who calibrated first.
+//!
 //! A failed single request prints the error to stderr and exits 1. In a
 //! batch, failed requests become `{"error": "..."}` elements so the
 //! healthy answers still come back; the exit code is 1 if any failed.
@@ -20,22 +27,35 @@
 use gpa_json::Value;
 use gpa_service::{find_builtin, AnalysisReport, AnalysisRequest, Analyzer, Effort, ServiceError};
 use std::io::{Read, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: gpa-analyze [REQUEST.json | -]
+usage: gpa-analyze [--cache-dir DIR | --no-cache] [REQUEST.json | -]
 
 Reads an analysis request (JSON object) or batch (JSON array) from the
 given file or stdin and writes the report JSON to stdout. See the
 `gpa_service::wire` docs for the schema; machines: gtx285, 8800gt,
-9800gtx.";
+9800gtx.
+
+Options:
+  --cache-dir DIR   load/store calibration curves under DIR
+                    (default: the shared workspace results/ directory)
+  --no-cache        always measure; do not touch the on-disk cache";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         emit(&format!("{USAGE}\n"));
         return ExitCode::SUCCESS;
     }
+    let cache_dir = match extract_cache_dir(&mut args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gpa-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let text = match read_input(&args) {
         Ok(t) => t,
         Err(e) => {
@@ -104,7 +124,10 @@ fn main() -> ExitCode {
     for (name, effort) in &calibrated {
         let machine = find_builtin(name).expect("calibration list holds resolved names");
         eprintln!("calibrating {name} ({effort:?})...");
-        analyzer.calibrate(machine, effort.measure_opts());
+        match &cache_dir {
+            Some(dir) => analyzer.calibrate_cached(machine, effort.measure_opts(), dir),
+            None => analyzer.calibrate(machine, effort.measure_opts()),
+        };
     }
 
     // Answer: requests whose selector did not resolve keep their
@@ -162,6 +185,37 @@ fn main() -> ExitCode {
 /// head` exits quietly instead of panicking mid-print.
 fn emit(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+/// Strip the calibration-cache flags out of `args`, returning the cache
+/// directory to use (`None` = caching disabled via `--no-cache`).
+fn extract_cache_dir(args: &mut Vec<String>) -> Result<Option<PathBuf>, String> {
+    let mut dir = Some(gpa_ubench::cache::default_dir());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-cache" => {
+                dir = None;
+                args.remove(i);
+            }
+            "--cache-dir" => {
+                if i + 1 >= args.len() {
+                    return Err("--cache-dir requires a directory argument".into());
+                }
+                args.remove(i);
+                dir = Some(PathBuf::from(args.remove(i)));
+            }
+            arg => {
+                if let Some(v) = arg.strip_prefix("--cache-dir=") {
+                    dir = Some(PathBuf::from(v));
+                    args.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    Ok(dir)
 }
 
 fn read_input(args: &[String]) -> Result<String, String> {

@@ -554,6 +554,26 @@ impl Analyzer {
         self
     }
 
+    /// [`Analyzer::calibrate`] through the shared on-disk curve cache
+    /// ([`gpa_ubench::cache`]): load the curves for `(machine, opts)`
+    /// from `cache_dir` when a valid entry exists, otherwise measure and
+    /// persist them (atomically) for the next process. Because the cache
+    /// JSON round-trips `f64`s bit-exactly, a cache hit registers
+    /// *identical* curves to a fresh measurement — reports do not depend
+    /// on which process calibrated first. This is how `gpa-analyze` and
+    /// `gpa-serve` share calibration across processes.
+    pub fn calibrate_cached(
+        &mut self,
+        machine: Machine,
+        opts: MeasureOpts,
+        cache_dir: &std::path::Path,
+    ) -> &mut Self {
+        let curves = gpa_ubench::cache::load_or_measure(cache_dir, &machine, opts);
+        self.entries.retain(|e| e.machine.name != machine.name);
+        self.entries.push(Calibrated { machine, curves });
+        self
+    }
+
     /// Register a machine with previously measured curves (e.g. from the
     /// on-disk cache the bench harness keeps).
     ///
@@ -938,6 +958,25 @@ mod tests {
             analyzer.analyze(&req),
             Err(ServiceError::UnknownMachine(_))
         ));
+    }
+
+    #[test]
+    fn calibrate_cached_is_indistinguishable_from_fresh_calibration() {
+        let dir = std::env::temp_dir().join(format!("gpa-svc-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = MeasureOpts::quick();
+        let mut fresh = Analyzer::new();
+        fresh.calibrate(Machine::gtx285(), opts);
+        // First process: cache miss, measures and persists.
+        let mut miss = Analyzer::new();
+        miss.calibrate_cached(Machine::gtx285(), opts, &dir);
+        // Second process: cache hit, loads the persisted curves.
+        let mut hit = Analyzer::new();
+        hit.calibrate_cached(Machine::gtx285(), opts, &dir);
+        let expected = fresh.curves("gtx285").unwrap();
+        assert_eq!(miss.curves("gtx285").unwrap(), expected);
+        assert_eq!(hit.curves("gtx285").unwrap(), expected);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

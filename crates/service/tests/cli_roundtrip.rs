@@ -17,6 +17,15 @@ fn sample_path() -> String {
         .into_owned()
 }
 
+/// A per-process cache directory, so the comparison against a freshly
+/// calibrated in-process `Analyzer` can never be perturbed by whatever
+/// the developer's shared `results/` directory holds (while still
+/// exercising the binary's cache path).
+fn cache_dir_arg() -> String {
+    let dir = std::env::temp_dir().join(format!("gpa-cli-cache-{}", std::process::id()));
+    dir.to_string_lossy().into_owned()
+}
+
 fn in_process(reqs: &[AnalysisRequest]) -> Vec<AnalysisReport> {
     let mut analyzer = Analyzer::new();
     analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
@@ -29,6 +38,7 @@ fn in_process(reqs: &[AnalysisRequest]) -> Vec<AnalysisReport> {
 fn checked_in_sample_round_trips_through_the_binary() {
     let sample = sample_path();
     let out = Command::new(env!("CARGO_BIN_EXE_gpa-analyze"))
+        .args(["--cache-dir", &cache_dir_arg()])
         .arg(&sample)
         .output()
         .expect("spawn gpa-analyze");
@@ -58,6 +68,7 @@ fn batch_mode_reads_stdin_and_isolates_failures() {
     ]);
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_gpa-analyze"))
+        .args(["--cache-dir", &cache_dir_arg()])
         .arg("-")
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())

@@ -17,12 +17,16 @@
 //!   for Figure 3 and for the model's global-memory component;
 //! * [`curves`] — [`curves::ThroughputCurves`], the measured tables with
 //!   interpolating lookups and JSON persistence, plus the memoizing
-//!   [`curves::GmemBench`].
+//!   [`curves::GmemBench`];
+//! * [`cache`] — the shared on-disk curve cache (content-hashed keys,
+//!   atomic writes) that lets `gpa-bench`, `gpa-analyze`, and `gpa-serve`
+//!   processes amortize calibration against one `results/` directory.
 //!
 //! Every benchmark builds a kernel with `gpa_isa::KernelBuilder` (exact
 //! native instructions, no compiler interference), traces one block with
 //! the functional simulator, and replays it on the timing simulator.
 
+pub mod cache;
 pub mod curves;
 pub mod gmem;
 pub mod instr;

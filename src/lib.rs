@@ -19,6 +19,7 @@
 //! | [`model`] | `gpa-core` | **the paper's model**: component times, bottleneck, advisor |
 //! | [`apps`] | `gpa-apps` | case studies: matmul, tridiagonal solver, SpMV |
 //! | [`service`] | `gpa-service` | the serving surface: `Analyzer` sessions, typed requests, batch submission, JSON wire format, `gpa-analyze` CLI |
+//! | [`server`] | `gpa-server` | the HTTP front end: `gpa-serve` binary, bounded-queue worker pool, blocking client, `gpa-http` |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use gpa_core as model;
 pub use gpa_hw as hw;
 pub use gpa_isa as isa;
 pub use gpa_mem as mem;
+pub use gpa_server as server;
 pub use gpa_service as service;
 pub use gpa_sim as sim;
 pub use gpa_ubench as ubench;
