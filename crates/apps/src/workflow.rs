@@ -272,6 +272,32 @@ impl CaseStudy {
         }
     }
 
+    /// An ad-hoc study around an arbitrary kernel: no verification oracle
+    /// and no declared flop count (`flops: 0`, so consumers fall back to
+    /// the simulator's dynamic count). This is how wire-built kernels —
+    /// `gpa-service`'s `KernelSpec::Custom` and its `analyze_kernel`
+    /// shim — enter the same [`run_study`] path as the case studies.
+    pub fn adhoc(
+        kernel: Kernel,
+        launch: LaunchConfig,
+        params: Vec<u32>,
+        gmem: GlobalMemory,
+        regions: Vec<Region>,
+        mode: TraceMode,
+    ) -> CaseStudy {
+        CaseStudy {
+            label: kernel.name.clone(),
+            kernel,
+            launch,
+            params,
+            gmem,
+            regions,
+            mode,
+            flops: 0,
+            verify: None,
+        }
+    }
+
     /// Whether this study carries a verification oracle.
     pub fn has_verifier(&self) -> bool {
         self.verify.is_some()

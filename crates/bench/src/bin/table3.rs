@@ -60,7 +60,7 @@ fn main() {
         .flat_map(|sku| {
             cases
                 .iter()
-                .map(|(_, spec)| AnalysisRequest::new(*spec, &sku.name))
+                .map(|(_, spec)| AnalysisRequest::new(spec.clone(), &sku.name))
         })
         .collect();
     let reports = analyzer.analyze_batch_with(&requests, Threads::from(threads));

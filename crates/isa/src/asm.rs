@@ -12,7 +12,49 @@
 //! [`kernel_to_asm`] renders a whole [`Kernel`] with resource directives and
 //! generated labels; [`parse_kernel`] parses that form back. The pair
 //! round-trips: `parse_kernel(kernel_to_asm(k))` reproduces `k`'s
-//! instruction stream exactly.
+//! instruction stream exactly, for **every** operation the
+//! [`crate::builder::KernelBuilder`] can emit (property-tested below).
+//!
+//! # Grammar (the wire contract)
+//!
+//! This text form is the portable kernel encoding of the analysis
+//! service's wire format (`gpa_service`'s `KernelSpec::Custom` carries it
+//! verbatim), so the grammar below is a compatibility contract, not an
+//! implementation detail.
+//!
+//! A kernel is a sequence of lines; `//` starts a comment and blank lines
+//! are ignored. Three line forms exist:
+//!
+//! * **Directives** — `.kernel NAME`, `.reg N`, `.smem BYTES`,
+//!   `.threads N`, `.param BYTES`. They may appear anywhere and declare
+//!   the kernel name and its [`KernelResources`] /
+//!   parameter-block size (the role of NVCC's `-Xptxas -v` output in the
+//!   paper's workflow). Unspecified directives default to
+//!   `.reg 0 .smem 0 .threads 32 .param 0`.
+//! * **Labels** — `NAME:` on its own line names the next instruction.
+//! * **Instructions** — an optional guard `@pN` / `@!pN`, a mnemonic, and
+//!   comma-separated operands.
+//!
+//! Operands: registers `r0`–`r127`, predicates `p0`–`p3`, signed decimal
+//!   or `0x` hex immediates, shared-memory operands `s[rB+0xOFF]`
+//!   (base and/or offset, offset may be negative), global addresses
+//!   `g[...]` of the same shape, parameter slots `c[0xOFF]`, and special
+//!   registers `%tid.x %tid.y %ctaid.x %ctaid.y %ntid.x %ntid.y
+//!   %nctaid.x %nctaid.y`. Branch targets are labels or absolute
+//!   instruction indices.
+//!
+//! Mnemonics are exactly the [`fmt::Display`] forms of [`Op`]: `mul.f32
+//! add.f32 mad.f32 add.s32 sub.s32 mul.s32 mad.s32 min.s32 max.s32
+//! shl.b32 shr.b32 and.b32 or.b32 xor.b32 mov.b32 mov32 s2r
+//! setp.<cmp>.<s32|f32> sel.b32 i2f f2i rcp.f32 rsq.f32 sin.f32 cos.f32
+//! lg2.f32 ex2.f32 add.f64 mul.f64 fma.f64 ld.shared.<w> st.shared.<w>
+//! ld.global.<w> st.global.<w> ld.param.b32 bar.sync bra exit nop`, with
+//! `<cmp>` one of `eq ne lt le gt ge` and `<w>` one of `b32 b64 b128`.
+//!
+//! Every malformed input is a clean [`AsmError`] naming the offending
+//! 1-based line — out-of-range numbers included (no value is silently
+//! truncated), so a hostile payload can never smuggle a wrapped register
+//! count or branch target past the parser.
 
 use crate::instr::{
     CmpOp, Instruction, MemAddr, NumTy, Op, Pred, PredGuard, Reg, SpecialReg, Src, Width,
@@ -180,10 +222,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
             let arg = it.next().unwrap_or("");
             match dir {
                 "kernel" => name = arg.to_owned(),
-                "reg" => regs = parse_num(arg, ln + 1)? as u32,
-                "smem" => smem = parse_num(arg, ln + 1)? as u32,
-                "threads" => threads = parse_num(arg, ln + 1)? as u32,
-                "param" => params = parse_num(arg, ln + 1)? as u32,
+                "reg" => regs = parse_u32(arg, ln + 1, ".reg count")?,
+                "smem" => smem = parse_u32(arg, ln + 1, ".smem bytes")?,
+                "threads" => threads = parse_u32(arg, ln + 1, ".threads count")?,
+                "param" => params = parse_u32(arg, ln + 1, ".param bytes")?,
                 other => return Err(AsmError::new(ln + 1, format!("unknown directive .{other}"))),
             }
         } else if let Some(lbl) = line.strip_suffix(':') {
@@ -244,6 +286,27 @@ fn parse_num(s: &str, line: usize) -> Result<i64, AsmError> {
     Ok(if neg { -v } else { v })
 }
 
+/// [`parse_num`] with an inclusive range check: wire input must never be
+/// silently truncated into a smaller integer type.
+fn parse_ranged(s: &str, line: usize, what: &str, min: i64, max: i64) -> Result<i64, AsmError> {
+    let v = parse_num(s, line)?;
+    if !(min..=max).contains(&v) {
+        return Err(AsmError::new(
+            line,
+            format!("{what} {v} is out of range {min}..={max}"),
+        ));
+    }
+    Ok(v)
+}
+
+fn parse_u32(s: &str, line: usize, what: &str) -> Result<u32, AsmError> {
+    Ok(parse_ranged(s, line, what, 0, i64::from(u32::MAX))? as u32)
+}
+
+fn parse_i32(s: &str, line: usize, what: &str) -> Result<i32, AsmError> {
+    Ok(parse_ranged(s, line, what, i64::from(i32::MIN), i64::from(i32::MAX))? as i32)
+}
+
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
     let n = tok
         .strip_prefix('r')
@@ -266,14 +329,35 @@ fn parse_addr(inner: &str, line: usize) -> Result<MemAddr, AsmError> {
     if let Some(rest) = inner.strip_prefix('r') {
         if let Some(pos) = rest.find(['+', '-']).map(|p| p + 1) {
             let base = parse_reg(&inner[..pos], line)?;
-            let sign = if inner.as_bytes()[pos] == b'-' { -1 } else { 1 };
-            let off = parse_num(&inner[pos + 1..], line)?;
-            Ok(MemAddr::new(Some(base), sign * off as i32))
+            // The sign between base and offset is part of the address
+            // syntax; the magnitude after it must be unsigned (a second
+            // sign like `r1--4` is a typo, not a double negation) and may
+            // alone reach |i32::MIN|.
+            let mag_tok = &inner[pos + 1..];
+            if mag_tok.starts_with(['+', '-']) {
+                return Err(AsmError::new(
+                    line,
+                    format!("doubly-signed address offset `{inner}`"),
+                ));
+            }
+            let mag = parse_ranged(mag_tok, line, "address offset", 0, -i64::from(i32::MIN))?;
+            let off = if inner.as_bytes()[pos] == b'-' {
+                -mag
+            } else {
+                mag
+            };
+            let off = i32::try_from(off).map_err(|_| {
+                AsmError::new(line, format!("address offset {off} is out of range"))
+            })?;
+            Ok(MemAddr::new(Some(base), off))
         } else {
             Ok(MemAddr::new(Some(parse_reg(inner, line)?), 0))
         }
     } else {
-        Ok(MemAddr::new(None, parse_num(inner, line)? as i32))
+        Ok(MemAddr::new(
+            None,
+            parse_i32(inner, line, "address offset")?,
+        ))
     }
 }
 
@@ -284,7 +368,7 @@ fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
     } else if tok.starts_with('r') {
         Ok(Src::Reg(parse_reg(tok, line)?))
     } else {
-        Ok(Src::Imm(parse_num(tok, line)? as i32))
+        Ok(Src::Imm(parse_i32(tok, line, "immediate")?))
     }
 }
 
@@ -409,9 +493,18 @@ fn parse_instruction_with(
         "mov.b32" => alu1(|d, a| Op::Mov { d, a })?,
         "mov32" => {
             need(2)?;
+            // Negative literals are accepted as a hand-writing convenience
+            // and wrap to their 32-bit two's-complement pattern.
+            let imm = parse_ranged(
+                &ops[1],
+                ln,
+                "mov32 immediate",
+                i64::from(i32::MIN),
+                i64::from(u32::MAX),
+            )? as u32;
             Op::MovImm {
                 d: parse_reg(&ops[0], ln)?,
-                imm: parse_num(&ops[1], ln)? as u32,
+                imm,
             }
         }
         "s2r" => {
@@ -471,7 +564,7 @@ fn parse_instruction_with(
             let target = if let Some(t) = labels.get(ops[0].as_str()) {
                 *t
             } else {
-                parse_num(&ops[0], ln)? as u32
+                parse_u32(&ops[0], ln, "branch target")?
             };
             Op::Bra { target }
         }
@@ -553,7 +646,7 @@ fn parse_instruction_with(
                 .ok_or_else(|| AsmError::new(ln, format!("expected `c[...]`, got `{}`", ops[1])))?;
             Op::LdParam {
                 d: parse_reg(&ops[0], ln)?,
-                offset: parse_num(inner, ln)? as u16,
+                offset: parse_ranged(inner, ln, "parameter offset", 0, i64::from(u16::MAX))? as u16,
             }
         }
         other => return Err(AsmError::new(ln, format!("unknown mnemonic `{other}`"))),
@@ -735,6 +828,191 @@ mod tests {
             ] {
                 rt_line(Instruction::new(op));
             }
+        }
+    }
+
+    /// One instance of every [`Op`] variant, parameterized so a property
+    /// test can sweep operand values. Adding an `Op` without extending
+    /// this list fails the exhaustiveness check in
+    /// `every_op_round_trips`.
+    fn all_ops(d: Reg, a: Src, b: Src, c: Src, addr: MemAddr, imm: u32) -> Vec<Op> {
+        let e = Reg(d.0 & 0x7e); // even-aligned pair for f64 ops
+        vec![
+            Op::FMul { d, a, b },
+            Op::FAdd { d, a, b },
+            Op::FMad { d, a, b, c },
+            Op::IAdd { d, a, b },
+            Op::ISub { d, a, b },
+            Op::IMul { d, a, b },
+            Op::IMad { d, a, b, c },
+            Op::IMin { d, a, b },
+            Op::IMax { d, a, b },
+            Op::Shl { d, a, b },
+            Op::Shr { d, a, b },
+            Op::And { d, a, b },
+            Op::Or { d, a, b },
+            Op::Xor { d, a, b },
+            Op::Mov { d, a },
+            Op::MovImm { d, imm },
+            Op::S2R {
+                d,
+                sr: SpecialReg::ALL[(imm as usize) % SpecialReg::ALL.len()],
+            },
+            Op::SetP {
+                p: Pred((imm % 4) as u8),
+                cmp: CmpOp::ALL[(imm as usize) % CmpOp::ALL.len()],
+                ty: if imm.is_multiple_of(2) {
+                    NumTy::S32
+                } else {
+                    NumTy::F32
+                },
+                a,
+                b,
+            },
+            Op::Sel {
+                d,
+                p: Pred((imm % 4) as u8),
+                a,
+                b,
+            },
+            Op::I2F { d, a },
+            Op::F2I { d, a },
+            Op::Rcp { d, a },
+            Op::Rsq { d, a },
+            Op::Sin { d, a },
+            Op::Cos { d, a },
+            Op::Lg2 { d, a },
+            Op::Ex2 { d, a },
+            Op::DAdd { d: e, a: e, b: e },
+            Op::DMul { d: e, a: e, b: e },
+            Op::DFma {
+                d: e,
+                a: e,
+                b: e,
+                c: e,
+            },
+            Op::LdShared {
+                d,
+                addr,
+                width: Width::B32,
+            },
+            Op::StShared {
+                addr,
+                src: d,
+                width: Width::B64,
+            },
+            Op::LdGlobal {
+                d,
+                addr,
+                width: Width::B128,
+            },
+            Op::StGlobal {
+                addr,
+                src: d,
+                width: Width::B32,
+            },
+            Op::LdParam {
+                d,
+                offset: (imm % 0x10000) as u16,
+            },
+            Op::Bar,
+            Op::Bra { target: imm },
+            Op::Exit,
+            Op::Nop,
+        ]
+    }
+
+    /// Exhaustiveness guard: `all_ops` must cover every variant. The
+    /// discriminant comparison makes a forgotten variant a compile-free
+    /// test failure rather than silent coverage loss.
+    #[test]
+    fn all_ops_covers_every_variant() {
+        let ops = all_ops(
+            Reg(1),
+            Src::Reg(Reg(2)),
+            Src::Imm(3),
+            Src::smem(Some(Reg(4)), 8),
+            MemAddr::new(Some(Reg(5)), 16),
+            7,
+        );
+        let mut seen: Vec<std::mem::Discriminant<Op>> =
+            ops.iter().map(std::mem::discriminant).collect();
+        seen.sort_by_key(|d| format!("{d:?}"));
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            39,
+            "all_ops lists {} distinct Op variants; update it (and this count) \
+             when the ISA grows",
+            seen.len()
+        );
+    }
+
+    proptest! {
+        // The wire-contract property: every Op the builder can emit, with
+        // and without a guard, survives Display → parse bit-exactly.
+        #[test]
+        fn every_op_round_trips(
+            d in arb_reg(),
+            a in arb_src(),
+            b in arb_src(),
+            c in arb_src(),
+            base in proptest::option::of(arb_reg()),
+            off in any::<i32>(),
+            imm in any::<u32>(),
+            guard in proptest::option::of((0u8..4, any::<bool>())),
+        ) {
+            let addr = MemAddr::new(base, off);
+            for op in all_ops(d, a, b, c, addr, imm) {
+                let ins = match guard {
+                    // `exit`/`bra` keep their own guard semantics; a guard is
+                    // legal on every op in the text form.
+                    Some((p, neg)) => Instruction::guarded(Pred(p), neg, op),
+                    None => Instruction::new(op),
+                };
+                rt_line(ins);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_numbers_error_instead_of_truncating() {
+        // Every one of these used to wrap silently through an `as` cast.
+        for (line, want) in [
+            (".reg 4294967296\n    exit\n", ".reg count"),
+            (".threads 68719476736\n    exit\n", ".threads count"),
+            ("    bra 4294967296\n", "branch target"),
+            ("    bra -1\n", "branch target"),
+            ("    ld.param.b32 r0, c[0x10000]\n", "parameter offset"),
+            ("    add.s32 r0, r1, 2147483648\n", "immediate"),
+            ("    mov32 r0, 4294967296\n", "mov32 immediate"),
+            (
+                "    ld.global.b32 r0, g[r1+0x100000000]\n",
+                "address offset",
+            ),
+        ] {
+            let err = parse_kernel(line).unwrap_err();
+            assert!(
+                err.message.contains(want) && err.message.contains("out of range"),
+                "`{line}` → `{err}` (expected `{want}` out-of-range error)"
+            );
+        }
+        // The extreme in-range values still parse.
+        assert!(parse_instruction("mov32 r0, -2147483648").is_ok());
+        assert!(parse_instruction("mov32 r0, 4294967295").is_ok());
+        assert!(parse_instruction("ld.global.b32 r0, g[r1-0x80000000]").is_ok());
+    }
+
+    #[test]
+    fn doubly_signed_address_offsets_are_typos_not_negation() {
+        // `g[r1--4]` (meant `g[r1-4]`) must not parse as +4.
+        for line in [
+            "ld.global.b32 r0, g[r1--4]",
+            "ld.global.b32 r0, g[r1+-4]",
+            "ld.shared.b32 r0, s[r1-+4]",
+        ] {
+            let err = parse_instruction(line).unwrap_err();
+            assert!(err.message.contains("doubly-signed"), "`{line}` → `{err}`");
         }
     }
 }

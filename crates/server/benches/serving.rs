@@ -62,6 +62,26 @@ fn bench_loopback(c: &mut Criterion) {
         })
     });
 
+    // The same probe over one persistent connection: what connection
+    // reuse saves relative to connect-per-request above.
+    c.bench_function("serve/healthz_keepalive_roundtrip", |b| {
+        let mut conn = client.connect().expect("keep-alive connect");
+        b.iter(|| {
+            // The server closes after its per-connection request cap;
+            // reconnect transparently so the bench measures steady-state
+            // reuse, not the cap policy.
+            let resp = match conn.get("/healthz") {
+                Ok(resp) => resp,
+                Err(_) => {
+                    conn = client.connect().expect("keep-alive reconnect");
+                    conn.get("/healthz").unwrap()
+                }
+            };
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+
     // The full serving path including one matmul analysis.
     c.bench_function("serve/analyze_roundtrip", |b| {
         b.iter(|| {

@@ -1,10 +1,12 @@
 //! A minimal blocking HTTP/1.1 client — just enough to drive
 //! `gpa-serve` from tests, CI, and the `gpa-http` binary without curl.
 //!
-//! One request per connection (matching the server's
-//! `Connection: close`), `Content-Length`-framed bodies on both sides,
-//! and a read timeout so a dead server fails fast instead of hanging a
-//! caller.
+//! [`Client`] opens one connection per request (matching the server's
+//! default `Connection: close`); [`Client::connect`] returns a
+//! [`Connection`] that pipelines sequential requests over one socket
+//! with `Connection: keep-alive`. `Content-Length`-framed bodies on both
+//! sides, and a read timeout so a dead server fails fast instead of
+//! hanging a caller.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -86,24 +88,93 @@ impl Client {
     fn roundtrip(&self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<HttpResponse> {
         let mut stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(self.timeout))?;
-        let mut head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
-            self.addr
-        );
-        if body.is_some() {
-            head.push_str("Content-Type: application/json\r\n");
-        }
-        head.push_str(&format!(
-            "Content-Length: {}\r\n\r\n",
-            body.map_or(0, <[u8]>::len)
-        ));
-        stream.write_all(head.as_bytes())?;
-        if let Some(body) = body {
-            stream.write_all(body)?;
-        }
-        stream.flush()?;
+        write_request(&mut stream, &self.addr, method, path, body, false)?;
         read_response(&mut BufReader::new(stream))
     }
+
+    /// Open a persistent connection that reuses one socket for
+    /// sequential requests (`Connection: keep-alive`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(&self) -> io::Result<Connection> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        Ok(Connection {
+            addr: self.addr.clone(),
+            stream: BufReader::new(stream),
+        })
+    }
+}
+
+/// A persistent keep-alive connection from [`Client::connect`].
+///
+/// Requests are strictly sequential (send, then read the full framed
+/// response). The server may close after any response — its request cap,
+/// idle timeout, or an error disposition — so callers looping on one
+/// `Connection` should reconnect when a call fails or the response
+/// carries `Connection: close`.
+#[derive(Debug)]
+pub struct Connection {
+    addr: String,
+    stream: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// `GET path` on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Connection, timeout, or response-framing failures (including the
+    /// server having closed the connection since the last request).
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.roundtrip("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Connection::get`].
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.roundtrip("POST", path, Some(body.as_bytes()))
+    }
+
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<HttpResponse> {
+        write_request(self.stream.get_mut(), &self.addr, method, path, body, true)?;
+        read_response(&mut self.stream)
+    }
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\n");
+    if body.is_some() {
+        head.push_str("Content-Type: application/json\r\n");
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\n\r\n",
+        body.map_or(0, <[u8]>::len)
+    ));
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body)?;
+    }
+    stream.flush()
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {

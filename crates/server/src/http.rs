@@ -3,9 +3,10 @@
 //! Exactly the subset the serving subsystem needs, implemented from
 //! scratch (the build image has no crates.io access): request-line and
 //! header parsing with hard size ceilings, `Content-Length`-framed
-//! bodies, and a response writer that always emits `Content-Length` and
-//! `Connection: close` (one request per connection; keep-alive is future
-//! work and the framing here is forward-compatible with it).
+//! bodies, and a response writer that always emits `Content-Length` plus
+//! an explicit `Connection:` disposition — `close` by default,
+//! `keep-alive` via [`write_response_with`] for the server's persistent
+//! connections (the framing makes back-to-back requests unambiguous).
 //!
 //! The parser is deliberately strict — anything outside the subset
 //! (chunked transfer encoding, HTTP/2 preludes, missing versions) is a
@@ -272,8 +273,25 @@ pub fn status_reason(status: u16) -> &'static str {
 ///
 /// Propagates socket write failures.
 pub fn write_response(writer: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_response_with(writer, resp, false)
+}
+
+/// [`write_response`] with an explicit connection disposition: the
+/// response always carries `Content-Length` framing, so `keep_alive`
+/// only switches the advertised `Connection:` header (the server's
+/// keep-alive loop relies on this — see `gpa_server::server`).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         resp.status,
         status_reason(resp.status),
         resp.content_type,

@@ -13,13 +13,20 @@
 //!   gets a real answer), in-flight work finishes, and all threads are
 //!   joined before the call returns.
 //!
-//! The handler sees one parsed [`Request`] per connection
-//! (`Connection: close`; keep-alive is the next scaling step and the
-//! queue/worker shape here is built to accommodate it).
+//! # Connection reuse
+//!
+//! Clients that send `Connection: keep-alive` get a persistent
+//! connection: up to [`ServerConfig::keep_alive_requests`] requests are
+//! answered back-to-back on one socket (each marked
+//! `Connection: keep-alive` until the last), with
+//! [`ServerConfig::keep_alive_idle`] bounding the silence between them
+//! so a parked client frees its worker quickly. Errors — malformed
+//! requests and 4xx/5xx answers — always close, and clients that don't
+//! opt in keep the original one-request `Connection: close` behavior.
 
 use crate::http::{self, HttpError, Request, Response};
 use std::collections::VecDeque;
-use std::io::{BufReader, Read};
+use std::io::{BufRead, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -28,7 +35,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How the pool is shaped. `Default` gives a small general-purpose
-/// server: auto-sized workers, a 64-connection queue, 1 MiB bodies.
+/// server: auto-sized workers, a 64-connection queue, 1 MiB bodies,
+/// keep-alive capped at 64 requests per connection with a 5-second idle
+/// window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Worker threads (`0` = one per available CPU core).
@@ -37,6 +46,13 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Request-body ceiling in bytes (the 413 threshold).
     pub max_body_bytes: usize,
+    /// Most requests served per connection when the client asks for
+    /// `Connection: keep-alive`; `1` disables keep-alive entirely. The
+    /// cap bounds how long one client can monopolize a worker.
+    pub keep_alive_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the worker hangs up and returns to the queue.
+    pub keep_alive_idle: Duration,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +61,8 @@ impl Default for ServerConfig {
             workers: 0,
             queue_depth: 64,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            keep_alive_requests: 64,
+            keep_alive_idle: Duration::from_secs(5),
         }
     }
 }
@@ -373,36 +391,91 @@ fn worker_loop(shared: &Shared, handler: &dyn Handler) {
     }
 }
 
-/// Parse one request off the connection, answer it, close.
+/// Returns `true` when the client explicitly asked to keep the
+/// connection open. Opt-in only: absent the header (HTTP/1.1's implicit
+/// default included) the server keeps its original one-request
+/// `Connection: close` contract, so pre-keep-alive clients observe no
+/// change.
+fn wants_keep_alive(req: &Request) -> bool {
+    req.header("Connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+}
+
+/// Serve one connection: parse requests, answer them, and honor
+/// `Connection: keep-alive` up to the configured per-connection request
+/// cap and idle timeout. Any error — malformed request, oversized body,
+/// or a handler answer of 4xx/5xx — closes the connection
+/// (`Connection: close`), so a confused peer can never wedge the framing.
 fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
     // A silent client must not wedge a worker forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let mut reader = BufReader::new(stream);
-    match http::read_request(&mut reader, shared.config.max_body_bytes) {
-        Ok(req) => {
-            // A handler panic answers 500 and keeps the worker alive.
-            let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                handler.handle(&req, shared.snapshot())
-            }))
-            .unwrap_or_else(|_| Response::error(500, "internal server error"));
-            shared.count_response(resp.status);
-            let mut stream = reader.into_inner();
-            let _ = http::write_response(&mut stream, &resp);
-            // The request was fully read, so closing now is a clean FIN.
-        }
-        Err(HttpError::Closed) | Err(HttpError::Io(_)) => {
-            // Hang-up or dead socket: nothing to answer.
-        }
-        Err(e) => {
-            let resp = Response::error(e.status(), &e.message());
-            shared.count_response(resp.status);
-            let mut stream = reader.into_inner();
-            if http::write_response(&mut stream, &resp).is_ok() {
-                // The request may have unread bytes (an oversized body we
-                // refused to read, trailing garbage): drain before closing
-                // so the error response survives the trip.
-                let _ = stream.shutdown(Shutdown::Write);
-                drain(&mut stream);
+    let cap = shared.config.keep_alive_requests.max(1);
+    for served in 1..=cap {
+        match http::read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(req) => {
+                // A handler panic answers 500 and keeps the worker alive.
+                let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    handler.handle(&req, shared.snapshot())
+                }))
+                .unwrap_or_else(|_| Response::error(500, "internal server error"));
+                shared.count_response(resp.status);
+                let client_keep = wants_keep_alive(&req);
+                let keep = client_keep && served < cap && resp.status < 400;
+                if http::write_response_with(reader.get_mut(), &resp, keep).is_err() {
+                    return;
+                }
+                if !keep {
+                    if client_keep {
+                        // The client asked for keep-alive and may have
+                        // pipelined a follow-up we refused (cap reached,
+                        // error status): closing with those bytes unread
+                        // would RST the socket and could destroy this
+                        // response in flight — drain first, exactly like
+                        // the parse-error path below.
+                        let mut stream = reader.into_inner();
+                        let _ = stream.shutdown(Shutdown::Write);
+                        drain(&mut stream);
+                    }
+                    // Otherwise the one request was fully read, so
+                    // closing now is a clean FIN.
+                    return;
+                }
+                // Between keep-alive requests the shorter idle timeout
+                // applies: a parked connection frees its worker quickly.
+                // The wait happens in fill_buf so that once the next
+                // request *starts* arriving, its head and body get the
+                // full 30-second budget again (a slow uplink is not
+                // "idle").
+                let _ = reader
+                    .get_ref()
+                    .set_read_timeout(Some(shared.config.keep_alive_idle));
+                match reader.fill_buf() {
+                    Ok([]) | Err(_) => return, // clean close or idle timeout
+                    Ok(_) => {
+                        let _ = reader
+                            .get_ref()
+                            .set_read_timeout(Some(Duration::from_secs(30)));
+                    }
+                }
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => {
+                // Hang-up, dead socket, or an idle keep-alive timeout:
+                // nothing (further) to answer.
+                return;
+            }
+            Err(e) => {
+                let resp = Response::error(e.status(), &e.message());
+                shared.count_response(resp.status);
+                let mut stream = reader.into_inner();
+                if http::write_response(&mut stream, &resp).is_ok() {
+                    // The request may have unread bytes (an oversized body
+                    // we refused to read, trailing garbage): drain before
+                    // closing so the error response survives the trip.
+                    let _ = stream.shutdown(Shutdown::Write);
+                    drain(&mut stream);
+                }
+                return;
             }
         }
     }

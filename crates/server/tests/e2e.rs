@@ -22,6 +22,10 @@ fn sample_path() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../service/data/sample_request.json")
 }
 
+fn sample_custom_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../service/data/sample_custom_kernel.json")
+}
+
 fn quick_analyzer() -> Analyzer {
     let mut analyzer = Analyzer::new();
     analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
@@ -140,6 +144,49 @@ fn binary_answers_the_sample_request_byte_identically() {
 }
 
 #[test]
+fn binary_serves_custom_kernels_byte_identically() {
+    let server = ServeGuard::spawn(&[]);
+    let client = server.client();
+
+    // A kernel the server was never hand-wired for: the checked-in saxpy
+    // sample rides the portable kernel encoding, and the HTTP answer —
+    // dynamic flops, traffic attribution, and the readback block
+    // included — must be byte-identical to the in-process answer.
+    let sample = std::fs::read_to_string(sample_custom_path()).expect("custom sample");
+    let response = client.post_json("/v1/analyze", &sample).expect("analyze");
+    assert_eq!(
+        response.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&response.body)
+    );
+    let request = AnalysisRequest::from_json(&sample).expect("custom sample parses");
+    assert!(matches!(request.kernel, KernelSpec::Custom(_)));
+    let expected = quick_analyzer()
+        .analyze(&request)
+        .expect("in-process answer");
+    assert!(expected.flops > 0);
+    assert!(!expected.outputs.is_empty());
+    assert_eq!(response.body_str().unwrap(), expected.to_json());
+
+    // Batch sharding treats custom kernels like any other request:
+    // custom + case study + a failing request mix in one array, with
+    // answers in order.
+    let case = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285");
+    let bad = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "no-such-gpu");
+    let batch =
+        Value::Array(vec![request.to_value(), case.to_value(), bad.to_value()]).to_string_pretty();
+    let response = client.post_json("/v1/analyze", &batch).expect("batch");
+    assert_eq!(response.status, 200);
+    let doc = Value::parse(response.body_str().unwrap()).unwrap();
+    let items = doc.as_array().unwrap();
+    assert_eq!(items.len(), 3);
+    assert_eq!(items[0].to_string_pretty(), expected.to_json());
+    assert!(items[1].get("analysis").is_ok(), "case study answered");
+    assert!(items[2].get("error").is_ok(), "failure stays isolated");
+}
+
+#[test]
 fn batch_arrays_mirror_gpa_analyze_output() {
     let server = ServeGuard::spawn(&[]);
     let client = server.client();
@@ -189,6 +236,7 @@ fn concurrent_clients_get_sequential_answers() {
         KernelSpec::Matmul { n: 64, tile: 32 },
         KernelSpec::Matmul { n: 128, tile: 8 },
     ];
+    let num_specs = specs.len() as u64;
     std::thread::scope(|scope| {
         for spec in specs {
             let addr = addr.clone();
@@ -201,14 +249,19 @@ fn concurrent_clients_get_sequential_answers() {
                     let response = client
                         .post_json("/v1/analyze", &request.to_json())
                         .expect("roundtrip");
-                    assert_eq!(response.status, 200, "{spec:?}");
-                    assert_eq!(response.body_str().unwrap(), expected, "{spec:?}");
+                    assert_eq!(response.status, 200, "{:?}", request.kernel);
+                    assert_eq!(
+                        response.body_str().unwrap(),
+                        expected,
+                        "{:?}",
+                        request.kernel
+                    );
                 }
             });
         }
     });
 
     let stats = server.shutdown();
-    assert_eq!(stats.served, specs.len() as u64 * 3);
+    assert_eq!(stats.served, num_specs * 3);
     assert_eq!(stats.errors, 0);
 }

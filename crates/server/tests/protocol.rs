@@ -80,6 +80,126 @@ fn malformed_and_oversized_requests_get_correct_statuses() {
     assert_eq!(stats.errors, 6);
 }
 
+/// A trivial 200-everything handler for connection-behavior tests.
+fn echo_handler() -> Arc<dyn gpa_server::server::Handler> {
+    Arc::new(|req: &Request, _: StatsSnapshot| {
+        Response::json(200, format!("{{\"path\": \"{}\"}}", req.target))
+    })
+}
+
+#[test]
+fn keep_alive_answers_many_requests_on_one_socket() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        echo_handler(),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    let mut conn = client.connect().expect("keep-alive connect");
+    for i in 0..10 {
+        let resp = conn.get(&format!("/req{i}")).expect("keep-alive roundtrip");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("keep-alive"), "req {i}");
+        assert_eq!(
+            resp.body_str().unwrap(),
+            format!("{{\"path\": \"/req{i}\"}}")
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.errors), (10, 0));
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_connection() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            keep_alive_requests: 3,
+            ..ServerConfig::default()
+        },
+        echo_handler(),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    let mut conn = client.connect().expect("keep-alive connect");
+    for i in 0..2 {
+        let resp = conn.get("/again").unwrap();
+        assert_eq!(resp.header("connection"), Some("keep-alive"), "req {i}");
+    }
+    // The capped (3rd) response still succeeds but announces the close…
+    let resp = conn.get("/last").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    // …and the socket is then really closed: the next roundtrip fails.
+    assert!(conn.get("/dead").is_err());
+
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.errors), (3, 0));
+}
+
+#[test]
+fn keep_alive_idle_timeout_reclaims_the_worker() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            keep_alive_idle: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+        echo_handler(),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    let mut conn = client.connect().expect("keep-alive connect");
+    assert_eq!(conn.get("/first").unwrap().status, 200);
+    // Sit idle past the window; the server hangs up…
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(conn.get("/tardy").is_err());
+    // …and the (single) worker is free again for new connections.
+    assert_eq!(client.get("/fresh").unwrap().status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn errors_close_even_under_keep_alive() {
+    let server = api_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Two well-formed keep-alive requests to an unknown path on one
+    // socket: the 404 must carry Connection: close, and everything after
+    // the first request must go unanswered (read_to_string sees exactly
+    // one response before EOF).
+    let two = b"GET /nope HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+                GET /nope HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+    let resp = raw_roundtrip(addr, two);
+    assert!(resp.starts_with("HTTP/1.1 404 "), "{resp}");
+    assert!(resp.contains("Connection: close"), "{resp}");
+    assert_eq!(resp.matches("HTTP/1.1").count(), 1, "{resp}");
+
+    // Clients that do not opt in keep the one-request contract even on a
+    // healthy exchange.
+    let plain = b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+    let resp = raw_roundtrip(addr, plain);
+    assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+    assert!(resp.contains("Connection: close"), "{resp}");
+    assert_eq!(resp.matches("HTTP/1.1").count(), 1, "{resp}");
+
+    server.shutdown();
+}
+
 #[test]
 fn handler_panics_become_500s_and_the_worker_survives() {
     let server = Server::start(
@@ -218,6 +338,93 @@ fn queue_full_rejects_with_503_and_overload_is_counted() {
     assert_eq!(stats.served, 2);
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn malformed_custom_kernels_are_http_400s_never_500s() {
+    use gpa_hw::Machine;
+    use gpa_ubench::ThroughputCurves;
+
+    // Synthetic curves suffice: every request below fails validation
+    // before the model would consult them.
+    let curves = ThroughputCurves {
+        machine_name: "GeForce GTX 285".into(),
+        warps: vec![1, 32],
+        instr: std::array::from_fn(|_| vec![1e9, 1e10]),
+        smem: vec![1e10, 1e11],
+    };
+    let mut analyzer = Analyzer::new();
+    analyzer.install(Machine::gtx285(), curves).unwrap();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(AnalyzeApi::new(Arc::new(analyzer))),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    let wrap = |kernel: &str| format!(r#"{{"kernel": {kernel}, "machine": "gtx285"}}"#);
+    for (body, want) in [
+        // Unknown mnemonic: an AsmError with its source line, not a panic.
+        (
+            wrap(
+                r#"{"case": "custom",
+                    "asm": ".kernel x\n.threads 32\n    warp.drive r0\n    exit\n",
+                    "launch": {"grid": 1, "block": 32}}"#,
+            ),
+            "warp.drive",
+        ),
+        // Branch-target overflow caught by the hardened parser.
+        (
+            wrap(
+                r#"{"case": "custom",
+                    "asm": ".kernel x\n.threads 32\n    bra 4294967296\n    exit\n",
+                    "launch": {"grid": 1, "block": 32}}"#,
+            ),
+            "out of range",
+        ),
+        // Oversized memory region: rejected before any allocation.
+        (
+            wrap(
+                r#"{"case": "custom", "asm": "    exit\n",
+                    "launch": {"grid": 1, "block": 32},
+                    "memory": [{"name": "m", "len": 1099511627776,
+                                "init": {"kind": "zero"}}]}"#,
+            ),
+            "limit",
+        ),
+        // Parameter/register mismatch: ld.param past the declared block.
+        (
+            wrap(
+                r#"{"case": "custom",
+                    "asm": ".kernel x\n.threads 32\n.param 4\n    ld.param.b32 r0, c[0x8]\n    exit\n",
+                    "launch": {"grid": 1, "block": 32}, "params": [0]}"#,
+            ),
+            "param",
+        ),
+        // Wire-level garbage in the memory image.
+        (
+            wrap(
+                r#"{"case": "custom", "asm": "    exit\n",
+                    "launch": {"grid": 1, "block": 32},
+                    "memory": [{"name": "m", "len": 64, "init": {"kind": "entropy"}}]}"#,
+            ),
+            "entropy",
+        ),
+    ] {
+        let resp = client.post_json("/v1/analyze", &body).unwrap();
+        // 400 (typed error), never 500 (which would mean catch_unwind
+        // swallowed a panic).
+        assert_eq!(resp.status, 400, "{want}: {}", resp.body_str().unwrap());
+        assert!(
+            resp.body_str().unwrap().contains(want),
+            "`{}` does not mention `{want}`",
+            resp.body_str().unwrap()
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 0);
 }
 
 #[test]

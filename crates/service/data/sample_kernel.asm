@@ -1,0 +1,22 @@
+// A bare compute kernel for the `gpa-analyze --kernel-asm` convenience:
+// no parameters, no device memory — each thread runs a 16-step f32
+// recurrence over its lane id. See sample_custom_kernel.json for a
+// kernel with a wire-declared memory image.
+.kernel lanehash
+.reg 4
+.smem 0
+.threads 128
+.param 0
+    s2r r0, %tid.x
+    s2r r1, %ctaid.x
+    mad.s32 r0, r1, 128, r0
+    i2f r1, r0                  // x = global lane id
+    mov32 r2, 0x3f800000        // acc = 1.0f
+    mov32 r3, 0                 // i = 0
+L0:
+    mad.f32 r2, r2, r1, r1      // acc = acc * x + x
+    rsq.f32 r2, r2
+    add.s32 r3, r3, 1
+    setp.lt.s32 p0, r3, 16
+    @p0 bra L0
+    exit

@@ -32,16 +32,27 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: gpa-analyze [--cache-dir DIR | --no-cache] [REQUEST.json | -]
+       gpa-analyze --kernel-asm FILE.asm [--machine SEL] [--grid X[xY]]
 
 Reads an analysis request (JSON object) or batch (JSON array) from the
 given file or stdin and writes the report JSON to stdout. See the
 `gpa_service::wire` docs for the schema; machines: gtx285, 8800gt,
-9800gtx.
+9800gtx. Any kernel is accepted: besides the three case studies, a
+request with {\"case\": \"custom\"} carries decuda-style assembly, a
+launch shape, parameters, and a declarative memory image.
 
 Options:
   --cache-dir DIR   load/store calibration curves under DIR
                     (default: the shared workspace results/ directory)
-  --no-cache        always measure; do not touch the on-disk cache";
+  --no-cache        always measure; do not touch the on-disk cache
+  --kernel-asm FILE wrap a bare `.asm` kernel into a custom request:
+                    the block shape comes from the file's `.threads`
+                    directive, the grid from --grid (default 1), the
+                    machine from --machine (default gtx285). Kernels
+                    needing parameters or device memory must use the
+                    full request JSON instead.
+  --machine SEL     machine selector for --kernel-asm
+  --grid X[xY]      grid shape in blocks for --kernel-asm";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,40 +67,56 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match read_input(&args) {
-        Ok(t) => t,
+    let asm_request = match extract_kernel_asm(&mut args) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("gpa-analyze: {e}");
             return ExitCode::from(2);
         }
     };
-
-    let doc = match Value::parse(&text) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("gpa-analyze: malformed JSON: {e}");
-            return ExitCode::FAILURE;
+    let (reqs, batch) = if let Some(req) = asm_request {
+        if !args.is_empty() {
+            eprintln!("gpa-analyze: --kernel-asm takes no request file\n{USAGE}");
+            return ExitCode::from(2);
         }
-    };
+        (vec![req], false)
+    } else {
+        let text = match read_input(&args) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gpa-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
 
-    let (reqs, batch) = match &doc {
-        Value::Array(items) => {
-            let parsed: Result<Vec<_>, _> = items.iter().map(AnalysisRequest::from_value).collect();
-            match parsed {
-                Ok(reqs) => (reqs, true),
+        let doc = match Value::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("gpa-analyze: malformed JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        match &doc {
+            Value::Array(items) => {
+                let parsed: Result<Vec<_>, _> =
+                    items.iter().map(AnalysisRequest::from_value).collect();
+                match parsed {
+                    Ok(reqs) => (reqs, true),
+                    Err(e) => {
+                        eprintln!("gpa-analyze: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            v => match AnalysisRequest::from_value(v) {
+                Ok(req) => (vec![req], false),
                 Err(e) => {
                     eprintln!("gpa-analyze: {e}");
                     return ExitCode::FAILURE;
                 }
-            }
+            },
         }
-        v => match AnalysisRequest::from_value(v) {
-            Ok(req) => (vec![req], false),
-            Err(e) => {
-                eprintln!("gpa-analyze: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
     };
 
     // Resolve every selector against the built-in presets up front and
@@ -216,6 +243,69 @@ fn extract_cache_dir(args: &mut Vec<String>) -> Result<Option<PathBuf>, String> 
         }
     }
     Ok(dir)
+}
+
+/// Handle `--kernel-asm FILE [--machine SEL] [--grid X[xY]]`: wrap a
+/// bare assembly file into a [`gpa_service::KernelSpec::Custom`] request. The block
+/// shape comes from the file's `.threads` directive, so the convenience
+/// form needs no launch JSON.
+fn extract_kernel_asm(args: &mut Vec<String>) -> Result<Option<AnalysisRequest>, String> {
+    let mut asm_path: Option<String> = None;
+    let mut machine: Option<String> = None;
+    let mut grid: Option<(u32, u32)> = None;
+    let mut i = 0;
+    let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, String> {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires an argument"));
+        }
+        args.remove(i);
+        Ok(args.remove(i))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernel-asm" => asm_path = Some(take_value(args, i, "--kernel-asm")?),
+            "--machine" => machine = Some(take_value(args, i, "--machine")?),
+            "--grid" => {
+                let spec = take_value(args, i, "--grid")?;
+                grid = Some(parse_grid(&spec)?);
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(path) = asm_path else {
+        // Refuse rather than silently discard: these flags only have
+        // meaning alongside --kernel-asm (request JSON carries its own
+        // machine and launch).
+        if machine.is_some() || grid.is_some() {
+            return Err("--machine/--grid require --kernel-asm".into());
+        }
+        return Ok(None);
+    };
+    let machine = machine.unwrap_or_else(|| "gtx285".into());
+    let grid = grid.unwrap_or((1, 1));
+    let asm = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Parse once here only to learn the declared block size; the service
+    // parses again through the same grammar when it builds the kernel.
+    let kernel = gpa_isa::asm::parse_kernel(&asm).map_err(|e| format!("{path}: {e}"))?;
+    let launch = gpa_sim::LaunchConfig::new_2d(grid, (kernel.resources.threads_per_block, 1));
+    let custom = gpa_service::CustomKernel {
+        asm,
+        launch,
+        params: Vec::new(),
+        memory: Vec::new(),
+    };
+    Ok(Some(AnalysisRequest::new(
+        gpa_service::KernelSpec::Custom(Box::new(custom)),
+        machine,
+    )))
+}
+
+fn parse_grid(spec: &str) -> Result<(u32, u32), String> {
+    let bad = || format!("--grid expects X or XxY in blocks, got `{spec}`");
+    match spec.split_once('x') {
+        Some((x, y)) => Ok((x.parse().map_err(|_| bad())?, y.parse().map_err(|_| bad())?)),
+        None => Ok((spec.parse().map_err(|_| bad())?, 1)),
+    }
 }
 
 fn read_input(args: &[String]) -> Result<String, String> {

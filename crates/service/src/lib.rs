@@ -10,13 +10,18 @@
 //! * [`Analyzer`] — the session object. It owns one calibrated profile
 //!   ([`gpa_ubench::ThroughputCurves`]) per registered
 //!   [`Machine`]: **calibrate once, answer many**.
-//! * [`AnalysisRequest`] — one query: a [`KernelSpec`] (which case-study
-//!   kernel, at what size), a machine selector, and [`AnalysisOptions`]
-//!   (trace mode, [`Threads`], fuel, verification, what-if toggles).
+//! * [`AnalysisRequest`] — one query: a [`KernelSpec`] (a case-study
+//!   kernel at some size, or **any** kernel at all via
+//!   [`KernelSpec::Custom`]'s portable encoding — asm text, launch,
+//!   params, declarative memory image), a machine selector, and
+//!   [`AnalysisOptions`] (trace mode, [`Threads`], fuel, verification,
+//!   what-if toggles).
 //! * [`AnalysisReport`] — the typed answer: the model's full
 //!   [`Analysis`] (component times, per-stage breakdown, bottleneck,
 //!   occupancy, diagnosed causes), the timing-simulator measurement,
-//!   and any requested [`WhatIf`] advisor estimates.
+//!   honest flop accounting, any requested [`WhatIf`] advisor
+//!   estimates, and (for custom kernels that ask) post-run region
+//!   readback in [`AnalysisReport::outputs`].
 //! * [`Analyzer::analyze_batch`] — shards independent requests across
 //!   worker threads (via [`gpa_sim::SimEngine::shard_plan`]); answers
 //!   are identical to sequential [`Analyzer::analyze`] calls.
@@ -122,13 +127,18 @@ impl From<gpa_json::Error> for ServiceError {
     }
 }
 
-/// Which prepared case-study kernel a request targets, and at what size.
+/// Which kernel a request targets.
 ///
-/// These are the paper's three workloads; each maps to the corresponding
-/// `gpa_apps::*::case` constructor, so a service request and a direct
-/// driver call are bit-identical. [`KernelSpec::validate`] checks the
-/// size constraints the constructors would otherwise panic on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The first three variants are the paper's case-study workloads; each
+/// maps to the corresponding `gpa_apps::*::case` constructor, so a
+/// service request and a direct driver call are bit-identical.
+/// [`KernelSpec::Custom`] carries a *portable kernel encoding* — any
+/// kernel expressible in the `gpa_isa::asm` text form, with declared
+/// launch shape, parameters, and a wire-expressible memory image — so
+/// the served surface is exactly as general as the model itself.
+/// [`KernelSpec::validate`] checks the size constraints the constructors
+/// would otherwise panic on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelSpec {
     /// Dense matmul (§5.1): `n × n` matrices, `tile × tile` B sub-matrix.
     Matmul {
@@ -158,6 +168,9 @@ pub enum KernelSpec {
         /// Route vector gathers through the texture cache.
         texture: bool,
     },
+    /// An arbitrary kernel in the portable wire encoding (boxed: the
+    /// payload is much larger than the case-study selectors).
+    Custom(Box<CustomKernel>),
 }
 
 /// Largest accepted tridiagonal system count (see
@@ -166,6 +179,345 @@ pub const MAX_TRIDIAG_NSYS: u32 = 8192;
 
 /// Largest accepted SpMV lattice extent (see [`KernelSpec::validate`]).
 pub const MAX_SPMV_L: u32 = 16;
+
+/// Largest accepted custom-kernel assembly text, in bytes.
+pub const MAX_CUSTOM_ASM_BYTES: usize = 256 * 1024;
+
+/// Largest accepted custom-kernel instruction count after parsing.
+pub const MAX_CUSTOM_INSTRS: usize = 16_384;
+
+/// Most memory regions a custom kernel may declare.
+pub const MAX_CUSTOM_REGIONS: usize = 32;
+
+/// Most parameter words a custom kernel may pass.
+pub const MAX_CUSTOM_PARAMS: usize = 256;
+
+/// Ceiling on a custom kernel's total declared device memory. Like
+/// [`MAX_TRIDIAG_NSYS`], this keeps a wire request from OOMing the
+/// service, and (with the 256-byte region alignment) guarantees every
+/// region base fits the 32-bit pointers kernels pass as parameters.
+pub const MAX_CUSTOM_MEMORY_BYTES: u64 = 64 << 20;
+
+/// Ceiling on a custom launch's total block count (the per-shard fuel
+/// budget guards runaway loops; this guards runaway grids).
+pub const MAX_CUSTOM_BLOCKS: u64 = 65_536;
+
+/// Ceiling on the memory a custom kernel may mark for readback, so a
+/// report cannot be made arbitrarily large.
+pub const MAX_CUSTOM_READBACK_BYTES: u64 = 1 << 20;
+
+/// Alignment of every custom-kernel memory region (fixed, so region
+/// base addresses — and therefore reports — are fully determined by the
+/// request).
+pub const CUSTOM_REGION_ALIGN: u64 = 256;
+
+/// An arbitrary kernel in the portable wire encoding: the decuda-style
+/// assembly text (`gpa_isa::asm` — its module docs are the grammar
+/// contract), the launch shape, the kernel parameters, and a declarative
+/// device-memory image that replaces caller-owned
+/// [`GlobalMemory`] with wire-expressible state.
+///
+/// Everything is deterministic: regions are allocated in declaration
+/// order at [`CUSTOM_REGION_ALIGN`], initializers are pure functions of
+/// the spec, and parameters resolve region names to the resulting base
+/// addresses — so two services given the same request byte-for-byte
+/// produce the same report byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomKernel {
+    /// Assembly text ([`gpa_isa::asm::parse_kernel`] grammar). The
+    /// `.kernel`/`.reg`/`.smem`/`.threads`/`.param` directives declare
+    /// the name and resources; `.threads` must match `launch`.
+    pub asm: String,
+    /// Launch shape (grid and block, up to 2-D).
+    pub launch: LaunchConfig,
+    /// Kernel parameter words, literal or region-relative.
+    pub params: Vec<ParamValue>,
+    /// Named device-memory regions, allocated in order.
+    pub memory: Vec<MemRegionSpec>,
+}
+
+/// One 32-bit kernel parameter word of a [`CustomKernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamValue {
+    /// A literal word (integers, f32 bit patterns, sizes…).
+    Word(u32),
+    /// The base device address of the named [`MemRegionSpec`] — how a
+    /// wire request passes device pointers it cannot know in advance.
+    RegionBase(String),
+}
+
+/// One named device-memory region of a [`CustomKernel`]: length,
+/// initializer, and flags. Doubles as the traffic-attribution region in
+/// the report (the paper's Figure 11a metric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRegionSpec {
+    /// Region name (unique within the request).
+    pub name: String,
+    /// Length in bytes (positive, multiple of 4).
+    pub len: u64,
+    /// Initial contents.
+    pub init: MemInit,
+    /// Route loads from this region through the texture cache.
+    pub texture: bool,
+    /// Return the region's post-run contents in
+    /// [`AnalysisReport::outputs`], so side effects stay observable
+    /// without caller-owned memory.
+    pub readback: bool,
+}
+
+/// Declarative initializer of a [`MemRegionSpec`], word by word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemInit {
+    /// All zeros.
+    Zero,
+    /// Every word holds the same 32-bit pattern.
+    Fill(u32),
+    /// Explicit words from offset 0; the remainder (if any) is zero.
+    Words(Vec<u32>),
+    /// Deterministic pseudo-random `f32` values in `[0, 1)`: word `i` is
+    /// `pattern_word(seed, i)` (a SplitMix64 hash of the seed and index,
+    /// mapped to a float). The sequence is part of the wire contract.
+    Pattern {
+        /// Stream selector; equal seeds give equal contents.
+        seed: u32,
+    },
+}
+
+/// The deterministic [`MemInit::Pattern`] generator: word `i` of a
+/// region seeded with `seed` (an `f32` in `[0, 1)`, returned as its bit
+/// pattern). Exposed so clients can precompute expected inputs.
+pub fn pattern_word(seed: u32, i: u64) -> u32 {
+    // SplitMix64 over (seed, index); top 24 bits → f32 fraction.
+    let mut z = (u64::from(seed) << 32)
+        ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (((z >> 40) as f32) / (1u64 << 24) as f32).to_bits()
+}
+
+impl CustomKernel {
+    /// Check every size ceiling and cross-reference *without* parsing the
+    /// assembly or allocating memory — a hostile request is rejected
+    /// before it costs anything.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidRequest`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        let bad = |msg: String| Err(ServiceError::InvalidRequest(msg));
+        if self.asm.is_empty() {
+            return bad("custom kernel has no assembly text".into());
+        }
+        if self.asm.len() > MAX_CUSTOM_ASM_BYTES {
+            return bad(format!(
+                "assembly text of {} bytes exceeds the {MAX_CUSTOM_ASM_BYTES}-byte limit",
+                self.asm.len()
+            ));
+        }
+        // Grid/block products in u64: the u32 fields must not overflow
+        // the LaunchConfig arithmetic downstream.
+        let blocks = u64::from(self.launch.grid.0) * u64::from(self.launch.grid.1);
+        let threads = u64::from(self.launch.block.0) * u64::from(self.launch.block.1);
+        if blocks == 0 || threads == 0 {
+            return bad("empty launch".into());
+        }
+        if blocks > MAX_CUSTOM_BLOCKS {
+            return bad(format!(
+                "launch of {blocks} blocks exceeds the {MAX_CUSTOM_BLOCKS}-block limit"
+            ));
+        }
+        if threads > 512 {
+            return bad(format!(
+                "block of {threads} threads exceeds the 512-thread limit"
+            ));
+        }
+        if self.params.len() > MAX_CUSTOM_PARAMS {
+            return bad(format!(
+                "{} parameter words exceed the {MAX_CUSTOM_PARAMS}-word limit",
+                self.params.len()
+            ));
+        }
+        if self.memory.len() > MAX_CUSTOM_REGIONS {
+            return bad(format!(
+                "{} memory regions exceed the {MAX_CUSTOM_REGIONS}-region limit",
+                self.memory.len()
+            ));
+        }
+        let mut total = 0u64;
+        let mut readback = 0u64;
+        for (i, region) in self.memory.iter().enumerate() {
+            if region.name.is_empty() {
+                return bad(format!("memory region {i} has an empty name"));
+            }
+            if self.memory[..i].iter().any(|r| r.name == region.name) {
+                return bad(format!("duplicate memory region `{}`", region.name));
+            }
+            if region.len == 0 || region.len % 4 != 0 {
+                return bad(format!(
+                    "region `{}` length {} must be a positive multiple of 4",
+                    region.name, region.len
+                ));
+            }
+            // Account the alignment padding too, so `total` bounds the
+            // arena extent (and thus every base address) exactly.
+            total = total.div_ceil(CUSTOM_REGION_ALIGN) * CUSTOM_REGION_ALIGN + region.len;
+            if total > MAX_CUSTOM_MEMORY_BYTES {
+                return bad(format!(
+                    "memory image exceeds the {MAX_CUSTOM_MEMORY_BYTES}-byte limit at region `{}`",
+                    region.name
+                ));
+            }
+            if let MemInit::Words(words) = &region.init {
+                if words.len() as u64 * 4 > region.len {
+                    return bad(format!(
+                        "region `{}` initializer has {} words but the region holds {}",
+                        region.name,
+                        words.len(),
+                        region.len / 4
+                    ));
+                }
+            }
+            if region.readback {
+                readback += region.len;
+                if readback > MAX_CUSTOM_READBACK_BYTES {
+                    return bad(format!(
+                        "readback regions exceed the {MAX_CUSTOM_READBACK_BYTES}-byte limit"
+                    ));
+                }
+            }
+        }
+        for p in &self.params {
+            if let ParamValue::RegionBase(name) = p {
+                if !self.memory.iter().any(|r| r.name == *name) {
+                    return bad(format!("parameter names unknown region `{name}`"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse, validate, and materialize the kernel into an executable
+    /// [`CaseStudy`]: assemble the instruction stream, allocate and
+    /// initialize the memory image, and resolve region-relative
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidRequest`] for ceiling violations, assembly
+    /// errors (with their source line), structurally invalid kernels, or
+    /// launch/resource mismatches.
+    pub fn build(&self) -> Result<CaseStudy, ServiceError> {
+        self.validate()?;
+        let bad = |msg: String| Err(ServiceError::InvalidRequest(msg));
+        let kernel = gpa_isa::asm::parse_kernel(&self.asm)
+            .map_err(|e| ServiceError::InvalidRequest(format!("assembly: {e}")))?;
+        if kernel.len() > MAX_CUSTOM_INSTRS {
+            return bad(format!(
+                "kernel has {} instructions, over the {MAX_CUSTOM_INSTRS}-instruction limit",
+                kernel.len()
+            ));
+        }
+        kernel
+            .validate()
+            .map_err(|e| ServiceError::InvalidRequest(format!("kernel: {e}")))?;
+        if kernel.resources.threads_per_block != self.launch.threads_per_block() {
+            return bad(format!(
+                "kernel declares .threads {} but the launch block has {} threads",
+                kernel.resources.threads_per_block,
+                self.launch.threads_per_block()
+            ));
+        }
+        if self.params.len() * 4 < kernel.param_bytes as usize {
+            return bad(format!(
+                "kernel declares a {}-byte parameter block but the request provides {} words",
+                kernel.param_bytes,
+                self.params.len()
+            ));
+        }
+
+        let mut gmem = GlobalMemory::new();
+        let mut regions = Vec::with_capacity(self.memory.len());
+        for spec in &self.memory {
+            let base = gmem.alloc(spec.len, CUSTOM_REGION_ALIGN);
+            let words = spec.len / 4;
+            match &spec.init {
+                MemInit::Zero => {}
+                MemInit::Fill(word) => {
+                    for i in 0..words {
+                        gmem.write_u32(base + i * 4, *word).expect("in allocation");
+                    }
+                }
+                MemInit::Words(values) => {
+                    for (i, w) in values.iter().enumerate() {
+                        gmem.write_u32(base + i as u64 * 4, *w)
+                            .expect("in allocation");
+                    }
+                }
+                MemInit::Pattern { seed } => {
+                    for i in 0..words {
+                        gmem.write_u32(base + i * 4, pattern_word(*seed, i))
+                            .expect("in allocation");
+                    }
+                }
+            }
+            regions.push(if spec.texture {
+                Region::texture(spec.name.clone(), base, spec.len)
+            } else {
+                Region::new(spec.name.clone(), base, spec.len)
+            });
+        }
+        let params: Vec<u32> = self
+            .params
+            .iter()
+            .map(|p| match p {
+                ParamValue::Word(w) => *w,
+                ParamValue::RegionBase(name) => {
+                    let region = regions
+                        .iter()
+                        .find(|r| r.name == *name)
+                        .expect("validated: parameter region exists");
+                    // The memory ceiling keeps the arena under 4 GiB, so
+                    // the 32-bit device pointer is exact.
+                    region.base as u32
+                }
+            })
+            .collect();
+        Ok(CaseStudy::adhoc(
+            kernel,
+            self.launch,
+            params,
+            gmem,
+            regions,
+            TraceMode::Homogeneous,
+        ))
+    }
+
+    /// Post-run contents of every `readback` region, in declaration
+    /// order (`study` must be the product of [`CustomKernel::build`]).
+    fn collect_readback(&self, study: &CaseStudy) -> Vec<RegionReadback> {
+        self.memory
+            .iter()
+            .filter(|spec| spec.readback)
+            .map(|spec| {
+                let region = study
+                    .regions
+                    .iter()
+                    .find(|r| r.name == spec.name)
+                    .expect("built study holds every declared region");
+                let words = study
+                    .gmem
+                    .read_u32s(region.base, (region.len / 4) as usize)
+                    .expect("region lies in the allocated image");
+                RegionReadback {
+                    name: spec.name.clone(),
+                    words,
+                }
+            })
+            .collect()
+    }
+}
 
 impl KernelSpec {
     /// Check the size constraints the case constructors require.
@@ -177,6 +529,7 @@ impl KernelSpec {
     pub fn validate(&self) -> Result<(), ServiceError> {
         let bad = |msg: String| Err(ServiceError::InvalidRequest(msg));
         match *self {
+            KernelSpec::Custom(ref custom) => custom.validate(),
             KernelSpec::Matmul { n, tile } => {
                 if !matmul::TILES.contains(&tile) {
                     return bad(format!("matmul tile {tile} not in {:?}", matmul::TILES));
@@ -234,6 +587,7 @@ impl KernelSpec {
     pub fn build(&self) -> Result<CaseStudy, ServiceError> {
         self.validate()?;
         Ok(match *self {
+            KernelSpec::Custom(ref custom) => return custom.build(),
             KernelSpec::Matmul { n, tile } => matmul::case(n, tile),
             KernelSpec::Tridiag { n, nsys, padded } => tridiag::case(n, nsys, padded),
             KernelSpec::Spmv {
@@ -384,6 +738,17 @@ pub struct RegionTraffic {
     pub requested_bytes: u64,
 }
 
+/// Post-run contents of one `readback` memory region (custom kernels
+/// only): how side effects stay observable when the service, not the
+/// caller, owns device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionReadback {
+    /// Region name from the request.
+    pub name: String,
+    /// The region's final contents as little-endian 32-bit words.
+    pub words: Vec<u32>,
+}
+
 /// The service's answer to one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisReport {
@@ -398,12 +763,18 @@ pub struct AnalysisReport {
     pub measured_seconds: f64,
     /// The measurement in shader-clock cycles.
     pub measured_cycles: f64,
-    /// Floating-point operations of the workload (`0` = not meaningful).
+    /// Floating-point operations of the workload: the case study's
+    /// declared algorithmic count (e.g. matmul's 2n³) when one exists,
+    /// otherwise the functional simulator's lane-level dynamic count —
+    /// never a silently hardcoded zero.
     pub flops: u64,
     /// Per-region global traffic attribution, in region order.
     pub regions: Vec<RegionTraffic>,
     /// Advisor estimates, in request order.
     pub what_ifs: Vec<WhatIf>,
+    /// Readback of the custom-kernel regions that requested it, in
+    /// declaration order (empty otherwise).
+    pub outputs: Vec<RegionReadback>,
     /// CPU-reference verification outcome: `Some(true)` when requested
     /// and passed, `None` when not requested. (A failed check surfaces
     /// as [`ServiceError::VerificationFailed`] instead of a report.)
@@ -638,38 +1009,74 @@ impl Analyzer {
             .expect("selected machine is registered"))
     }
 
-    /// Answer one request.
+    /// Answer one request. Every [`KernelSpec`] — the three case studies
+    /// *and* [`KernelSpec::Custom`] — flows through the same prepared
+    /// [`CaseStudy`] path, so a wire request and an in-process call are
+    /// bit-identical.
     ///
     /// # Errors
     ///
-    /// Any [`ServiceError`]: unknown machine, invalid sizes, simulation
-    /// or extraction failure, or a failed verification.
+    /// Any [`ServiceError`]: unknown machine, invalid sizes or custom
+    /// encodings, simulation or extraction failure, or a failed
+    /// verification.
     pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReport, ServiceError> {
         let entry = self.lookup(&req.machine)?;
         let mut study = req.kernel.build()?;
-        if let Some(mode) = req.options.mode {
+        let mut report = self.analyze_prepared(entry, &mut study, &req.options)?;
+        if let KernelSpec::Custom(custom) = &req.kernel {
+            report.outputs = custom.collect_readback(&study);
+        }
+        Ok(report)
+    }
+
+    /// The unified execution path: run one prepared study and assemble
+    /// the report. `study.mode` may be overridden by the options; the
+    /// study's memory image holds the side effects afterwards.
+    fn analyze_prepared(
+        &self,
+        entry: &Calibrated,
+        study: &mut CaseStudy,
+        options: &AnalysisOptions,
+    ) -> Result<AnalysisReport, ServiceError> {
+        if options.verify && !study.has_verifier() {
+            // No CPU-reference oracle exists for this kernel; refuse
+            // rather than silently returning `verified: None` to a
+            // caller who asked for a check.
+            return Err(ServiceError::InvalidRequest(
+                "verify is only available for case-study requests (this kernel has no \
+                 reference oracle); request region readback instead"
+                    .into(),
+            ));
+        }
+        if let Some(mode) = options.mode {
             study.mode = mode;
         }
         let mut model = Model::with_curves(&entry.machine, &entry.curves);
         let run = run_study(
             &entry.machine,
             &mut model,
-            &mut study,
-            req.options.threads,
-            req.options.fuel,
+            study,
+            options.threads,
+            options.fuel,
         )?;
-        let verified = if req.options.verify {
+        let verified = if options.verify {
             study.check().map_err(ServiceError::VerificationFailed)?;
             Some(true)
         } else {
             None
         };
-        let what_ifs = req
-            .options
+        let what_ifs = options
             .what_ifs
             .iter()
             .map(|w| w.eval(&mut model, &run.input))
             .collect();
+        // Honest flop accounting: a case study's declared algorithmic
+        // count when present, the simulator's lane-level count otherwise.
+        let flops = if study.flops != 0 {
+            study.flops
+        } else {
+            run.input.stats.total().flops
+        };
         Ok(AnalysisReport {
             kernel: run.input.kernel_name.clone(),
             machine: entry.machine.name.clone(),
@@ -677,17 +1084,24 @@ impl Analyzer {
             analysis: run.analysis,
             measured_seconds: run.timing.seconds,
             measured_cycles: run.timing.cycles,
-            flops: study.flops,
+            flops,
             what_ifs,
+            outputs: Vec::new(),
             verified,
         })
     }
 
-    /// Answer one ad-hoc kernel (anything `KernelBuilder` can produce)
-    /// against a calibrated profile — the in-process path for kernels
-    /// the JSON wire cannot name. The caller owns the device memory;
-    /// side effects land in `gmem` exactly as under
-    /// [`gpa_apps::workflow::run_case`].
+    /// Answer one ad-hoc kernel against a calibrated profile, with
+    /// caller-owned device memory.
+    ///
+    /// **Deprecated-style shim**: this predates the portable kernel
+    /// encoding and survives for in-process callers that already hold a
+    /// [`Kernel`] and a prepared [`GlobalMemory`]. New code should
+    /// submit [`KernelSpec::Custom`] through [`Analyzer::analyze`]
+    /// instead — it takes the same unified path this shim now delegates
+    /// to, works over the wire, and reports become portable (side
+    /// effects via [`AnalysisReport::outputs`] rather than `&mut`
+    /// memory). Side effects still land in `gmem` exactly as before.
     ///
     /// # Errors
     ///
@@ -706,49 +1120,20 @@ impl Analyzer {
         regions: &[Region],
         options: &AnalysisOptions,
     ) -> Result<AnalysisReport, ServiceError> {
-        if options.verify {
-            // No CPU-reference oracle exists for ad-hoc kernels; refuse
-            // rather than silently returning `verified: None` to a
-            // caller who asked for a check.
-            return Err(ServiceError::InvalidRequest(
-                "verify is only available for case-study requests (ad-hoc kernels have no \
-                 reference oracle); check side effects in `gmem` instead"
-                    .into(),
-            ));
-        }
         let entry = self.lookup(selector)?;
-        let mut model = Model::with_curves(&entry.machine, &entry.curves);
-        let opts = gpa_apps::CaseOpts {
-            mode: options.mode.unwrap_or(TraceMode::Homogeneous),
-            threads: options.threads,
-            fuel: options.fuel,
-        };
-        let run = gpa_apps::workflow::run_case(
-            &entry.machine,
-            &mut model,
-            kernel,
+        let mut study = CaseStudy::adhoc(
+            kernel.clone(),
             launch,
-            params,
-            gmem,
-            regions,
-            opts,
-        )?;
-        let what_ifs = options
-            .what_ifs
-            .iter()
-            .map(|w| w.eval(&mut model, &run.input))
-            .collect();
-        Ok(AnalysisReport {
-            kernel: run.input.kernel_name.clone(),
-            machine: entry.machine.name.clone(),
-            regions: region_traffic(&run.input),
-            analysis: run.analysis,
-            measured_seconds: run.timing.seconds,
-            measured_cycles: run.timing.cycles,
-            flops: 0,
-            what_ifs,
-            verified: None,
-        })
+            params.to_vec(),
+            std::mem::take(gmem),
+            regions.to_vec(),
+            options.mode.unwrap_or(TraceMode::Homogeneous),
+        );
+        let result = self.analyze_prepared(entry, &mut study, options);
+        // Hand the (possibly mutated) image back so callers observe side
+        // effects exactly as under the pre-shim implementation.
+        *gmem = study.gmem;
+        result
     }
 
     /// Answer a batch, sharding the independent requests across one

@@ -6,8 +6,19 @@
 //! Numbers ride `gpa_json`'s shortest-round-trip `f64` formatting, so a
 //! serialize → parse → serialize cycle is **bit-exact** for every finite
 //! field (integral counters stay below 2⁵³ by construction). Optional
-//! fields (`options.mode`, `options.fuel`, `verified`) are omitted when
-//! absent; every other field is always written.
+//! fields (`options.mode`, `options.fuel`, `verified`, report
+//! `outputs`, and the custom-kernel `texture`/`readback` flags) are
+//! omitted when absent; every other field is always written.
+//!
+//! Besides the three case-study selectors, `"case": "custom"` carries
+//! the portable kernel encoding ([`crate::CustomKernel`]): the
+//! `gpa_isa::asm` text, a launch shape, parameter words (literal or
+//! `{"region": "name"}` base addresses), and a declarative memory image
+//! whose initializer kinds are `zero`, `fill`, `words`, and `pattern`.
+//! Requests are bounded by the `MAX_CUSTOM_*` ceilings exactly as
+//! case-study sizes are bounded by [`crate::MAX_TRIDIAG_NSYS`] — an
+//! oversized or malformed custom request is a clean error, never a
+//! panic or an OOM.
 //!
 //! ```
 //! use gpa_service::{AnalysisRequest, KernelSpec};
@@ -18,14 +29,14 @@
 //! ```
 
 use crate::{
-    AnalysisOptions, AnalysisReport, AnalysisRequest, Effort, KernelSpec, RegionTraffic,
-    ServiceError, WhatIfSpec,
+    AnalysisOptions, AnalysisReport, AnalysisRequest, CustomKernel, Effort, KernelSpec, MemInit,
+    MemRegionSpec, ParamValue, RegionReadback, RegionTraffic, ServiceError, WhatIfSpec,
 };
 use gpa_apps::spmv::Format;
 use gpa_apps::workflow::TraceMode;
 use gpa_core::{Analysis, Cause, Component, ComponentTimes, StageAnalysis, WhatIf};
 use gpa_json::Value;
-use gpa_sim::Threads;
+use gpa_sim::{LaunchConfig, Threads};
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -154,6 +165,175 @@ fn what_if_spec_from_value(v: &Value) -> Result<WhatIfSpec, ServiceError> {
     }
 }
 
+// ---- custom kernels ----
+
+fn launch_to_value(l: LaunchConfig) -> Value {
+    obj(vec![
+        (
+            "grid",
+            Value::Array(vec![Value::from(l.grid.0), Value::from(l.grid.1)]),
+        ),
+        (
+            "block",
+            Value::Array(vec![Value::from(l.block.0), Value::from(l.block.1)]),
+        ),
+    ])
+}
+
+/// A launch dimension pair: `[x, y]`, `[x]`, or a bare `x` (1-D).
+fn dim2_from_value(v: &Value, what: &str) -> Result<(u32, u32), ServiceError> {
+    match v {
+        Value::Number(_) => Ok((v.as_u32()?, 1)),
+        Value::Array(_) => match v.as_array()? {
+            [x] => Ok((x.as_u32()?, 1)),
+            [x, y] => Ok((x.as_u32()?, y.as_u32()?)),
+            dims => Err(wire_err(format!(
+                "{what} has {} dimensions; launches are at most 2-D",
+                dims.len()
+            ))),
+        },
+        _ => Err(wire_err(format!("{what} must be a number or an array"))),
+    }
+}
+
+fn launch_from_value(v: &Value) -> Result<LaunchConfig, ServiceError> {
+    Ok(LaunchConfig {
+        grid: dim2_from_value(v.get("grid")?, "grid")?,
+        block: dim2_from_value(v.get("block")?, "block")?,
+    })
+}
+
+fn param_to_value(p: &ParamValue) -> Value {
+    match p {
+        ParamValue::Word(w) => Value::from(*w),
+        ParamValue::RegionBase(name) => obj(vec![("region", Value::from(name.as_str()))]),
+    }
+}
+
+fn param_from_value(v: &Value) -> Result<ParamValue, ServiceError> {
+    match v {
+        Value::Number(_) => Ok(ParamValue::Word(v.as_u32()?)),
+        Value::Object(_) => Ok(ParamValue::RegionBase(
+            v.get("region")?.as_str()?.to_owned(),
+        )),
+        _ => Err(wire_err(
+            "parameter must be a 32-bit word or {\"region\": \"name\"}",
+        )),
+    }
+}
+
+fn mem_init_to_value(init: &MemInit) -> Value {
+    match init {
+        MemInit::Zero => obj(vec![("kind", Value::from("zero"))]),
+        MemInit::Fill(word) => obj(vec![
+            ("kind", Value::from("fill")),
+            ("word", Value::from(*word)),
+        ]),
+        MemInit::Words(words) => obj(vec![
+            ("kind", Value::from("words")),
+            (
+                "words",
+                Value::Array(words.iter().map(|w| Value::from(*w)).collect()),
+            ),
+        ]),
+        MemInit::Pattern { seed } => obj(vec![
+            ("kind", Value::from("pattern")),
+            ("seed", Value::from(*seed)),
+        ]),
+    }
+}
+
+fn mem_init_from_value(v: &Value) -> Result<MemInit, ServiceError> {
+    match v.get("kind")?.as_str()? {
+        "zero" => Ok(MemInit::Zero),
+        "fill" => Ok(MemInit::Fill(v.get("word")?.as_u32()?)),
+        "words" => Ok(MemInit::Words(
+            v.get("words")?
+                .as_array()?
+                .iter()
+                .map(gpa_json::Value::as_u32)
+                .collect::<Result<_, _>>()?,
+        )),
+        "pattern" => Ok(MemInit::Pattern {
+            seed: v.get("seed")?.as_u32()?,
+        }),
+        other => Err(wire_err(format!("unknown initializer kind `{other}`"))),
+    }
+}
+
+fn mem_region_to_value(r: &MemRegionSpec) -> Value {
+    let mut fields = vec![
+        ("name", Value::from(r.name.as_str())),
+        ("len", u64_value(r.len)),
+        ("init", mem_init_to_value(&r.init)),
+    ];
+    if r.texture {
+        fields.push(("texture", Value::from(true)));
+    }
+    if r.readback {
+        fields.push(("readback", Value::from(true)));
+    }
+    obj(fields)
+}
+
+fn mem_region_from_value(v: &Value) -> Result<MemRegionSpec, ServiceError> {
+    Ok(MemRegionSpec {
+        name: v.get("name")?.as_str()?.to_owned(),
+        len: v.get("len")?.as_u64()?,
+        init: match v.get("init") {
+            Ok(init) => mem_init_from_value(init)?,
+            Err(_) => MemInit::Zero,
+        },
+        texture: match v.get("texture") {
+            Ok(b) => b.as_bool()?,
+            Err(_) => false,
+        },
+        readback: match v.get("readback") {
+            Ok(b) => b.as_bool()?,
+            Err(_) => false,
+        },
+    })
+}
+
+fn custom_to_value(c: &CustomKernel) -> Value {
+    obj(vec![
+        ("case", Value::from("custom")),
+        ("asm", Value::from(c.asm.as_str())),
+        ("launch", launch_to_value(c.launch)),
+        (
+            "params",
+            Value::Array(c.params.iter().map(param_to_value).collect()),
+        ),
+        (
+            "memory",
+            Value::Array(c.memory.iter().map(mem_region_to_value).collect()),
+        ),
+    ])
+}
+
+fn custom_from_value(v: &Value) -> Result<CustomKernel, ServiceError> {
+    Ok(CustomKernel {
+        asm: v.get("asm")?.as_str()?.to_owned(),
+        launch: launch_from_value(v.get("launch")?)?,
+        params: match v.get("params") {
+            Ok(params) => params
+                .as_array()?
+                .iter()
+                .map(param_from_value)
+                .collect::<Result<_, _>>()?,
+            Err(_) => Vec::new(),
+        },
+        memory: match v.get("memory") {
+            Ok(memory) => memory
+                .as_array()?
+                .iter()
+                .map(mem_region_from_value)
+                .collect::<Result<_, _>>()?,
+            Err(_) => Vec::new(),
+        },
+    })
+}
+
 // ---- request ----
 
 fn kernel_spec_to_value(k: &KernelSpec) -> Value {
@@ -181,6 +361,7 @@ fn kernel_spec_to_value(k: &KernelSpec) -> Value {
             ("format", format_to_value(format)),
             ("texture", Value::from(texture)),
         ]),
+        KernelSpec::Custom(ref custom) => custom_to_value(custom),
     }
 }
 
@@ -201,6 +382,7 @@ fn kernel_spec_from_value(v: &Value) -> Result<KernelSpec, ServiceError> {
             format: format_from_value(v.get("format")?)?,
             texture: v.get("texture")?.as_bool()?,
         }),
+        "custom" => Ok(KernelSpec::Custom(Box::new(custom_from_value(v)?))),
         other => Err(wire_err(format!("unknown case `{other}`"))),
     }
 }
@@ -506,6 +688,28 @@ fn what_if_to_value(w: &WhatIf) -> Value {
     ])
 }
 
+fn readback_to_value(r: &RegionReadback) -> Value {
+    obj(vec![
+        ("name", Value::from(r.name.as_str())),
+        (
+            "words",
+            Value::Array(r.words.iter().map(|w| Value::from(*w)).collect()),
+        ),
+    ])
+}
+
+fn readback_from_value(v: &Value) -> Result<RegionReadback, ServiceError> {
+    Ok(RegionReadback {
+        name: v.get("name")?.as_str()?.to_owned(),
+        words: v
+            .get("words")?
+            .as_array()?
+            .iter()
+            .map(gpa_json::Value::as_u32)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
 fn what_if_from_value(v: &Value) -> Result<WhatIf, ServiceError> {
     Ok(WhatIf {
         name: v.get("name")?.as_str()?.to_owned(),
@@ -536,6 +740,12 @@ impl AnalysisReport {
                 Value::Array(self.what_ifs.iter().map(what_if_to_value).collect()),
             ),
         ];
+        if !self.outputs.is_empty() {
+            fields.push((
+                "outputs",
+                Value::Array(self.outputs.iter().map(readback_to_value).collect()),
+            ));
+        }
         if let Some(v) = self.verified {
             fields.push(("verified", Value::from(v)));
         }
@@ -567,6 +777,14 @@ impl AnalysisReport {
                 .iter()
                 .map(what_if_from_value)
                 .collect::<Result<_, _>>()?,
+            outputs: match v.get("outputs") {
+                Ok(outputs) => outputs
+                    .as_array()?
+                    .iter()
+                    .map(readback_from_value)
+                    .collect::<Result<_, _>>()?,
+                Err(_) => Vec::new(),
+            },
             verified: match v.get("verified") {
                 Ok(b) => Some(b.as_bool()?),
                 Err(_) => None,

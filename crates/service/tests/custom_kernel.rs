@@ -1,0 +1,356 @@
+//! The portable-kernel-encoding acceptance suite.
+//!
+//! * **Property**: a random `KernelBuilder` kernel pushed through the
+//!   full wire path — `kernel_to_asm` → `KernelSpec::Custom` → JSON →
+//!   parse → `Analyzer::analyze` — answers **bit-identically** to the
+//!   in-process `analyze_kernel` shim on the same kernel, launch, and
+//!   memory (stats, analysis, traffic, flops), with the report's
+//!   `outputs` readback equal to the shim's caller-owned memory.
+//! * **Negative**: malformed assembly and memory-image specs are typed
+//!   [`ServiceError`]s in-process and clean HTTP 400s through the
+//!   server's route table — never panics.
+
+use gpa_hw::Machine;
+use gpa_isa::asm::kernel_to_asm;
+use gpa_isa::instr::{CmpOp, MemAddr, NumTy, SpecialReg, Width};
+use gpa_isa::{Kernel, KernelBuilder, Pred, Src};
+use gpa_service::{
+    AnalysisOptions, AnalysisRequest, Analyzer, CustomKernel, KernelSpec, MemInit, MemRegionSpec,
+    ParamValue, ServiceError, CUSTOM_REGION_ALIGN, MAX_CUSTOM_MEMORY_BYTES,
+    MAX_CUSTOM_READBACK_BYTES,
+};
+use gpa_sim::{GlobalMemory, LaunchConfig};
+use gpa_ubench::MeasureOpts;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn analyzer() -> &'static Analyzer {
+    static A: OnceLock<Analyzer> = OnceLock::new();
+    A.get_or_init(|| {
+        let mut a = Analyzer::new();
+        a.calibrate(Machine::gtx285(), MeasureOpts::quick());
+        a
+    })
+}
+
+/// Deterministically expand `seed` into a small varied kernel mixing
+/// integer hashing, f32 arithmetic (so the dynamic flop count is
+/// non-trivial), guarded ops, divergence, and a shared-memory round,
+/// ending in one global store per thread to `out`.
+fn random_kernel(seed: u64, threads: u32) -> Kernel {
+    let mut b = KernelBuilder::new(format!("wire_{seed:016x}"));
+    b.set_threads(threads);
+    let smem = b.smem_alloc(threads * 4, 4).unwrap() as i32;
+    let out_p = b.param_alloc();
+
+    let tid = b.alloc_reg().unwrap();
+    let cta = b.alloc_reg().unwrap();
+    let ntid = b.alloc_reg().unwrap();
+    let acc = b.alloc_reg().unwrap();
+    let tmp = b.alloc_reg().unwrap();
+    let addr = b.alloc_reg().unwrap();
+    let facc = b.alloc_reg().unwrap();
+    b.s2r(tid, SpecialReg::TidX);
+    b.s2r(cta, SpecialReg::CtaIdX);
+    b.s2r(ntid, SpecialReg::NTidX);
+    b.imad(acc, Src::Reg(cta), Src::Imm(1_664_525), Src::Reg(tid));
+    b.i2f(facc, Src::Reg(tid));
+    // One unconditional f32 op so every generated kernel has a non-zero
+    // dynamic flop count for the honesty assertion below.
+    b.fmad(facc, Src::Reg(facc), Src::Reg(facc), Src::Reg(tid));
+
+    let n_ops = 1 + (seed % 6) as usize;
+    let mut bits = seed;
+    for i in 0..n_ops {
+        bits = bits
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let k = (bits >> 33) as i32;
+        match bits % 6 {
+            0 => {
+                b.iadd(acc, Src::Reg(acc), Src::Imm(k));
+            }
+            1 => {
+                b.xor(acc, Src::Reg(acc), Src::Imm(k));
+            }
+            2 => {
+                // f32 work: facc = facc * facc + tid; keeps flops > 0.
+                b.fmad(facc, Src::Reg(facc), Src::Reg(facc), Src::Reg(tid));
+                b.rsq(facc, Src::Reg(facc));
+            }
+            3 => {
+                // Guarded update: only some lanes take it.
+                b.and(tmp, Src::Reg(tid), Src::Imm(3));
+                b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(tmp), Src::Imm(2));
+                b.set_guard(Pred(0), false);
+                b.iadd(acc, Src::Reg(acc), Src::Imm(k | 7));
+                b.clear_guard();
+            }
+            4 => {
+                // Warp divergence through the PDOM stack.
+                let skip = format!("skip{i}");
+                b.and(tmp, Src::Reg(tid), Src::Imm(1));
+                b.setp(Pred(1), CmpOp::Eq, NumTy::S32, Src::Reg(tmp), Src::Imm(0));
+                b.bra_if(Pred(1), false, skip.clone());
+                b.imad(acc, Src::Reg(acc), Src::Imm(k | 3), Src::Reg(tid));
+                b.label(skip);
+            }
+            _ => {
+                // Shared staging: smem[tid] = acc; bar; acc ^= smem[tid].
+                b.shl(addr, Src::Reg(tid), Src::Imm(2));
+                b.st_shared(MemAddr::new(Some(addr), smem), acc, Width::B32);
+                b.bar();
+                b.ld_shared(tmp, MemAddr::new(Some(addr), smem), Width::B32);
+                b.xor(acc, Src::Reg(acc), Src::Reg(tmp));
+            }
+        }
+    }
+
+    // out[cta * ntid + tid] = acc ^ (bits of facc)
+    b.f2i(tmp, Src::Reg(facc));
+    b.xor(acc, Src::Reg(acc), Src::Reg(tmp));
+    b.imad(addr, Src::Reg(cta), Src::Reg(ntid), Src::Reg(tid));
+    b.shl(addr, Src::Reg(addr), Src::Imm(2));
+    b.ld_param(tmp, out_p);
+    b.iadd(addr, Src::Reg(addr), Src::Reg(tmp));
+    b.st_global(MemAddr::new(Some(addr), 0), acc, Width::B32);
+    b.exit();
+    b.finish().expect("generated kernel is structurally valid")
+}
+
+proptest! {
+    #[test]
+    fn wire_path_equals_in_process_path(
+        seed in 0u64..u64::MAX,
+        grid in 1u32..=6,
+        threads in prop_oneof![Just(32u32), Just(64), Just(96)],
+    ) {
+        let analyzer = analyzer();
+        let kernel = random_kernel(seed, threads);
+        let launch = LaunchConfig::new_1d(grid, threads);
+        let out_len = u64::from(grid) * u64::from(threads) * 4;
+        let options = AnalysisOptions::default();
+
+        // In-process path: caller-owned memory through the shim.
+        let mut gmem = GlobalMemory::new();
+        let out = gmem.alloc(out_len, CUSTOM_REGION_ALIGN);
+        let regions = vec![gpa_apps::workflow::Region::new("out", out, out_len)];
+        let in_process = analyzer
+            .analyze_kernel("gtx285", &kernel, launch, &[out as u32], &mut gmem,
+                            &regions, &options)
+            .expect("in-process analysis");
+
+        // Wire path: the same kernel as asm + declarative memory, routed
+        // through JSON both ways.
+        let custom = CustomKernel {
+            asm: kernel_to_asm(&kernel),
+            launch,
+            params: vec![ParamValue::RegionBase("out".into())],
+            memory: vec![MemRegionSpec {
+                name: "out".into(),
+                len: out_len,
+                init: MemInit::Zero,
+                texture: false,
+                readback: true,
+            }],
+        };
+        let request = AnalysisRequest::new(KernelSpec::Custom(Box::new(custom)), "gtx285");
+        let json = request.to_json();
+        let parsed = AnalysisRequest::from_json(&json).expect("request round-trips");
+        prop_assert_eq!(&parsed, &request);
+        let wire = analyzer.analyze(&parsed).expect("wire analysis");
+
+        // The report survives its own wire format bit-exactly.
+        let report_json = wire.to_json();
+        let wire_back = gpa_service::AnalysisReport::from_json(&report_json).unwrap();
+        prop_assert_eq!(&wire_back, &wire);
+        prop_assert_eq!(wire_back.to_json(), report_json);
+
+        // Readback must equal the shim's caller-owned memory image.
+        prop_assert_eq!(wire.outputs.len(), 1);
+        prop_assert_eq!(&wire.outputs[0].name, "out");
+        let shim_words = gmem
+            .read_u32s(out, (out_len / 4) as usize)
+            .expect("out region readable");
+        prop_assert_eq!(&wire.outputs[0].words, &shim_words, "side effects diverge");
+
+        // And everything else is bit-identical between the two paths.
+        let mut wire_sans_outputs = wire.clone();
+        wire_sans_outputs.outputs.clear();
+        prop_assert_eq!(&wire_sans_outputs, &in_process, "reports diverge (seed {:#x})", seed);
+        prop_assert!(wire.flops > 0, "dynamic flop count should be honest, got 0");
+    }
+}
+
+/// A minimal valid custom kernel to mutate in the negative tests.
+fn valid_custom() -> CustomKernel {
+    CustomKernel {
+        asm: ".kernel ok\n.reg 2\n.threads 32\n.param 4\n    ld.param.b32 r0, c[0x0]\n    \
+              st.global.b32 g[r0], r1\n    exit\n"
+            .into(),
+        launch: LaunchConfig::new_1d(1, 32),
+        params: vec![ParamValue::RegionBase("out".into())],
+        memory: vec![MemRegionSpec {
+            name: "out".into(),
+            len: 128,
+            init: MemInit::Zero,
+            texture: false,
+            readback: false,
+        }],
+    }
+}
+
+fn expect_invalid(custom: CustomKernel, want: &str) {
+    match KernelSpec::Custom(Box::new(custom)).build() {
+        Err(ServiceError::InvalidRequest(msg)) => {
+            assert!(msg.contains(want), "`{msg}` does not mention `{want}`");
+        }
+        other => panic!("expected InvalidRequest mentioning `{want}`, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_custom_builds() {
+    assert!(KernelSpec::Custom(Box::new(valid_custom())).build().is_ok());
+}
+
+#[test]
+fn malformed_custom_kernels_are_typed_errors_not_panics() {
+    // Unknown mnemonic in the assembly.
+    let mut c = valid_custom();
+    c.asm = ".kernel x\n.threads 32\n    frobnicate r0\n    exit\n".into();
+    c.params.clear();
+    expect_invalid(c, "frobnicate");
+
+    // Branch-target overflow (would silently wrap before the hardening).
+    let mut c = valid_custom();
+    c.asm = ".kernel x\n.threads 32\n    bra 4294967296\n    exit\n".into();
+    c.params.clear();
+    expect_invalid(c, "out of range");
+
+    // Label out of range (structural validation).
+    let mut c = valid_custom();
+    c.asm = ".kernel x\n.threads 32\n    bra 99\n    exit\n".into();
+    c.params.clear();
+    expect_invalid(c, "out of range");
+
+    // Register beyond the declared count is caught by the simulator's
+    // structural checks; register beyond the file is an asm error.
+    let mut c = valid_custom();
+    c.asm = ".kernel x\n.threads 32\n    mov.b32 r500, r0\n    exit\n".into();
+    c.params.clear();
+    expect_invalid(c, "register");
+
+    // Parameter load past the declared block.
+    let mut c = valid_custom();
+    c.asm = ".kernel x\n.threads 32\n.param 4\n    ld.param.b32 r0, c[0x8]\n    exit\n".into();
+    expect_invalid(c, "param");
+
+    // Launch/threads mismatch.
+    let mut c = valid_custom();
+    c.launch = LaunchConfig::new_1d(1, 64);
+    expect_invalid(c, ".threads 32");
+
+    // Missing parameter words for the declared block.
+    let mut c = valid_custom();
+    c.params.clear();
+    expect_invalid(c, "parameter block");
+
+    // Unknown region named by a parameter.
+    let mut c = valid_custom();
+    c.params = vec![ParamValue::RegionBase("nope".into())];
+    expect_invalid(c, "unknown region");
+
+    // Duplicate region names.
+    let mut c = valid_custom();
+    c.memory.push(c.memory[0].clone());
+    expect_invalid(c, "duplicate");
+
+    // Region length not a word multiple.
+    let mut c = valid_custom();
+    c.memory[0].len = 127;
+    expect_invalid(c, "multiple of 4");
+
+    // Oversized memory image.
+    let mut c = valid_custom();
+    c.memory[0].len = MAX_CUSTOM_MEMORY_BYTES + 4;
+    expect_invalid(c, "limit");
+
+    // Oversized readback.
+    let mut c = valid_custom();
+    c.memory[0].len = MAX_CUSTOM_READBACK_BYTES + CUSTOM_REGION_ALIGN;
+    c.memory[0].readback = true;
+    expect_invalid(c, "readback");
+
+    // Words initializer longer than the region.
+    let mut c = valid_custom();
+    c.memory[0].init = MemInit::Words(vec![0; 33]);
+    c.memory[0].len = 128;
+    expect_invalid(c, "initializer");
+
+    // Empty and absurd launches.
+    let mut c = valid_custom();
+    c.launch = LaunchConfig::new_2d((0, 1), (32, 1));
+    expect_invalid(c, "empty launch");
+    let mut c = valid_custom();
+    c.launch = LaunchConfig::new_2d((1 << 16, 1 << 16), (32, 1));
+    expect_invalid(c, "block");
+
+    // Oversized assembly text.
+    let mut c = valid_custom();
+    c.asm = "// pad\n".repeat(40_000);
+    expect_invalid(c, "byte limit");
+}
+
+#[test]
+fn verify_on_a_custom_kernel_is_refused() {
+    let analyzer = analyzer();
+    let mut request = AnalysisRequest::new(KernelSpec::Custom(Box::new(valid_custom())), "gtx285");
+    request.options.verify = true;
+    match analyzer.analyze(&request) {
+        Err(ServiceError::InvalidRequest(msg)) => {
+            assert!(msg.contains("no"), "{msg}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+}
+
+#[test]
+fn wire_level_custom_garbage_is_a_wire_error() {
+    for (body, want) in [
+        (
+            // A custom case with a non-numeric launch dimension.
+            r#"{"kernel": {"case": "custom", "asm": "exit",
+                "launch": {"grid": true, "block": 32}}, "machine": "x"}"#,
+            "grid",
+        ),
+        (
+            // Unknown initializer kind.
+            r#"{"kernel": {"case": "custom", "asm": "exit",
+                "launch": {"grid": 1, "block": 32},
+                "memory": [{"name": "m", "len": 64, "init": {"kind": "entropy"}}]},
+                "machine": "x"}"#,
+            "entropy",
+        ),
+        (
+            // 3-D launches do not exist here.
+            r#"{"kernel": {"case": "custom", "asm": "exit",
+                "launch": {"grid": [1, 1, 1], "block": 32}}, "machine": "x"}"#,
+            "dimensions",
+        ),
+        (
+            // A parameter that is neither a word nor a region reference.
+            r#"{"kernel": {"case": "custom", "asm": "exit",
+                "launch": {"grid": 1, "block": 32}, "params": ["zap"]},
+                "machine": "x"}"#,
+            "parameter",
+        ),
+    ] {
+        match AnalysisRequest::from_json(body) {
+            Err(ServiceError::Wire(msg)) => {
+                assert!(msg.contains(want), "`{msg}` does not mention `{want}`");
+            }
+            other => panic!("expected Wire error mentioning `{want}`, got {other:?}"),
+        }
+    }
+}

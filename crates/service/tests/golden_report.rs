@@ -1,7 +1,8 @@
-//! Golden-file test: the wire representation of one fixed matmul report
-//! is stable byte for byte (quick-effort calibration and the simulators
-//! are fully deterministic, so any drift here is a real wire or model
-//! change). Regenerate with `GPA_BLESS=1 cargo test -p gpa-service
+//! Golden-file tests: the wire representations of one fixed matmul
+//! report and one fixed custom-kernel report are stable byte for byte
+//! (quick-effort calibration and the simulators are fully
+//! deterministic, so any drift here is a real wire or model change).
+//! Regenerate with `GPA_BLESS=1 cargo test -p gpa-service
 //! --test golden_report`.
 
 use gpa_hw::Machine;
@@ -12,6 +13,14 @@ use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/matmul_report.json")
+}
+
+fn custom_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/custom_report.json")
+}
+
+fn sample_custom_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data/sample_custom_kernel.json")
 }
 
 fn golden_request() -> AnalysisRequest {
@@ -52,6 +61,51 @@ fn matmul_report_matches_golden_file() {
     );
 
     // And the golden file itself parses back to the same report.
+    let parsed = gpa_service::AnalysisReport::from_json(&golden).unwrap();
+    assert_eq!(parsed, report);
+}
+
+/// The checked-in custom-kernel sample (the saxpy CI smokes) against its
+/// golden report: pins the portable kernel encoding end to end —
+/// assembly parsing, the deterministic memory-image initializers, the
+/// dynamic flop count, and the readback block.
+#[test]
+fn custom_report_matches_golden_file() {
+    let request_json =
+        std::fs::read_to_string(sample_custom_path()).expect("sample_custom_kernel.json");
+    let mut request = AnalysisRequest::from_json(&request_json).expect("sample parses");
+    assert!(
+        matches!(request.kernel, KernelSpec::Custom(_)),
+        "sample must exercise the custom encoding"
+    );
+    request.options.threads = Threads::sequential();
+
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
+    let report = analyzer.analyze(&request).unwrap();
+    assert!(report.flops > 0, "custom kernels report honest flops");
+    assert!(!report.outputs.is_empty(), "sample requests readback");
+    let json = report.to_json();
+
+    let path = custom_golden_path();
+    if std::env::var_os("GPA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with GPA_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json,
+        golden,
+        "report drifted from {}; if intended, regenerate with GPA_BLESS=1",
+        path.display()
+    );
+
     let parsed = gpa_service::AnalysisReport::from_json(&golden).unwrap();
     assert_eq!(parsed, report);
 }

@@ -7,9 +7,10 @@ use gpa_apps::spmv::Format;
 use gpa_apps::TraceMode;
 use gpa_core::{Analysis, Cause, Component, ComponentTimes, StageAnalysis, WhatIf};
 use gpa_service::{
-    AnalysisOptions, AnalysisReport, AnalysisRequest, Effort, KernelSpec, RegionTraffic, WhatIfSpec,
+    AnalysisOptions, AnalysisReport, AnalysisRequest, CustomKernel, Effort, KernelSpec, MemInit,
+    MemRegionSpec, ParamValue, RegionReadback, RegionTraffic, WhatIfSpec,
 };
-use gpa_sim::Threads;
+use gpa_sim::{LaunchConfig, Threads};
 use proptest::prelude::*;
 use proptest::{collection, option};
 
@@ -172,6 +173,11 @@ fn region() -> impl Strategy<Value = RegionTraffic> {
     )
 }
 
+fn readback() -> impl Strategy<Value = RegionReadback> {
+    (string(), collection::vec(any::<u32>(), 0..8))
+        .prop_map(|(name, words)| RegionReadback { name, words })
+}
+
 fn report() -> impl Strategy<Value = AnalysisReport> {
     (
         (string(), string()),
@@ -179,7 +185,7 @@ fn report() -> impl Strategy<Value = AnalysisReport> {
         (finite_f64(), finite_f64(), 0u64..(1 << 53)),
         collection::vec(region(), 0..4),
         collection::vec(what_if(), 0..3),
-        option::of(any::<bool>()),
+        (collection::vec(readback(), 0..3), option::of(any::<bool>())),
     )
         .prop_map(
             |(
@@ -188,7 +194,7 @@ fn report() -> impl Strategy<Value = AnalysisReport> {
                 (measured_seconds, measured_cycles, flops),
                 regions,
                 what_ifs,
-                verified,
+                (outputs, verified),
             )| AnalysisReport {
                 kernel,
                 machine,
@@ -198,9 +204,58 @@ fn report() -> impl Strategy<Value = AnalysisReport> {
                 flops,
                 regions,
                 what_ifs,
+                outputs,
                 verified,
             },
         )
+}
+
+fn mem_init() -> impl Strategy<Value = MemInit> {
+    prop_oneof![
+        Just(MemInit::Zero),
+        any::<u32>().prop_map(MemInit::Fill),
+        collection::vec(any::<u32>(), 0..6).prop_map(MemInit::Words),
+        any::<u32>().prop_map(|seed| MemInit::Pattern { seed }),
+    ]
+}
+
+fn mem_region() -> impl Strategy<Value = MemRegionSpec> {
+    (
+        string(),
+        (1u64..64).prop_map(|w| w * 4),
+        mem_init(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, len, init, texture, readback)| MemRegionSpec {
+            name,
+            len,
+            init,
+            texture,
+            readback,
+        })
+}
+
+fn param() -> impl Strategy<Value = ParamValue> {
+    prop_oneof![
+        any::<u32>().prop_map(ParamValue::Word),
+        string().prop_map(ParamValue::RegionBase),
+    ]
+}
+
+fn custom_kernel() -> impl Strategy<Value = CustomKernel> {
+    (
+        string(),
+        (1u32..9, 1u32..3, 1u32..129, 1u32..3),
+        collection::vec(param(), 0..4),
+        collection::vec(mem_region(), 0..3),
+    )
+        .prop_map(|(asm, (gx, gy, bx, by), params, memory)| CustomKernel {
+            asm,
+            launch: LaunchConfig::new_2d((gx, gy), (bx, by)),
+            params,
+            memory,
+        })
 }
 
 fn kernel_spec() -> impl Strategy<Value = KernelSpec> {
@@ -220,6 +275,9 @@ fn kernel_spec() -> impl Strategy<Value = KernelSpec> {
             format: [Format::Ell, Format::BellIm, Format::BellImIv][f as usize],
             texture,
         }),
+        // The wire layer round-trips *any* custom payload, valid or not
+        // (validation is the service's job, not the codec's).
+        custom_kernel().prop_map(|c| KernelSpec::Custom(Box::new(c))),
     ]
 }
 
