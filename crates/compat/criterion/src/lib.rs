@@ -16,8 +16,60 @@
 //! count (including explicit `sample_size` configuration) — CI uses
 //! `GPA_BENCH_SAMPLES=1` as a smoke mode that proves the bench paths
 //! compile and run without paying for stable medians.
+//!
+//! Setting `GPA_BENCH_JSON=<path>` additionally writes every result to
+//! `<path>` as a JSON object mapping benchmark id to
+//! `{"median_ns": …, "samples": …}`. The file is rewritten after each
+//! benchmark completes, so an interrupted run still leaves valid JSON
+//! covering everything that finished. This is how tracked `BENCH_*.json`
+//! files are produced and how CI checks that the benchmark set matches
+//! the tracked one.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results recorded so far in this process, in completion order —
+/// rewritten to `GPA_BENCH_JSON` wholesale after every benchmark.
+static RESULTS: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escaping (benchmark ids are plain ASCII, but a
+/// stray quote or backslash must not corrupt the file).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append one result and rewrite `GPA_BENCH_JSON`, if configured.
+fn record_json(id: &str, median_ns: u128, samples: usize) {
+    let Ok(path) = std::env::var("GPA_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut results = RESULTS.lock().unwrap();
+    results.push((id.to_owned(), median_ns, samples));
+    let mut out = String::from("{\n");
+    for (i, (id, ns, n)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  \"{}\": {{\"median_ns\": {ns}, \"samples\": {n}}}{comma}\n",
+            escape(id)
+        ));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write GPA_BENCH_JSON={path}: {e}");
+    }
+}
 
 /// Opaque value barrier; defers to [`std::hint::black_box`].
 pub fn black_box<T>(x: T) -> T {
@@ -120,6 +172,7 @@ impl Criterion {
         let mut b = Bencher::new(samples);
         f(&mut b);
         let ns = b.median_ns();
+        record_json(id, ns, samples);
         let (value, unit) = if ns >= 1_000_000_000 {
             (ns as f64 / 1e9, "s")
         } else if ns >= 1_000_000 {
@@ -182,5 +235,23 @@ mod tests {
     #[test]
     fn group_runs() {
         smoke();
+    }
+
+    #[test]
+    fn json_emission_writes_every_result() {
+        let path = std::env::temp_dir().join(format!("gpa-bench-json-{}.json", std::process::id()));
+        std::env::set_var("GPA_BENCH_JSON", &path);
+        let mut c = Criterion::default().sample_size(1);
+        c.bench_function("shim/alpha", |b| b.iter(|| 1 + 1));
+        c.bench_function("shim/\"beta\"", |b| b.iter(|| 2 + 2));
+        std::env::remove_var("GPA_BENCH_JSON");
+
+        let text = std::fs::read_to_string(&path).expect("results file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.trim_start().starts_with('{'), "{text}");
+        assert!(text.trim_end().ends_with('}'), "{text}");
+        assert!(text.contains("\"shim/alpha\": {\"median_ns\": "), "{text}");
+        // Quotes in an id arrive escaped, keeping the JSON well-formed.
+        assert!(text.contains("shim/\\\"beta\\\""), "{text}");
     }
 }

@@ -12,8 +12,8 @@ use gpa_server::api::AnalyzeApi;
 use gpa_server::client::Client;
 use gpa_server::http;
 use gpa_server::server::{Server, ServerConfig};
-use gpa_service::Analyzer;
-use gpa_ubench::MeasureOpts;
+use gpa_service::{AnalysisRequest, Analyzer, KernelSpec, ReportCacheConfig};
+use gpa_ubench::{MeasureOpts, ThroughputCurves};
 use std::hint::black_box;
 use std::io::BufReader;
 use std::sync::Arc;
@@ -94,9 +94,53 @@ fn bench_loopback(c: &mut Criterion) {
     server.shutdown();
 }
 
+fn bench_report_cache(c: &mut Criterion) {
+    // One measurement, two analyzers over identical curves: the first
+    // simulates every request, the second answers from the report
+    // cache. The gap between `cache/analyze_simulate` and
+    // `cache/analyze_hit` is the tentpole claim — hits are expected to
+    // run ≥100× faster than the simulation they memoize.
+    let machine = Machine::gtx285();
+    let curves = ThroughputCurves::measure_with(&machine, MeasureOpts::quick());
+    let req = AnalysisRequest::new(KernelSpec::Matmul { n: 256, tile: 16 }, "gtx285");
+
+    let mut uncached = Analyzer::new();
+    uncached.install(machine.clone(), curves.clone()).unwrap();
+    c.bench_function("cache/analyze_simulate", |b| {
+        b.iter(|| uncached.analyze(black_box(&req)).unwrap())
+    });
+
+    let mut cached = Analyzer::new();
+    cached.install(machine, curves).unwrap();
+    cached.enable_report_cache(ReportCacheConfig::default());
+    cached.analyze(&req).unwrap(); // warm: every timed iteration hits
+    c.bench_function("cache/analyze_hit", |b| {
+        b.iter(|| cached.analyze(black_box(&req)).unwrap())
+    });
+
+    // The same hit through the full HTTP path: what repeat traffic
+    // costs a served deployment.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(AnalyzeApi::new(Arc::new(cached))),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+    let body = req.to_json();
+    c.bench_function("cache/hit_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client.post_json("/v1/analyze", &body).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+    server.shutdown();
+}
+
 criterion_group!(
     name = serving;
     config = Criterion::default().sample_size(10);
-    targets = bench_http_parse, bench_loopback
+    targets = bench_http_parse, bench_loopback, bench_report_cache
 );
 criterion_main!(serving);

@@ -156,20 +156,32 @@ impl AnalyzeApi {
     }
 
     fn stats(&self, stats: StatsSnapshot) -> Response {
-        Response::json(
-            200,
-            Value::Object(vec![
-                ("served".into(), Value::Number(stats.served as f64)),
-                ("errors".into(), Value::Number(stats.errors as f64)),
-                ("rejected".into(), Value::Number(stats.rejected as f64)),
-                (
-                    "queue_depth".into(),
-                    Value::Number(stats.queue_depth as f64),
-                ),
-                ("workers".into(), Value::Number(stats.workers as f64)),
-            ])
-            .to_string_pretty(),
-        )
+        let mut fields = vec![
+            ("served".into(), Value::Number(stats.served as f64)),
+            ("errors".into(), Value::Number(stats.errors as f64)),
+            ("rejected".into(), Value::Number(stats.rejected as f64)),
+            ("timeouts".into(), Value::Number(stats.timeouts as f64)),
+            (
+                "queue_depth".into(),
+                Value::Number(stats.queue_depth as f64),
+            ),
+            ("workers".into(), Value::Number(stats.workers as f64)),
+        ];
+        // Only present when the analyzer memoizes reports, so a scraper
+        // can tell "cache off" from "cache cold".
+        if let Some(cache) = self.analyzer.report_cache_stats() {
+            fields.push((
+                "report_cache".into(),
+                Value::Object(vec![
+                    ("hits".into(), Value::Number(cache.hits as f64)),
+                    ("misses".into(), Value::Number(cache.misses as f64)),
+                    ("evictions".into(), Value::Number(cache.evictions as f64)),
+                    ("entries".into(), Value::Number(cache.entries as f64)),
+                    ("bytes".into(), Value::Number(cache.bytes as f64)),
+                ]),
+            ));
+        }
+        Response::json(200, Value::Object(fields).to_string_pretty())
     }
 }
 
@@ -218,6 +230,7 @@ mod tests {
             served: 5,
             errors: 2,
             rejected: 1,
+            timeouts: 7,
             queue_depth: 3,
             workers: 4,
         }
@@ -246,8 +259,24 @@ mod tests {
         assert_eq!(v.get("served").unwrap().as_u64().unwrap(), 5);
         assert_eq!(v.get("errors").unwrap().as_u64().unwrap(), 2);
         assert_eq!(v.get("rejected").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(v.get("timeouts").unwrap().as_u64().unwrap(), 7);
         assert_eq!(v.get("queue_depth").unwrap().as_u64().unwrap(), 3);
         assert_eq!(v.get("workers").unwrap().as_u64().unwrap(), 4);
+        // No report cache enabled: the section is absent, not zeroed.
+        assert!(v.get("report_cache").is_err());
+    }
+
+    #[test]
+    fn stats_surface_report_cache_counters_when_enabled() {
+        let mut analyzer = Analyzer::new();
+        analyzer.enable_report_cache(gpa_service::ReportCacheConfig::default());
+        let api = AnalyzeApi::new(Arc::new(analyzer));
+        let resp = api.handle(&get("/v1/stats"), stats0());
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let cache = v.get("report_cache").unwrap();
+        for field in ["hits", "misses", "evictions", "entries", "bytes"] {
+            assert_eq!(cache.get(field).unwrap().as_u64().unwrap(), 0, "{field}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use gpa_server::api::AnalyzeApi;
 use gpa_server::server::{Server, ServerConfig};
-use gpa_service::{find_builtin, Analyzer, Effort};
+use gpa_service::{find_builtin, Analyzer, Effort, ReportCacheConfig};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,9 +36,14 @@ Options:
   --machines LIST    comma-separated machine selectors to calibrate
                      (default gtx285; also: 8800gt, 9800gtx)
   --effort LEVEL     calibration effort: quick | paper (default quick)
-  --cache-dir DIR    curve cache directory (default: shared workspace results/)
+  --cache-dir DIR    curve/report cache directory (default: shared workspace results/)
   --no-cache         always measure; do not touch the on-disk cache
-  --max-body BYTES   request body ceiling (default 1048576)";
+  --max-body BYTES   request body ceiling (default 1048576)
+  --report-cache     memoize whole answers, content-addressed (default on);
+                     persisted under the cache dir unless --no-cache
+  --no-report-cache  recompute every answer
+  --report-cache-bytes BYTES
+                     in-memory report cache budget (default 67108864)";
 
 struct Options {
     addr: String,
@@ -46,6 +51,8 @@ struct Options {
     machines: Vec<String>,
     effort: Effort,
     cache_dir: Option<PathBuf>,
+    report_cache: bool,
+    report_cache_bytes: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -55,6 +62,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         machines: vec!["gtx285".into()],
         effort: Effort::Quick,
         cache_dir: Some(gpa_ubench::cache::default_dir()),
+        report_cache: true,
+        report_cache_bytes: ReportCacheConfig::default().max_bytes,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -97,6 +106,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value(&mut i, "--cache-dir")?)),
             "--no-cache" => opts.cache_dir = None,
+            "--report-cache" => opts.report_cache = true,
+            "--no-report-cache" => opts.report_cache = false,
+            "--report-cache-bytes" => {
+                opts.report_cache_bytes = value(&mut i, "--report-cache-bytes")?
+                    .parse()
+                    .map_err(|_| "--report-cache-bytes requires a byte count".to_owned())?;
+            }
             "--max-body" => {
                 opts.config.max_body_bytes = value(&mut i, "--max-body")?
                     .parse()
@@ -140,6 +156,18 @@ fn main() -> ExitCode {
             Some(dir) => analyzer.calibrate_cached(machine, opts.effort.measure_opts(), dir),
             None => analyzer.calibrate(machine, opts.effort.measure_opts()),
         };
+    }
+
+    // Memoize whole answers (content-addressed on request + calibration
+    // identity): duplicated traffic skips the simulator entirely. The
+    // disk tier shares the curve-cache directory, so reports persist
+    // across restarts and are shared with `gpa-analyze` next door.
+    if opts.report_cache {
+        analyzer.enable_report_cache(ReportCacheConfig {
+            max_bytes: opts.report_cache_bytes,
+            disk_dir: opts.cache_dir.clone(),
+            ..ReportCacheConfig::default()
+        });
     }
 
     // Advertise the startup effort: requests asking for finer

@@ -88,6 +88,7 @@ impl Client {
     fn roundtrip(&self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<HttpResponse> {
         let mut stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(self.timeout))?;
+        let _ = stream.set_nodelay(true);
         write_request(&mut stream, &self.addr, method, path, body, false)?;
         read_response(&mut BufReader::new(stream))
     }
@@ -101,9 +102,14 @@ impl Client {
     pub fn connect(&self) -> io::Result<Connection> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(self.timeout))?;
+        // Requests are written head-then-body; TCP_NODELAY keeps Nagle
+        // from parking the body behind the server's delayed ACK on
+        // long-lived connections.
+        let _ = stream.set_nodelay(true);
         Ok(Connection {
             addr: self.addr.clone(),
             stream: BufReader::new(stream),
+            reusable: true,
         })
     }
 }
@@ -113,12 +119,20 @@ impl Client {
 /// Requests are strictly sequential (send, then read the full framed
 /// response). The server may close after any response — its request cap,
 /// idle timeout, or an error disposition — so callers looping on one
-/// `Connection` should reconnect when a call fails or the response
-/// carries `Connection: close`.
+/// `Connection` should reconnect when a call fails or
+/// [`Connection::is_reusable`] reports `false`.
+///
+/// The connection marks itself dead — refusing further requests with
+/// `BrokenPipe` instead of desyncing — after any response that ends its
+/// framing: an I/O or parse failure, a response without `Content-Length`
+/// (read-to-EOF consumed the socket), or a `Connection: close`
+/// disposition (the server will not read again; a request written after
+/// it could be silently discarded or answered out of sync).
 #[derive(Debug)]
 pub struct Connection {
     addr: String,
     stream: BufReader<TcpStream>,
+    reusable: bool,
 }
 
 impl Connection {
@@ -141,14 +155,44 @@ impl Connection {
         self.roundtrip("POST", path, Some(body.as_bytes()))
     }
 
+    /// Whether the socket can carry another request. `false` once a
+    /// response ended the framing (see the type docs); reconnect then.
+    pub fn is_reusable(&self) -> bool {
+        self.reusable
+    }
+
     fn roundtrip(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&[u8]>,
     ) -> io::Result<HttpResponse> {
-        write_request(self.stream.get_mut(), &self.addr, method, path, body, true)?;
-        read_response(&mut self.stream)
+        if !self.reusable {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection is no longer reusable (the previous response ended it); reconnect",
+            ));
+        }
+        let result = write_request(self.stream.get_mut(), &self.addr, method, path, body, true)
+            .and_then(|()| read_response(&mut self.stream));
+        match &result {
+            Ok(resp) => {
+                // Without Content-Length the body was read to EOF — the
+                // socket is spent. A `close` token means the server
+                // stops reading after this answer.
+                let eof_framed = resp.header("Content-Length").is_none();
+                let closing = resp
+                    .header("Connection")
+                    .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")));
+                if eof_framed || closing {
+                    self.reusable = false;
+                }
+            }
+            // After an I/O error mid-exchange the framing state is
+            // unknown; anything written next could desync.
+            Err(_) => self.reusable = false,
+        }
+        result
     }
 }
 
@@ -283,6 +327,72 @@ mod tests {
     fn rejects_non_http() {
         assert!(read_response(&mut BufReader::new(&b"SSH-2.0-OpenSSH\r\n"[..])).is_err());
         assert!(read_response(&mut BufReader::new(&b""[..])).is_err());
+    }
+
+    /// A scripted one-connection server: accepts once, reads until the
+    /// blank line ending the request head, writes `responses` verbatim,
+    /// and then — crucially — keeps the socket open until dropped, so a
+    /// desynced client would happily (and wrongly) write into it.
+    fn scripted_server(responses: &'static str) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut socket, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(socket.try_clone().unwrap());
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap() > 0 {
+                if line == "\r\n" || line == "\n" {
+                    break;
+                }
+                line.clear();
+            }
+            socket.write_all(responses.as_bytes()).unwrap();
+            socket.flush().unwrap();
+            // Hold the socket open long enough for a buggy client to
+            // attempt (and for the test to catch) a reuse.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn connection_close_response_marks_the_connection_dead() {
+        let (addr, server) =
+            scripted_server("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}");
+        let mut conn = Client::new(addr).connect().unwrap();
+        let resp = conn.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!conn.is_reusable());
+        // The next request must fail fast instead of writing into a
+        // socket the server will never read (desync/hang).
+        let err = conn.get("/healthz").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn eof_framed_response_marks_the_connection_dead() {
+        // No Content-Length: the client frames by reading to EOF, which
+        // spends the socket even though the server left it open.
+        let (addr, server) = scripted_server("HTTP/1.1 200 OK\r\n\r\nunframed body");
+        let mut conn = Client::new(addr).connect().unwrap();
+        // read_to_end returns once the scripted server closes (~300 ms).
+        let resp = conn.get("/healthz").unwrap();
+        assert_eq!(resp.body, b"unframed body");
+        assert!(!conn.is_reusable());
+        assert!(conn.post_json("/v1/analyze", "{}").is_err());
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn framed_keep_alive_response_stays_reusable() {
+        let (addr, server) = scripted_server(
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}",
+        );
+        let mut conn = Client::new(addr).connect().unwrap();
+        conn.get("/healthz").unwrap();
+        assert!(conn.is_reusable());
+        server.join().unwrap();
     }
 
     #[test]

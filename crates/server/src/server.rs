@@ -53,6 +53,12 @@ pub struct ServerConfig {
     /// How long a kept-alive connection may sit idle between requests
     /// before the worker hangs up and returns to the queue.
     pub keep_alive_idle: Duration,
+    /// How long a request (head or body) may stall mid-transfer before
+    /// the worker gives up. A stall *after* request bytes started
+    /// arriving is answered with a best-effort `408 Request Timeout`
+    /// (and counted in [`StatsSnapshot::timeouts`]); a connection that
+    /// never sent a byte is closed silently.
+    pub read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +69,7 @@ impl Default for ServerConfig {
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             keep_alive_requests: 64,
             keep_alive_idle: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Connections refused with 503 because the queue was full.
     pub rejected: u64,
+    /// Requests that stalled mid-transfer past
+    /// [`ServerConfig::read_timeout`] and were answered 408 (also
+    /// counted in `errors`).
+    pub timeouts: u64,
     /// Connections waiting in the queue right now.
     pub queue_depth: usize,
     /// Worker threads serving requests.
@@ -120,6 +131,7 @@ struct Shared {
     served: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
+    timeouts: AtomicU64,
     /// Live 503-rejector threads (bounded by [`MAX_REJECTORS`]).
     rejectors: AtomicUsize,
     /// Set by [`Server::shutdown`]; checked by the acceptor between
@@ -142,6 +154,7 @@ impl Shared {
             served: self.served.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             queue_depth: self.queue.lock().expect("queue poisoned").pending.len(),
             workers: self.workers,
         }
@@ -189,6 +202,7 @@ impl Server {
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             rejectors: AtomicUsize::new(0),
             stopping: AtomicBool::new(false),
             workers,
@@ -296,6 +310,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             // stop accepting. Queued connections still get drained.
             return;
         }
+        // Responses are written head-then-body: without TCP_NODELAY,
+        // Nagle holds the second write until the first is acked, and a
+        // keep-alive peer's delayed ACK turns every exchange after the
+        // kernel's quickack quota into a ~40 ms stall.
+        let _ = stream.set_nodelay(true);
         let over_quota = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             if queue.pending.len() >= shared.config.queue_depth {
@@ -396,9 +415,60 @@ fn worker_loop(shared: &Shared, handler: &dyn Handler) {
 /// default included) the server keeps its original one-request
 /// `Connection: close` contract, so pre-keep-alive clients observe no
 /// change.
+///
+/// `Connection` is an RFC 7230 §6.1 *token list*: `keep-alive, TE` is
+/// legal and still asks for keep-alive, so each header value is split
+/// on commas and the trimmed tokens matched case-insensitively. A
+/// `close` token anywhere (even `keep-alive, close`) is authoritative —
+/// the client is withdrawing the offer, and honoring the stronger
+/// disposition is always framing-safe.
 fn wants_keep_alive(req: &Request) -> bool {
-    req.header("Connection")
-        .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    let mut keep = false;
+    for token in req
+        .headers
+        .iter()
+        .filter(|(name, _)| name.eq_ignore_ascii_case("Connection"))
+        .flat_map(|(_, value)| value.split(','))
+        .map(str::trim)
+    {
+        if token.eq_ignore_ascii_case("close") {
+            return false;
+        }
+        keep |= token.eq_ignore_ascii_case("keep-alive");
+    }
+    keep
+}
+
+/// A [`TcpStream`] that counts the bytes read off the wire, so the
+/// timeout path can distinguish "client never sent anything" (a silent
+/// close is fine) from "client stalled mid-request" (worth a 408).
+struct MeteredStream {
+    inner: TcpStream,
+    bytes_read: u64,
+}
+
+impl Read for MeteredStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_read += n as u64;
+        Ok(n)
+    }
+}
+
+impl std::io::Write for MeteredStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Bytes `reader` has handed to consumers so far: everything metered
+/// off the socket minus what still sits unread in the buffer.
+fn consumed(reader: &BufReader<MeteredStream>) -> u64 {
+    reader.get_ref().bytes_read - reader.buffer().len() as u64
 }
 
 /// Serve one connection: parse requests, answer them, and honor
@@ -408,10 +478,14 @@ fn wants_keep_alive(req: &Request) -> bool {
 /// (`Connection: close`), so a confused peer can never wedge the framing.
 fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
     // A silent client must not wedge a worker forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut reader = BufReader::new(stream);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut reader = BufReader::new(MeteredStream {
+        inner: stream,
+        bytes_read: 0,
+    });
     let cap = shared.config.keep_alive_requests.max(1);
     for served in 1..=cap {
+        let consumed_before = consumed(&reader);
         match http::read_request(&mut reader, shared.config.max_body_bytes) {
             Ok(req) => {
                 // A handler panic answers 500 and keeps the worker alive.
@@ -433,7 +507,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
                         // would RST the socket and could destroy this
                         // response in flight — drain first, exactly like
                         // the parse-error path below.
-                        let mut stream = reader.into_inner();
+                        let mut stream = reader.into_inner().inner;
                         let _ = stream.shutdown(Shutdown::Write);
                         drain(&mut stream);
                     }
@@ -445,29 +519,54 @@ fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
                 // applies: a parked connection frees its worker quickly.
                 // The wait happens in fill_buf so that once the next
                 // request *starts* arriving, its head and body get the
-                // full 30-second budget again (a slow uplink is not
+                // full read-timeout budget again (a slow uplink is not
                 // "idle").
                 let _ = reader
                     .get_ref()
+                    .inner
                     .set_read_timeout(Some(shared.config.keep_alive_idle));
                 match reader.fill_buf() {
                     Ok([]) | Err(_) => return, // clean close or idle timeout
                     Ok(_) => {
                         let _ = reader
                             .get_ref()
-                            .set_read_timeout(Some(Duration::from_secs(30)));
+                            .inner
+                            .set_read_timeout(Some(shared.config.read_timeout));
                     }
                 }
             }
-            Err(HttpError::Closed) | Err(HttpError::Io(_)) => {
-                // Hang-up, dead socket, or an idle keep-alive timeout:
-                // nothing (further) to answer.
+            Err(HttpError::Closed) => {
+                // Clean pre-request hang-up: nothing to answer.
+                return;
+            }
+            Err(HttpError::Io(e)) => {
+                // A read timeout *after* request bytes started arriving
+                // is a mid-transfer stall: tell the client before
+                // closing (best-effort — it may be gone) and count it.
+                // Anything else — a dead socket, a reset, or a timeout
+                // with zero bytes (a parked keep-alive connection) —
+                // stays a silent close.
+                let timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                if timed_out && consumed(&reader) > consumed_before {
+                    shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let resp =
+                        Response::error(408, "timed out waiting for the rest of the request");
+                    shared.count_response(resp.status);
+                    let mut stream = reader.into_inner().inner;
+                    if http::write_response(&mut stream, &resp).is_ok() {
+                        let _ = stream.shutdown(Shutdown::Write);
+                        drain(&mut stream);
+                    }
+                }
                 return;
             }
             Err(e) => {
                 let resp = Response::error(e.status(), &e.message());
                 shared.count_response(resp.status);
-                let mut stream = reader.into_inner();
+                let mut stream = reader.into_inner().inner;
                 if http::write_response(&mut stream, &resp).is_ok() {
                     // The request may have unread bytes (an oversized body
                     // we refused to read, trailing garbage): drain before
@@ -497,6 +596,34 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_negotiation_parses_token_lists() {
+        let req = |connection: &[&str]| Request {
+            method: "GET".into(),
+            target: "/healthz".into(),
+            headers: connection
+                .iter()
+                .map(|v| ("Connection".to_owned(), (*v).to_owned()))
+                .collect(),
+            body: Vec::new(),
+        };
+        // Plain spellings, any case.
+        assert!(wants_keep_alive(&req(&["keep-alive"])));
+        assert!(wants_keep_alive(&req(&["Keep-Alive"])));
+        assert!(!wants_keep_alive(&req(&["close"])));
+        assert!(!wants_keep_alive(&req(&[])));
+        // RFC 7230 token lists: the other tokens must not mask the ask.
+        assert!(wants_keep_alive(&req(&["keep-alive, TE"])));
+        assert!(wants_keep_alive(&req(&["TE , Keep-Alive"])));
+        assert!(!wants_keep_alive(&req(&["TE"])));
+        // A close token is authoritative wherever it appears.
+        assert!(!wants_keep_alive(&req(&["keep-alive, close"])));
+        assert!(!wants_keep_alive(&req(&["close, keep-alive"])));
+        // Repeated Connection headers are one combined list.
+        assert!(wants_keep_alive(&req(&["TE", "keep-alive"])));
+        assert!(!wants_keep_alive(&req(&["keep-alive", "close"])));
+    }
+
+    #[test]
     fn stats_classify_statuses() {
         let shared = Shared {
             queue: Mutex::new(QueueState {
@@ -507,6 +634,7 @@ mod tests {
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             rejectors: AtomicUsize::new(0),
             stopping: AtomicBool::new(false),
             workers: 2,

@@ -11,7 +11,7 @@ use gpa_json::Value;
 use gpa_server::api::AnalyzeApi;
 use gpa_server::client::Client;
 use gpa_server::server::{Server, ServerConfig};
-use gpa_service::{AnalysisRequest, Analyzer, KernelSpec};
+use gpa_service::{AnalysisRequest, Analyzer, KernelSpec, ReportCacheConfig};
 use gpa_ubench::MeasureOpts;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
@@ -209,6 +209,94 @@ fn batch_arrays_mirror_gpa_analyze_output() {
     ])
     .to_string_pretty();
     assert_eq!(response.body_str().unwrap(), expected);
+}
+
+#[test]
+fn report_cache_serves_repeat_traffic_byte_identically() {
+    // The real binary with its default configuration: the report cache
+    // is on, so the second posting of the same request is a hit — and
+    // the hit must be byte-identical to the miss.
+    let server = ServeGuard::spawn(&[]);
+    let client = server.client();
+    // Not the checked-in sample: that one asks for `verify`, which is
+    // deliberately uncacheable. Plain requests are the cached shape.
+    let body = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285").to_json();
+
+    let first = client.post_json("/v1/analyze", &body).expect("first post");
+    assert_eq!(
+        first.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&first.body)
+    );
+    let second = client.post_json("/v1/analyze", &body).expect("second post");
+    assert_eq!(second.status, 200);
+    assert_eq!(first.body_str().unwrap(), second.body_str().unwrap());
+
+    let stats = client.get("/v1/stats").expect("stats");
+    let doc = Value::parse(stats.body_str().unwrap()).unwrap();
+    let cache = doc.get("report_cache").expect("cache block present");
+    assert!(
+        cache.get("hits").unwrap().as_u64().unwrap() >= 1,
+        "{}",
+        stats.body_str().unwrap()
+    );
+    assert!(cache.get("entries").unwrap().as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn no_report_cache_flag_disables_the_cache() {
+    let server = ServeGuard::spawn(&["--no-report-cache"]);
+    let client = server.client();
+
+    // Still a fully working server…
+    let sample = std::fs::read_to_string(sample_path()).expect("sample request");
+    let resp = client.post_json("/v1/analyze", &sample).expect("analyze");
+    assert_eq!(resp.status, 200);
+
+    // …but the stats document carries no cache block at all.
+    let stats = client.get("/v1/stats").expect("stats");
+    let doc = Value::parse(stats.body_str().unwrap()).unwrap();
+    assert!(
+        doc.get("report_cache").is_err(),
+        "{}",
+        stats.body_str().unwrap()
+    );
+}
+
+#[test]
+fn in_process_cache_counters_are_exact() {
+    // An in-process server with a memory-only cache: no disk tier, no
+    // sibling processes, so hit/miss/entry counts are exact.
+    let mut analyzer = quick_analyzer();
+    analyzer.enable_report_cache(ReportCacheConfig::default());
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(AnalyzeApi::new(Arc::new(analyzer))),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+
+    let request = AnalysisRequest::new(KernelSpec::Matmul { n: 64, tile: 16 }, "gtx285");
+    let first = client
+        .post_json("/v1/analyze", &request.to_json())
+        .expect("miss");
+    let second = client
+        .post_json("/v1/analyze", &request.to_json())
+        .expect("hit");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body_str().unwrap(), second.body_str().unwrap());
+
+    let stats = client.get("/v1/stats").expect("stats");
+    let doc = Value::parse(stats.body_str().unwrap()).unwrap();
+    let cache = doc.get("report_cache").expect("cache block present");
+    assert_eq!(cache.get("hits").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(cache.get("misses").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(cache.get("entries").unwrap().as_u64().unwrap(), 1);
+    assert!(cache.get("bytes").unwrap().as_u64().unwrap() > 0);
+
+    server.shutdown();
 }
 
 #[test]

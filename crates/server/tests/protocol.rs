@@ -201,6 +201,85 @@ fn errors_close_even_under_keep_alive() {
 }
 
 #[test]
+fn connection_token_lists_negotiate_keep_alive() {
+    // RFC 7230 §6.1: Connection carries a comma-separated token list.
+    // `keep-alive, TE` opts in; a `close` token anywhere is
+    // authoritative no matter what else rides along.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            keep_alive_idle: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+        echo_handler(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Two pipelined requests whose Connection header lists extra
+    // tokens: both must be answered on the one socket, the first with
+    // an explicit keep-alive acknowledgement.
+    let two = b"GET /a HTTP/1.1\r\nConnection: keep-alive, TE\r\n\r\n\
+                GET /b HTTP/1.1\r\nConnection: Keep-Alive , trailers\r\n\r\n";
+    let resp = raw_roundtrip(addr, two);
+    assert_eq!(resp.matches("HTTP/1.1 200").count(), 2, "{resp}");
+    assert!(resp.contains("Connection: keep-alive"), "{resp}");
+
+    // `close` wins even when keep-alive is also present: exactly one
+    // answer, marked close, then EOF.
+    let mixed = b"GET /a HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n\
+                  GET /b HTTP/1.1\r\n\r\n";
+    let resp = raw_roundtrip(addr, mixed);
+    assert_eq!(resp.matches("HTTP/1.1 200").count(), 1, "{resp}");
+    assert!(resp.contains("Connection: close"), "{resp}");
+
+    let stats = server.shutdown();
+    assert_eq!((stats.served, stats.errors), (3, 0));
+}
+
+#[test]
+fn stalled_request_heads_get_408_and_idle_sockets_do_not() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+        echo_handler(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // A connection that sends part of a request head and stalls: the
+    // server owes the client a diagnosis, not a silent hangup.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /x HT").expect("partial head");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 408 "), "{response}");
+    assert!(response.contains("timed out"), "{response}");
+    drop(stream);
+
+    // A connection that sends *nothing* is just a speculative socket
+    // (browser preconnect, health probe): closed silently, not counted.
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut nothing = String::new();
+    idle.read_to_string(&mut nothing).expect("read EOF");
+    assert_eq!(nothing, "", "idle close must carry no bytes");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timeouts, 1, "only the mid-head stall counts");
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
 fn handler_panics_become_500s_and_the_worker_survives() {
     let server = Server::start(
         "127.0.0.1:0",

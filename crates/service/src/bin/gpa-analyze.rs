@@ -31,7 +31,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: gpa-analyze [--cache-dir DIR | --no-cache] [REQUEST.json | -]
+usage: gpa-analyze [--cache-dir DIR | --no-cache] [--no-report-cache] [REQUEST.json | -]
        gpa-analyze --kernel-asm FILE.asm [--machine SEL] [--grid X[xY]]
 
 Reads an analysis request (JSON object) or batch (JSON array) from the
@@ -42,9 +42,14 @@ request with {\"case\": \"custom\"} carries decuda-style assembly, a
 launch shape, parameters, and a declarative memory image.
 
 Options:
-  --cache-dir DIR   load/store calibration curves under DIR
-                    (default: the shared workspace results/ directory)
+  --cache-dir DIR   load/store calibration curves (and cached reports)
+                    under DIR (default: the shared workspace results/)
   --no-cache        always measure; do not touch the on-disk cache
+  --report-cache    memoize whole answers, content-addressed, persisted
+                    under the cache dir (default on; byte-identical to
+                    recomputing, so only --no-report-cache changes speed,
+                    never output)
+  --no-report-cache recompute every answer
   --kernel-asm FILE wrap a bare `.asm` kernel into a custom request:
                     the block shape comes from the file's `.threads`
                     directive, the grid from --grid (default 1), the
@@ -67,6 +72,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let report_cache = extract_report_cache(&mut args);
     let asm_request = match extract_kernel_asm(&mut args) {
         Ok(r) => r,
         Err(e) => {
@@ -156,6 +162,15 @@ fn main() -> ExitCode {
             None => analyzer.calibrate(machine, effort.measure_opts()),
         };
     }
+    // Memoized answers are byte-identical to recomputed ones (the cache
+    // stores the exact serialized report), so caching is on by default;
+    // the disk tier rides the same directory as the curve cache.
+    if report_cache {
+        analyzer.enable_report_cache(gpa_service::ReportCacheConfig {
+            disk_dir: cache_dir.clone(),
+            ..gpa_service::ReportCacheConfig::default()
+        });
+    }
 
     // Answer: requests whose selector did not resolve keep their
     // resolution error; the rest go through the batch path.
@@ -243,6 +258,27 @@ fn extract_cache_dir(args: &mut Vec<String>) -> Result<Option<PathBuf>, String> 
         }
     }
     Ok(dir)
+}
+
+/// Strip `--report-cache`/`--no-report-cache` out of `args`, returning
+/// whether answers should be memoized (default yes; last flag wins).
+fn extract_report_cache(args: &mut Vec<String>) -> bool {
+    let mut enabled = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report-cache" => {
+                enabled = true;
+                args.remove(i);
+            }
+            "--no-report-cache" => {
+                enabled = false;
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    enabled
 }
 
 /// Handle `--kernel-asm FILE [--machine SEL] [--grid X[xY]]`: wrap a

@@ -46,8 +46,10 @@
 //! assert!(report.analysis.predicted_seconds > 0.0);
 //! ```
 
+pub mod report_cache;
 pub mod wire;
 
+use crate::report_cache::CacheKey;
 use gpa_apps::workflow::{run_study, CaseError, CaseStudy, Region, TraceMode};
 use gpa_apps::{matmul, spmv, tridiag};
 use gpa_core::{Analysis, InputError, Model, ModelInput, WhatIf};
@@ -56,8 +58,10 @@ use gpa_isa::Kernel;
 use gpa_sim::{GlobalMemory, LaunchConfig, SimEngine, SimError, Threads};
 use gpa_ubench::{MeasureOpts, ThroughputCurves};
 use std::fmt;
+use std::sync::Arc;
 
 pub use gpa_apps::workflow::TraceMode as RequestTraceMode;
+pub use report_cache::{ReportCache, ReportCacheConfig, ReportCacheStats};
 
 /// Why the service refused or failed a request.
 #[derive(Debug, Clone, PartialEq)]
@@ -825,6 +829,20 @@ impl AnalysisReport {
 struct Calibrated {
     machine: Machine,
     curves: ThroughputCurves,
+    /// Content hash of `(machine, curves)`, precomputed at registration:
+    /// the `calib=` part of every report-cache key for this entry (see
+    /// [`report_cache`]).
+    identity: u64,
+}
+
+/// The calibration-identity hash: FNV-1a over the complete [`Machine`]
+/// description (its `Debug` rendering, so no field can be silently
+/// omitted) and the measured curves' bit-exact JSON. Curves holding a
+/// non-finite value have no JSON form; their `Debug` rendering stands
+/// in (still a complete, deterministic fingerprint).
+fn calibration_identity(machine: &Machine, curves: &ThroughputCurves) -> u64 {
+    let curves_text = curves.to_json().unwrap_or_else(|_| format!("{curves:?}"));
+    gpa_ubench::cache::fnv1a(format!("{machine:?}|{curves_text}").as_bytes())
 }
 
 /// Summarize a run's per-region traffic at the real GT200 granularity.
@@ -852,6 +870,9 @@ fn region_traffic(input: &ModelInput) -> Vec<RegionTraffic> {
 #[derive(Debug, Clone, Default)]
 pub struct Analyzer {
     entries: Vec<Calibrated>,
+    /// Optional memoization of whole answers ([`report_cache`]). Behind
+    /// an `Arc` so cloned analyzers share one cache (and its counters).
+    report_cache: Option<Arc<ReportCache>>,
 }
 
 /// Selector normalization: lowercase, punctuation and spaces dropped.
@@ -920,9 +941,20 @@ impl Analyzer {
     /// replaces its profile.
     pub fn calibrate(&mut self, machine: Machine, opts: MeasureOpts) -> &mut Self {
         let curves = ThroughputCurves::measure_with(&machine, opts);
-        self.entries.retain(|e| e.machine.name != machine.name);
-        self.entries.push(Calibrated { machine, curves });
+        self.register(machine, curves);
         self
+    }
+
+    /// Replace-or-append the entry for `machine`, computing its
+    /// report-cache identity once.
+    fn register(&mut self, machine: Machine, curves: ThroughputCurves) {
+        let identity = calibration_identity(&machine, &curves);
+        self.entries.retain(|e| e.machine.name != machine.name);
+        self.entries.push(Calibrated {
+            machine,
+            curves,
+            identity,
+        });
     }
 
     /// [`Analyzer::calibrate`] through the shared on-disk curve cache
@@ -940,8 +972,7 @@ impl Analyzer {
         cache_dir: &std::path::Path,
     ) -> &mut Self {
         let curves = gpa_ubench::cache::load_or_measure(cache_dir, &machine, opts);
-        self.entries.retain(|e| e.machine.name != machine.name);
-        self.entries.push(Calibrated { machine, curves });
+        self.register(machine, curves);
         self
     }
 
@@ -963,8 +994,7 @@ impl Analyzer {
                 curves.machine_name, machine.name
             )));
         }
-        self.entries.retain(|e| e.machine.name != machine.name);
-        self.entries.push(Calibrated { machine, curves });
+        self.register(machine, curves);
         Ok(self)
     }
 
@@ -999,6 +1029,44 @@ impl Analyzer {
         Ok(&self.lookup(selector)?.curves)
     }
 
+    /// Memoize whole answers in a [`ReportCache`] shaped by `config`.
+    /// Subsequent [`Analyzer::analyze`] / [`Analyzer::analyze_batch`]
+    /// calls consult the cache for every cacheable request (see
+    /// [`report_cache`] for the key contract and the verify/readback
+    /// exclusions). Clones of this analyzer share the cache; enabling
+    /// again replaces it with a fresh, empty one.
+    pub fn enable_report_cache(&mut self, config: ReportCacheConfig) -> &mut Self {
+        self.report_cache = Some(Arc::new(ReportCache::new(config)));
+        self
+    }
+
+    /// Drop the report cache (requests always recompute).
+    pub fn disable_report_cache(&mut self) -> &mut Self {
+        self.report_cache = None;
+        self
+    }
+
+    /// Counters of the report cache, if one is enabled.
+    pub fn report_cache_stats(&self) -> Option<ReportCacheStats> {
+        self.report_cache.as_ref().map(|cache| cache.stats())
+    }
+
+    /// Whether the answer to `req` may be served from / stored in the
+    /// report cache. `verify` runs must actually exercise the oracle,
+    /// and readback-bearing custom kernels produce reports whose
+    /// payload defeats a byte-budgeted cache — both always recompute.
+    fn cacheable(req: &AnalysisRequest) -> bool {
+        if req.options.verify {
+            return false;
+        }
+        if let KernelSpec::Custom(custom) = &req.kernel {
+            if custom.memory.iter().any(|r| r.readback) {
+                return false;
+            }
+        }
+        true
+    }
+
     fn lookup(&self, selector: &str) -> Result<&Calibrated, ServiceError> {
         let machine = select(self.entries.iter().map(|e| &e.machine), selector)?;
         // Identity-free re-find: names are unique by construction.
@@ -1021,6 +1089,32 @@ impl Analyzer {
     /// verification.
     pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReport, ServiceError> {
         let entry = self.lookup(&req.machine)?;
+        let cache = match &self.report_cache {
+            Some(cache) if Self::cacheable(req) => cache,
+            _ => return self.analyze_resolved(entry, req),
+        };
+        let canonical =
+            wire::canonical_request_json(&req.kernel, &entry.machine.name, &req.options);
+        let key = CacheKey::new(entry.identity, &canonical);
+        if let Some(json) = cache.get(&key) {
+            // A torn or foreign entry falls through to recompute (and
+            // gets overwritten below); a healthy one is the answer.
+            if let Ok(report) = AnalysisReport::from_json(&json) {
+                return Ok(report);
+            }
+        }
+        let report = self.analyze_resolved(entry, req)?;
+        cache.put(&key, &report.to_json());
+        Ok(report)
+    }
+
+    /// The uncached single-request path: build the study, run it, and
+    /// collect custom-kernel readback.
+    fn analyze_resolved(
+        &self,
+        entry: &Calibrated,
+        req: &AnalysisRequest,
+    ) -> Result<AnalysisReport, ServiceError> {
         let mut study = req.kernel.build()?;
         let mut report = self.analyze_prepared(entry, &mut study, &req.options)?;
         if let KernelSpec::Custom(custom) = &req.kernel {

@@ -438,6 +438,30 @@ fn options_from_value(v: &Value) -> Result<AnalysisOptions, ServiceError> {
     Ok(o)
 }
 
+/// The canonical request JSON the report cache keys on: the wire form
+/// of the request with `machine` replaced by the *resolved* machine
+/// name (so every selector spelling of one machine shares a key) and
+/// the answer-invariant options normalized out — `threads` to `"auto"`
+/// (reports are bit-identical at every worker count) and `calibration`
+/// to its default (explicitly calibrated analyzers ignore it, and the
+/// cache key separately covers the actual calibration identity). See
+/// [`crate::report_cache`] for the full contract.
+pub(crate) fn canonical_request_json(
+    kernel: &KernelSpec,
+    machine_name: &str,
+    options: &AnalysisOptions,
+) -> String {
+    let mut options = options.clone();
+    options.threads = Threads::Auto;
+    options.calibration = Effort::default();
+    obj(vec![
+        ("kernel", kernel_spec_to_value(kernel)),
+        ("machine", Value::from(machine_name)),
+        ("options", options_to_value(&options)),
+    ])
+    .to_string_pretty()
+}
+
 impl AnalysisRequest {
     /// The request as a `gpa_json` tree.
     pub fn to_value(&self) -> Value {

@@ -30,8 +30,10 @@ pub fn default_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
-/// 64-bit FNV-1a (dependency-free stable content hash).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a (dependency-free stable content hash). Public so
+/// other caches keyed the same way — notably the report cache in
+/// `gpa-service` — hash with the identical function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
