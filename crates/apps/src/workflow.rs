@@ -22,7 +22,7 @@ use gpa_sim::{
     TraceSource,
 };
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How timing traces are obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -390,6 +390,11 @@ pub fn run_case(
     };
 
     let mut timing = TimingSim::new(machine);
+    // The same worker selection drives both phases: block execution in the
+    // functional pass and cluster replay in the timing pass (the uniform
+    // Homogeneous mode replays one cluster, so it stays single-worker
+    // regardless).
+    timing.set_threads(opts.threads);
     let tex: Vec<(u64, u64)> = regions
         .iter()
         .filter(|r| r.texture)
@@ -412,7 +417,7 @@ pub fn run_case(
                 .run_block(&mut trace_mem, 0, &mut scratch)?
                 .expect("trace collection enabled");
             timing.assume_uniform_clusters(true);
-            let mut src = TraceSource::Homogeneous(Rc::new(trace));
+            let mut src = TraceSource::Homogeneous(Arc::new(trace));
             let t = timing.run(&mut src, &launch, kernel.resources);
 
             let mut func = FunctionalSim::new(machine, kernel, launch)?;

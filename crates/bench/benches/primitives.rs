@@ -11,7 +11,7 @@ use gpa_mem::coalesce::{coalesce_half_warp, CoalesceConfig};
 use gpa_sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
 use gpa_ubench::{MeasureOpts, ThroughputCurves};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_coalescer(c: &mut Criterion) {
     let strided: Vec<Option<(u64, u32)>> = (0..16u64)
@@ -101,12 +101,12 @@ fn bench_timing_sim(c: &mut Criterion) {
     sim.set_params(&[data.a_dev as u32, data.b_dev as u32, data.c_dev as u32]);
     sim.collect_traces(true);
     let mut stats = sim.fresh_stats();
-    let trace = Rc::new(sim.run_block(&mut gmem, 0, &mut stats).unwrap().unwrap());
+    let trace = Arc::new(sim.run_block(&mut gmem, 0, &mut stats).unwrap().unwrap());
     c.bench_function("timing_sim/matmul128", |b| {
         b.iter(|| {
             let mut timing = TimingSim::new(&machine);
             timing.assume_uniform_clusters(true);
-            let mut src = TraceSource::Homogeneous(Rc::clone(&trace));
+            let mut src = TraceSource::Homogeneous(Arc::clone(&trace));
             timing.run(
                 &mut src,
                 &LaunchConfig::new_2d((8, 2), (64, 1)),

@@ -21,9 +21,12 @@
 //! `<path>` as a JSON object mapping benchmark id to
 //! `{"median_ns": …, "samples": …}`. The file is rewritten after each
 //! benchmark completes, so an interrupted run still leaves valid JSON
-//! covering everything that finished. This is how tracked `BENCH_*.json`
-//! files are produced and how CI checks that the benchmark set matches
-//! the tracked one.
+//! covering everything that finished. Entries already in the file that
+//! this process has not (re)measured are preserved, so several bench
+//! binaries pointed at the same path **merge** their result sets —
+//! delete the file first to regenerate it from scratch. This is how
+//! tracked `BENCH_*.json` files are produced and how CI checks that the
+//! benchmark set matches the tracked one.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -47,7 +50,44 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Undo [`escape`] (the shim only ever parses files it wrote itself).
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Parse one `  "id": {"median_ns": N, "samples": M},` line of a results
+/// file this shim wrote earlier; `None` for braces and malformed lines.
+fn parse_entry_line(line: &str) -> Option<(String, u128, usize)> {
+    let line = line.trim().trim_end_matches(',');
+    let rest = line.strip_prefix('"')?;
+    let (id, rest) = rest.split_once("\": {\"median_ns\": ")?;
+    let (ns, rest) = rest.split_once(", \"samples\": ")?;
+    let n = rest.strip_suffix('}')?;
+    Some((unescape(id), ns.parse().ok()?, n.parse().ok()?))
+}
+
 /// Append one result and rewrite `GPA_BENCH_JSON`, if configured.
+///
+/// Entries found in the file but not measured by this process (another
+/// bench binary's results) are kept, ahead of this process's results.
 fn record_json(id: &str, median_ns: u128, samples: usize) {
     let Ok(path) = std::env::var("GPA_BENCH_JSON") else {
         return;
@@ -57,9 +97,20 @@ fn record_json(id: &str, median_ns: u128, samples: usize) {
     }
     let mut results = RESULTS.lock().unwrap();
     results.push((id.to_owned(), median_ns, samples));
+    let mut merged: Vec<(String, u128, usize)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            if let Some(entry) = parse_entry_line(line) {
+                if !results.iter().any(|(rid, _, _)| *rid == entry.0) {
+                    merged.push(entry);
+                }
+            }
+        }
+    }
+    merged.extend(results.iter().cloned());
     let mut out = String::from("{\n");
-    for (i, (id, ns, n)) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
+    for (i, (id, ns, n)) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
         out.push_str(&format!(
             "  \"{}\": {{\"median_ns\": {ns}, \"samples\": {n}}}{comma}\n",
             escape(id)
@@ -240,6 +291,13 @@ mod tests {
     #[test]
     fn json_emission_writes_every_result() {
         let path = std::env::temp_dir().join(format!("gpa-bench-json-{}.json", std::process::id()));
+        // A pre-existing entry from "another bench binary" must survive
+        // this process's rewrites (multi-binary merge mode).
+        std::fs::write(
+            &path,
+            "{\n  \"other/bench\": {\"median_ns\": 7, \"samples\": 3}\n}\n",
+        )
+        .unwrap();
         std::env::set_var("GPA_BENCH_JSON", &path);
         let mut c = Criterion::default().sample_size(1);
         c.bench_function("shim/alpha", |b| b.iter(|| 1 + 1));
@@ -253,5 +311,23 @@ mod tests {
         assert!(text.contains("\"shim/alpha\": {\"median_ns\": "), "{text}");
         // Quotes in an id arrive escaped, keeping the JSON well-formed.
         assert!(text.contains("shim/\\\"beta\\\""), "{text}");
+        assert!(
+            text.contains("\"other/bench\": {\"median_ns\": 7, \"samples\": 3}"),
+            "foreign entry dropped: {text}"
+        );
+    }
+
+    #[test]
+    fn entry_lines_round_trip() {
+        let line = format!(
+            "  \"{}\": {{\"median_ns\": 123, \"samples\": 4}},",
+            escape("serve/\"odd\"\\id")
+        );
+        let (id, ns, n) = parse_entry_line(&line).unwrap();
+        assert_eq!(id, "serve/\"odd\"\\id");
+        assert_eq!((ns, n), (123, 4));
+        assert_eq!(parse_entry_line("{"), None);
+        assert_eq!(parse_entry_line("}"), None);
+        assert_eq!(parse_entry_line("  \"no-median\": {}"), None);
     }
 }

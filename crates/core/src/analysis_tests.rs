@@ -7,7 +7,7 @@ use gpa_isa::instr::{CmpOp, MemAddr, NumTy, Pred, SpecialReg, Src, Width};
 use gpa_isa::Kernel;
 use gpa_sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
 use gpa_ubench::{MeasureOpts, ThroughputCurves};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 fn machine() -> &'static Machine {
@@ -37,8 +37,8 @@ fn run_case(
     sim.set_params(params);
     sim.collect_traces(true);
     let out = sim.run(gmem).unwrap();
-    let traces: Vec<Rc<gpa_sim::BlockTrace>> =
-        out.traces.unwrap().into_iter().map(Rc::new).collect();
+    let traces: Vec<Arc<gpa_sim::BlockTrace>> =
+        out.traces.unwrap().into_iter().map(Arc::new).collect();
     let timing = TimingSim::new(m);
     let mut src = TraceSource::PerBlock(traces);
     let measured = timing.run(&mut src, &launch, kernel.resources);

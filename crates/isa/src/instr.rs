@@ -607,11 +607,46 @@ impl Op {
     }
 
     /// The shared-memory operand of an ALU instruction, if present.
+    ///
+    /// Allocation-free (the functional simulator asks this once per
+    /// executed warp-instruction); equivalent to scanning
+    /// [`Op::operands`] in order for the first [`Src::SMem`].
     pub fn smem_operand(&self) -> Option<MemAddr> {
-        self.operands().into_iter().find_map(|s| match s {
-            Src::SMem(a) => Some(a),
+        fn pick(s: &Src) -> Option<MemAddr> {
+            match s {
+                Src::SMem(a) => Some(*a),
+                _ => None,
+            }
+        }
+        match self {
+            Op::FMul { a, b, .. }
+            | Op::FAdd { a, b, .. }
+            | Op::IAdd { a, b, .. }
+            | Op::ISub { a, b, .. }
+            | Op::IMul { a, b, .. }
+            | Op::IMin { a, b, .. }
+            | Op::IMax { a, b, .. }
+            | Op::Shl { a, b, .. }
+            | Op::Shr { a, b, .. }
+            | Op::And { a, b, .. }
+            | Op::Or { a, b, .. }
+            | Op::Xor { a, b, .. }
+            | Op::SetP { a, b, .. }
+            | Op::Sel { a, b, .. } => pick(a).or_else(|| pick(b)),
+            Op::FMad { a, b, c, .. } | Op::IMad { a, b, c, .. } => {
+                pick(a).or_else(|| pick(b)).or_else(|| pick(c))
+            }
+            Op::Mov { a, .. }
+            | Op::I2F { a, .. }
+            | Op::F2I { a, .. }
+            | Op::Rcp { a, .. }
+            | Op::Rsq { a, .. }
+            | Op::Sin { a, .. }
+            | Op::Cos { a, .. }
+            | Op::Lg2 { a, .. }
+            | Op::Ex2 { a, .. } => pick(a),
             _ => None,
-        })
+        }
     }
 
     /// All `Src` operands of an ALU-style instruction (empty for memory and

@@ -59,6 +59,34 @@ impl Default for BankConfig {
 pub fn bank_transactions(addrs: &[Option<u64>], cfg: BankConfig) -> u32 {
     debug_assert!(cfg.banks > 0 && cfg.width > 0);
     // Distinct words per bank; same word in the same bank broadcasts.
+    // Half-warps are small (16 lanes), so the distinct-word set fits on
+    // the stack — this function runs twice per shared-memory instruction
+    // in the functional simulator and must not allocate.
+    const STACK_LANES: usize = 32;
+    if addrs.len() <= STACK_LANES {
+        let mut words = [0u64; STACK_LANES];
+        let mut banks = [0u64; STACK_LANES];
+        let mut n = 0usize;
+        for addr in addrs.iter().flatten() {
+            let word = addr / u64::from(cfg.width);
+            if !words[..n].contains(&word) {
+                words[n] = word;
+                banks[n] = word % u64::from(cfg.banks);
+                n += 1;
+            }
+        }
+        let mut worst = 0u32;
+        for i in 0..n {
+            let mut depth = 0u32;
+            for b in &banks[..n] {
+                if *b == banks[i] {
+                    depth += 1;
+                }
+            }
+            worst = worst.max(depth);
+        }
+        return worst;
+    }
     let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); cfg.banks as usize];
     for addr in addrs.iter().flatten() {
         let word = addr / u64::from(cfg.width);

@@ -109,10 +109,42 @@ pub fn coalesce_half_warp(
     accesses: &[Option<(u64, u32)>],
     cfg: CoalesceConfig,
 ) -> Vec<Transaction> {
+    let mut out = Vec::new();
+    coalesce_half_warp_with(accesses, cfg, &mut |t| out.push(t));
+    out
+}
+
+/// [`coalesce_half_warp`] without the return-vector allocation: `emit` is
+/// invoked once per transaction, in issue order.
+///
+/// This is the functional simulator's form — it runs the protocol three
+/// times (one per granularity) per global warp-instruction, so the half-warp
+/// working set lives on the stack.
+///
+/// # Panics
+///
+/// Same contract as [`coalesce_half_warp`].
+pub fn coalesce_half_warp_with(
+    accesses: &[Option<(u64, u32)>],
+    cfg: CoalesceConfig,
+    emit: &mut dyn FnMut(Transaction),
+) {
     cfg.check();
-    let mut pending: Vec<(u64, u32)> = Vec::with_capacity(accesses.len());
-    for a in accesses.iter().flatten() {
-        let (addr, len) = *a;
+    const STACK_LANES: usize = 32;
+    let mut stack = [(0u64, 0u32); STACK_LANES];
+    let mut heap: Vec<(u64, u32)>;
+    let pending: &mut [(u64, u32)] = if accesses.len() <= STACK_LANES {
+        let mut n = 0usize;
+        for a in accesses.iter().flatten() {
+            stack[n] = *a;
+            n += 1;
+        }
+        &mut stack[..n]
+    } else {
+        heap = accesses.iter().flatten().copied().collect();
+        &mut heap[..]
+    };
+    for &(addr, len) in pending.iter() {
         assert!(
             len > 0 && len <= cfg.max_segment,
             "access width {len} unsupported"
@@ -121,26 +153,35 @@ pub fn coalesce_half_warp(
             len.is_power_of_two() && addr % u64::from(len) == 0,
             "access at {addr:#x} is not naturally aligned to {len}"
         );
-        pending.push((addr, len));
     }
 
-    let mut out = Vec::new();
-    while let Some(&(first_addr, _)) = pending.first() {
+    let mut n = pending.len();
+    while n > 0 {
         // 1. Aligned max-size segment containing the lowest lane's address.
         let seg_size = u64::from(cfg.max_segment);
-        let mut base = first_addr / seg_size * seg_size;
+        let mut base = pending[0].0 / seg_size * seg_size;
         let mut size = cfg.max_segment;
 
-        // 2. Serve every pending access that fits entirely in the segment.
+        // 2. Serve every pending access that fits entirely in the segment,
+        //    compacting the unserved ones in place (order preserved).
         let seg = Transaction { base, size };
-        let (served, rest): (Vec<_>, Vec<_>) =
-            pending.iter().partition(|&&(a, l)| seg.contains(a, l));
-        pending = rest;
-        debug_assert!(!served.is_empty());
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut kept = 0usize;
+        for i in 0..n {
+            let (a, l) = pending[i];
+            if seg.contains(a, l) {
+                lo = lo.min(a);
+                hi = hi.max(a + u64::from(l));
+            } else {
+                pending[kept] = (a, l);
+                kept += 1;
+            }
+        }
+        debug_assert!(kept < n);
+        n = kept;
 
         // 3. Reduce the segment while the used bytes fit in an aligned half.
-        let lo = served.iter().map(|&(a, _)| a).min().unwrap();
-        let hi = served.iter().map(|&(a, l)| a + u64::from(l)).max().unwrap();
         while size > cfg.min_segment {
             let half = size / 2;
             let lower = Transaction { base, size: half };
@@ -157,9 +198,8 @@ pub fn coalesce_half_warp(
                 break;
             }
         }
-        out.push(Transaction { base, size });
+        emit(Transaction { base, size });
     }
-    out
 }
 
 /// Coalesce a full warp as two half-warps (the GT200 transaction issue

@@ -1257,13 +1257,36 @@ impl Analyzer {
         // Reuse the engine's contiguous near-equal sharding so batch
         // assignment is deterministic (not that it matters for results:
         // requests are independent and individually deterministic).
+        //
+        // Nested-parallelism coordination: a request left on
+        // [`Threads::Auto`] would spawn one worker per core *inside each
+        // batch worker*, oversubscribing the machine `workers`-fold. Split
+        // the cores across the batch instead (`Auto` → `Fixed(cores /
+        // workers)`); an explicit `Fixed` request setting is the caller's
+        // decision and passes through untouched. Results are unaffected —
+        // every phase is bit-identical for every thread count, and the
+        // report-cache key normalizes `threads` out.
+        let inner = Threads::Fixed((Threads::Auto.count() / workers).max(1));
         let plan = SimEngine::shard_plan(n as u32, workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = plan
                 .iter()
                 .map(|range| {
                     let shard = &reqs[range.start as usize..range.end as usize];
-                    scope.spawn(move || shard.iter().map(|r| self.analyze(r)).collect::<Vec<_>>())
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|r| {
+                                if matches!(r.options.threads, Threads::Auto) {
+                                    let mut r = r.clone();
+                                    r.options.threads = inner;
+                                    self.analyze(&r)
+                                } else {
+                                    self.analyze(r)
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    })
                 })
                 .collect();
             handles

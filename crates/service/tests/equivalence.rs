@@ -103,6 +103,44 @@ fn batch_is_identical_to_sequential_analyze() {
 }
 
 #[test]
+fn case_study_reports_are_bit_identical_for_every_thread_count() {
+    // The three case studies end-to-end (functional pass, parallel
+    // timing replay, model analysis): the worker-thread knob must never
+    // leak into the answer. PerBlock mode exercises the sharded cluster
+    // replay; the default mode rides the uniform fast path.
+    use gpa_service::RequestTraceMode;
+    let analyzer = analyzer();
+    for base in case_requests() {
+        for mode in [None, Some(RequestTraceMode::PerBlock)] {
+            let mut reference = None;
+            for threads in [
+                Threads::Fixed(1),
+                Threads::Fixed(2),
+                Threads::Fixed(5),
+                Threads::Auto,
+            ] {
+                let mut req = base.clone();
+                req.options.mode = mode;
+                req.options.threads = threads;
+                let report = analyzer.analyze(&req).expect("case study analyzes");
+                match &reference {
+                    None => reference = Some(report),
+                    Some(r) => {
+                        assert_eq!(
+                            report.measured_cycles.to_bits(),
+                            r.measured_cycles.to_bits(),
+                            "{}: cycles diverge at {threads:?} (mode {mode:?})",
+                            report.kernel
+                        );
+                        assert_eq!(&report, r, "{threads:?} (mode {mode:?})");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_surfaces_per_request_failures_in_order() {
     let analyzer = analyzer();
     let reqs = vec![

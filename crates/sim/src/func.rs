@@ -21,7 +21,105 @@ use gpa_isa::cfg::Cfg;
 use gpa_isa::instr::{Instruction, MemAddr, NumTy, Op, Reg, SpecialReg, Src};
 use gpa_isa::kernel::Kernel;
 use gpa_mem::bank::{bank_transactions, BankConfig};
-use gpa_mem::coalesce::{coalesce_half_warp, CoalesceConfig};
+use gpa_mem::coalesce::{coalesce_half_warp_with, CoalesceConfig};
+
+/// Hardware fused-multiply-add dispatch.
+///
+/// `f32::mul_add`/`f64::mul_add` lower to libm calls unless the build
+/// enables the FMA target feature, and the baseline x86-64 target does
+/// not. IEEE 754 `fusedMultiplyAdd` has exactly one correct answer, so
+/// the hardware instruction is bit-identical to the libm fallback — this
+/// module just picks the fast one at runtime.
+mod fma {
+    #[cfg(target_arch = "x86_64")]
+    pub fn available() -> bool {
+        // Detection is cached by std; this is an atomic load after the
+        // first call.
+        std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// Fused `a * b + c`, single rounding.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure [`available`] returned `true`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "fma")]
+    pub unsafe fn f32_fma(a: f32, b: f32, c: f32) -> f32 {
+        use std::arch::x86_64::{_mm_cvtss_f32, _mm_fmadd_ss, _mm_set_ss};
+        _mm_cvtss_f32(_mm_fmadd_ss(_mm_set_ss(a), _mm_set_ss(b), _mm_set_ss(c)))
+    }
+
+    /// Fused `a * b + c`, single rounding.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure [`available`] returned `true`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "fma")]
+    pub unsafe fn f64_fma(a: f64, b: f64, c: f64) -> f64 {
+        use std::arch::x86_64::{_mm_cvtsd_f64, _mm_fmadd_sd, _mm_set_sd};
+        _mm_cvtsd_f64(_mm_fmadd_sd(_mm_set_sd(a), _mm_set_sd(b), _mm_set_sd(c)))
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn available() -> bool {
+        false
+    }
+
+    /// Portable stand-in (never reached: [`available`] is `false` here).
+    ///
+    /// # Safety
+    ///
+    /// Trivially safe; marked `unsafe` to match the x86-64 signature.
+    #[cfg(not(target_arch = "x86_64"))]
+    pub unsafe fn f32_fma(a: f32, b: f32, c: f32) -> f32 {
+        a.mul_add(b, c)
+    }
+
+    /// Portable stand-in (never reached: [`available`] is `false` here).
+    ///
+    /// # Safety
+    ///
+    /// Trivially safe; marked `unsafe` to match the x86-64 signature.
+    #[cfg(not(target_arch = "x86_64"))]
+    pub unsafe fn f64_fma(a: f64, b: f64, c: f64) -> f64 {
+        a.mul_add(b, c)
+    }
+
+    /// Fused multiply-add across a full warp: `out[l] = a[l] * b[l] + c[l]`
+    /// with a single rounding per lane. Inside an FMA-enabled function
+    /// `mul_add` lowers to the hardware instruction and the loop
+    /// vectorizes; the result is still IEEE 754 `fusedMultiplyAdd`,
+    /// bit-identical to the libm path.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure [`available`] returned `true`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "fma")]
+    pub unsafe fn fmad_warp(a: &[u32; 32], b: &[u32; 32], c: &[u32; 32], out: &mut [u32; 32]) {
+        for l in 0..32 {
+            out[l] = f32::from_bits(a[l])
+                .mul_add(f32::from_bits(b[l]), f32::from_bits(c[l]))
+                .to_bits();
+        }
+    }
+
+    /// Portable stand-in (never reached: [`available`] is `false` here).
+    ///
+    /// # Safety
+    ///
+    /// Trivially safe; marked `unsafe` to match the x86-64 signature.
+    #[cfg(not(target_arch = "x86_64"))]
+    pub unsafe fn fmad_warp(a: &[u32; 32], b: &[u32; 32], c: &[u32; 32], out: &mut [u32; 32]) {
+        for l in 0..32 {
+            out[l] = f32::from_bits(a[l])
+                .mul_add(f32::from_bits(b[l]), f32::from_bits(c[l]))
+                .to_bits();
+        }
+    }
+}
 
 /// Result of a full-grid functional run.
 #[derive(Debug, Clone)]
@@ -401,7 +499,7 @@ impl<'a> FunctionalSim<'a> {
                 let mut m = 0u32;
                 for lane in 0..WARP {
                     if w.mask & (1 << lane) != 0 {
-                        let v = w.lanes[lane].preds[g.pred.0 as usize];
+                        let v = w.pred(lane, g.pred.0);
                         if v != g.negate {
                             m |= 1 << lane;
                         }
@@ -467,11 +565,20 @@ impl<'a> FunctionalSim<'a> {
 
         // Shared-memory traffic: explicit ld/st or an ALU shared operand.
         let mut smem_half_txns_entry: u16 = 0;
+        let is_smem_ldst = matches!(ins.op, Op::LdShared { .. } | Op::StShared { .. });
         let smem_access: Option<(MemAddr, u32)> = match ins.op {
             Op::LdShared { addr, width, .. } | Op::StShared { addr, width, .. } => {
                 Some((addr, width.bytes()))
             }
             _ => ins.op.smem_operand().map(|a| (a, 4)),
+        };
+        // ALU shared operands are addressed, checked, and loaded here,
+        // once per lane, and the word values handed to the semantic step
+        // below — these ops only read shared memory, so preloading is
+        // order-equivalent to fetching during execution.
+        let mut smem_pre = SmemPre {
+            addr: None,
+            vals: [0u32; WARP],
         };
         if let Some((addr, width)) = smem_access {
             if exec_mask != 0 {
@@ -485,6 +592,11 @@ impl<'a> FunctionalSim<'a> {
                             let a = self.smem_lane_addr(w, lane, addr)? + i64::from(phase * 4);
                             self.check_smem(a, 4, smem.len(), pc)?;
                             *slot = Some(a as u64);
+                            if !is_smem_ldst {
+                                let i = a as usize;
+                                smem_pre.vals[lane] =
+                                    u32::from_le_bytes(smem[i..i + 4].try_into().unwrap());
+                            }
                         }
                     }
                     for hw_chunk in addrs.chunks(self.bank_cfg.half_warp) {
@@ -494,6 +606,9 @@ impl<'a> FunctionalSim<'a> {
                             half_accesses += 1;
                         }
                     }
+                }
+                if !is_smem_ldst {
+                    smem_pre.addr = Some(addr);
                 }
                 let s = self.stage_mut(stats, stage);
                 s.smem_half_txns += u64::from(half_txns);
@@ -532,11 +647,13 @@ impl<'a> FunctionalSim<'a> {
                         requested += u64::from(width.bytes());
                     }
                 }
+                // The GT200-granularity transaction list is only kept for
+                // the timing trace; the statistics fold in-place.
                 let mut all_txs = Vec::new();
+                let collect_txs = self.collect_trace;
                 for (g, cfg) in self.coalesce_cfgs.iter().enumerate() {
                     for hw_chunk in accesses.chunks(self.machine.half_warp as usize) {
-                        let txs = coalesce_half_warp(hw_chunk, *cfg);
-                        for t in &txs {
+                        coalesce_half_warp_with(hw_chunk, *cfg, &mut |t| {
                             let st = self.stage_mut(stats, stage);
                             st.gmem[g].transactions += 1;
                             st.gmem[g].bytes += u64::from(t.size);
@@ -544,10 +661,10 @@ impl<'a> FunctionalSim<'a> {
                                 r.gmem[g].transactions += 1;
                                 r.gmem[g].bytes += u64::from(t.size);
                             }
-                        }
-                        if g == GRAN_GT200 {
-                            all_txs.extend(txs);
-                        }
+                            if g == GRAN_GT200 && collect_txs {
+                                all_txs.push(t);
+                            }
+                        });
                     }
                 }
                 for (a, l) in accesses.iter().flatten() {
@@ -563,7 +680,7 @@ impl<'a> FunctionalSim<'a> {
         }
 
         // Semantics.
-        self.apply_semantics(w, ins, exec_mask, block, gmem, smem, pc)?;
+        self.apply_semantics(w, ins, exec_mask, block, gmem, smem, pc, &smem_pre)?;
 
         // Trace.
         if self.collect_trace {
@@ -585,7 +702,7 @@ impl<'a> FunctionalSim<'a> {
     /// Byte offset into shared memory for one lane (bounds unchecked).
     fn smem_lane_addr(&self, w: &WarpState, lane: usize, addr: MemAddr) -> Result<i64, SimError> {
         let base = match addr.base {
-            Some(r) => i64::from(w.lanes[lane].regs[r.0 as usize] as i32),
+            Some(r) => i64::from(w.reg(lane, r.0) as i32),
             None => 0,
         };
         Ok(base + i64::from(addr.offset))
@@ -612,12 +729,17 @@ impl<'a> FunctionalSim<'a> {
     /// Device address for one lane of a global access.
     fn gmem_lane_addr(&self, w: &WarpState, lane: usize, addr: MemAddr) -> i64 {
         let base = match addr.base {
-            Some(r) => i64::from(w.lanes[lane].regs[r.0 as usize]),
+            Some(r) => i64::from(w.reg(lane, r.0)),
             None => 0,
         };
         base + i64::from(addr.offset)
     }
 
+    /// Execute one warp-instruction's semantics for every active lane.
+    ///
+    /// The op is matched **once per warp** and each arm loops over the
+    /// active lanes — this (not the arithmetic) is the interpreter's hot
+    /// shape: per-lane dispatch costs more than the lane's work.
     #[allow(clippy::too_many_arguments)]
     fn apply_semantics(
         &self,
@@ -628,17 +750,266 @@ impl<'a> FunctionalSim<'a> {
         gmem: &mut GlobalMemory,
         smem: &mut [u8],
         pc: usize,
+        pre: &SmemPre,
     ) -> Result<(), SimError> {
-        for lane in 0..WARP {
-            if exec_mask & (1 << lane) == 0 {
-                continue;
+        use Op::*;
+
+        macro_rules! lanes {
+            (|$lane:ident| $body:expr) => {
+                for $lane in 0..WARP {
+                    if exec_mask & (1 << $lane) != 0 {
+                        $body;
+                    }
+                }
+            };
+        }
+        macro_rules! get {
+            ($lane:ident, $s:expr) => {
+                self.fetch(w, $lane, $s, smem, pc, pre)?
+            };
+        }
+        macro_rules! set {
+            ($lane:ident, $d:expr, $v:expr) => {{
+                let v = $v;
+                w.set_reg($lane, $d.0, v);
+            }};
+        }
+        let f = f32::from_bits;
+        let fb = |x: f32| x.to_bits();
+
+        match ins.op {
+            FMul { d, a, b } => lanes!(|l| set!(l, d, fb(f(get!(l, a)) * f(get!(l, b))))),
+            FAdd { d, a, b } => lanes!(|l| set!(l, d, fb(f(get!(l, a)) + f(get!(l, b))))),
+            FMad { d, a, b, c } => {
+                // Full-warp vector path: resolve each operand into a
+                // contiguous row, fuse all 32 lanes at once.
+                if exec_mask == u32::MAX && fma::available() {
+                    let mut va = [0u32; WARP];
+                    let mut vb = [0u32; WARP];
+                    let mut vc = [0u32; WARP];
+                    if self.resolve_full(w, a, pre, &mut va)
+                        && self.resolve_full(w, b, pre, &mut vb)
+                        && self.resolve_full(w, c, pre, &mut vc)
+                    {
+                        // SAFETY: `fma::available()` confirmed the FMA
+                        // target feature at runtime.
+                        unsafe { fma::fmad_warp(&va, &vb, &vc, w.reg_row_mut(d.0)) };
+                        return Ok(());
+                    }
+                }
+                if fma::available() {
+                    lanes!(|l| {
+                        let (va, vb, vc) = (f(get!(l, a)), f(get!(l, b)), f(get!(l, c)));
+                        // SAFETY: `fma::available()` confirmed the FMA
+                        // target feature at runtime.
+                        set!(l, d, fb(unsafe { fma::f32_fma(va, vb, vc) }));
+                    })
+                } else {
+                    lanes!(|l| set!(
+                        l,
+                        d,
+                        fb(f(get!(l, a)).mul_add(f(get!(l, b)), f(get!(l, c))))
+                    ))
+                }
             }
-            self.apply_lane(w, ins, lane, block, gmem, smem, pc)?;
+            IAdd { d, a, b } => {
+                lanes!(|l| set!(
+                    l,
+                    d,
+                    (get!(l, a) as i32).wrapping_add(get!(l, b) as i32) as u32
+                ))
+            }
+            ISub { d, a, b } => {
+                lanes!(|l| set!(
+                    l,
+                    d,
+                    (get!(l, a) as i32).wrapping_sub(get!(l, b) as i32) as u32
+                ))
+            }
+            IMul { d, a, b } => {
+                lanes!(|l| set!(
+                    l,
+                    d,
+                    (get!(l, a) as i32).wrapping_mul(get!(l, b) as i32) as u32
+                ))
+            }
+            IMad { d, a, b, c } => {
+                lanes!(|l| set!(
+                    l,
+                    d,
+                    (get!(l, a) as i32)
+                        .wrapping_mul(get!(l, b) as i32)
+                        .wrapping_add(get!(l, c) as i32) as u32
+                ))
+            }
+            IMin { d, a, b } => {
+                lanes!(|l| set!(l, d, (get!(l, a) as i32).min(get!(l, b) as i32) as u32))
+            }
+            IMax { d, a, b } => {
+                lanes!(|l| set!(l, d, (get!(l, a) as i32).max(get!(l, b) as i32) as u32))
+            }
+            Shl { d, a, b } => lanes!(|l| set!(l, d, get!(l, a) << (get!(l, b) & 31))),
+            Shr { d, a, b } => lanes!(|l| set!(l, d, get!(l, a) >> (get!(l, b) & 31))),
+            And { d, a, b } => lanes!(|l| set!(l, d, get!(l, a) & get!(l, b))),
+            Or { d, a, b } => lanes!(|l| set!(l, d, get!(l, a) | get!(l, b))),
+            Xor { d, a, b } => lanes!(|l| set!(l, d, get!(l, a) ^ get!(l, b))),
+            Mov { d, a } => lanes!(|l| set!(l, d, get!(l, a))),
+            MovImm { d, imm } => lanes!(|l| set!(l, d, imm)),
+            S2R { d, sr } => lanes!(|l| set!(l, d, self.special_value(w, l, block, sr))),
+            SetP { p, cmp, ty, a, b } => {
+                lanes!(|l| {
+                    let va = get!(l, a);
+                    let vb = get!(l, b);
+                    let r = match ty {
+                        NumTy::S32 => cmp.eval_i32(va as i32, vb as i32),
+                        NumTy::F32 => cmp.eval_f32(f(va), f(vb)),
+                    };
+                    w.set_pred(l, p.0, r);
+                })
+            }
+            Sel { d, p, a, b } => {
+                lanes!(|l| {
+                    let v = if w.pred(l, p.0) {
+                        get!(l, a)
+                    } else {
+                        get!(l, b)
+                    };
+                    set!(l, d, v);
+                })
+            }
+            I2F { d, a } => lanes!(|l| set!(l, d, fb(get!(l, a) as i32 as f32))),
+            F2I { d, a } => lanes!(|l| set!(l, d, (f(get!(l, a)) as i32) as u32)),
+            Rcp { d, a } => lanes!(|l| set!(l, d, fb(1.0 / f(get!(l, a))))),
+            Rsq { d, a } => lanes!(|l| set!(l, d, fb(1.0 / f(get!(l, a)).sqrt()))),
+            Sin { d, a } => lanes!(|l| set!(l, d, fb(f(get!(l, a)).sin()))),
+            Cos { d, a } => lanes!(|l| set!(l, d, fb(f(get!(l, a)).cos()))),
+            Lg2 { d, a } => lanes!(|l| set!(l, d, fb(f(get!(l, a)).log2()))),
+            Ex2 { d, a } => lanes!(|l| set!(l, d, fb(f(get!(l, a)).exp2()))),
+            DAdd { d, a, b } => {
+                lanes!(|l| {
+                    let v = w.read_f64(l, a) + w.read_f64(l, b);
+                    w.write_f64(l, d, v);
+                })
+            }
+            DMul { d, a, b } => {
+                lanes!(|l| {
+                    let v = w.read_f64(l, a) * w.read_f64(l, b);
+                    w.write_f64(l, d, v);
+                })
+            }
+            DFma { d, a, b, c } => {
+                if fma::available() {
+                    lanes!(|l| {
+                        let (va, vb, vc) = (w.read_f64(l, a), w.read_f64(l, b), w.read_f64(l, c));
+                        // SAFETY: `fma::available()` confirmed the FMA
+                        // target feature at runtime.
+                        let v = unsafe { fma::f64_fma(va, vb, vc) };
+                        w.write_f64(l, d, v);
+                    })
+                } else {
+                    lanes!(|l| {
+                        let v = w.read_f64(l, a).mul_add(w.read_f64(l, b), w.read_f64(l, c));
+                        w.write_f64(l, d, v);
+                    })
+                }
+            }
+            LdShared { d, addr, width } => {
+                lanes!(|l| {
+                    let a = self.smem_lane_addr(w, l, addr)?;
+                    self.check_smem(a, width.bytes(), smem.len(), pc)?;
+                    for k in 0..width.regs() {
+                        let i = a as usize + usize::from(k) * 4;
+                        let v = u32::from_le_bytes(smem[i..i + 4].try_into().unwrap());
+                        w.set_reg(l, d.0 + k, v);
+                    }
+                })
+            }
+            StShared { addr, src, width } => {
+                lanes!(|l| {
+                    let a = self.smem_lane_addr(w, l, addr)?;
+                    self.check_smem(a, width.bytes(), smem.len(), pc)?;
+                    for k in 0..width.regs() {
+                        let i = a as usize + usize::from(k) * 4;
+                        let v = w.reg(l, src.0 + k);
+                        smem[i..i + 4].copy_from_slice(&v.to_le_bytes());
+                    }
+                })
+            }
+            LdGlobal { d, addr, width } => {
+                lanes!(|l| {
+                    let a = self.gmem_lane_addr(w, l, addr) as u64;
+                    for k in 0..width.regs() {
+                        let v = gmem.read_u32(a + u64::from(k) * 4).map_err(|_| {
+                            SimError::GlobalOutOfBounds {
+                                addr: a,
+                                len: width.bytes(),
+                                pc,
+                            }
+                        })?;
+                        w.set_reg(l, d.0 + k, v);
+                    }
+                })
+            }
+            StGlobal { addr, src, width } => {
+                lanes!(|l| {
+                    let a = self.gmem_lane_addr(w, l, addr) as u64;
+                    for k in 0..width.regs() {
+                        let v = w.reg(l, src.0 + k);
+                        gmem.write_u32(a + u64::from(k) * 4, v).map_err(|_| {
+                            SimError::GlobalOutOfBounds {
+                                addr: a,
+                                len: width.bytes(),
+                                pc,
+                            }
+                        })?;
+                    }
+                })
+            }
+            LdParam { d, offset } => {
+                if exec_mask != 0 {
+                    let idx = usize::from(offset) / 4;
+                    let v = *self
+                        .params
+                        .get(idx)
+                        .ok_or(SimError::ParamOutOfBounds { offset })?;
+                    lanes!(|l| set!(l, d, v));
+                }
+            }
+            Bar | Bra { .. } | Exit | Nop => {}
         }
         Ok(())
     }
 
-    /// Fetch one operand for one lane (may read shared memory).
+    /// Resolve one operand for **all 32 lanes** of a fully-active warp
+    /// into `out`. Returns `false` (leaving `out` unspecified) when the
+    /// operand is a shared-memory word that was not preloaded — the
+    /// caller falls back to the per-lane path.
+    #[inline]
+    fn resolve_full(&self, w: &WarpState, s: Src, pre: &SmemPre, out: &mut [u32; WARP]) -> bool {
+        match s {
+            Src::Reg(r) => {
+                out.copy_from_slice(w.reg_row(r.0));
+                true
+            }
+            Src::Imm(v) => {
+                out.fill(v as u32);
+                true
+            }
+            Src::SMem(a) => {
+                if pre.addr == Some(a) {
+                    out.copy_from_slice(&pre.vals);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Fetch one operand for one lane. Shared-memory operands normally
+    /// come pre-loaded from the accounting pass (`pre`); the fallback
+    /// path reads shared memory directly.
+    #[inline(always)]
     fn fetch(
         &self,
         w: &WarpState,
@@ -646,173 +1017,21 @@ impl<'a> FunctionalSim<'a> {
         s: Src,
         smem: &[u8],
         pc: usize,
+        pre: &SmemPre,
     ) -> Result<u32, SimError> {
         match s {
-            Src::Reg(r) => Ok(w.lanes[lane].regs[r.0 as usize]),
+            Src::Reg(r) => Ok(w.reg(lane, r.0)),
             Src::Imm(v) => Ok(v as u32),
             Src::SMem(a) => {
+                if pre.addr == Some(a) {
+                    return Ok(pre.vals[lane]);
+                }
                 let addr = self.smem_lane_addr(w, lane, a)?;
                 self.check_smem(addr, 4, smem.len(), pc)?;
                 let i = addr as usize;
                 Ok(u32::from_le_bytes(smem[i..i + 4].try_into().unwrap()))
             }
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn apply_lane(
-        &self,
-        w: &mut WarpState,
-        ins: &Instruction,
-        lane: usize,
-        block: u32,
-        gmem: &mut GlobalMemory,
-        smem: &mut [u8],
-        pc: usize,
-    ) -> Result<(), SimError> {
-        use Op::*;
-
-        macro_rules! get {
-            ($s:expr) => {
-                self.fetch(w, lane, $s, smem, pc)?
-            };
-        }
-        macro_rules! set {
-            ($d:expr, $v:expr) => {{
-                let v = $v;
-                w.lanes[lane].regs[$d.0 as usize] = v;
-            }};
-        }
-        let f = f32::from_bits;
-        let fb = |x: f32| x.to_bits();
-
-        match ins.op {
-            FMul { d, a, b } => set!(d, fb(f(get!(a)) * f(get!(b)))),
-            FAdd { d, a, b } => set!(d, fb(f(get!(a)) + f(get!(b)))),
-            FMad { d, a, b, c } => {
-                set!(d, fb(f(get!(a)).mul_add(f(get!(b)), f(get!(c)))))
-            }
-            IAdd { d, a, b } => {
-                set!(d, (get!(a) as i32).wrapping_add(get!(b) as i32) as u32)
-            }
-            ISub { d, a, b } => {
-                set!(d, (get!(a) as i32).wrapping_sub(get!(b) as i32) as u32)
-            }
-            IMul { d, a, b } => {
-                set!(d, (get!(a) as i32).wrapping_mul(get!(b) as i32) as u32)
-            }
-            IMad { d, a, b, c } => {
-                set!(
-                    d,
-                    (get!(a) as i32)
-                        .wrapping_mul(get!(b) as i32)
-                        .wrapping_add(get!(c) as i32) as u32
-                )
-            }
-            IMin { d, a, b } => set!(d, (get!(a) as i32).min(get!(b) as i32) as u32),
-            IMax { d, a, b } => set!(d, (get!(a) as i32).max(get!(b) as i32) as u32),
-            Shl { d, a, b } => set!(d, get!(a) << (get!(b) & 31)),
-            Shr { d, a, b } => set!(d, get!(a) >> (get!(b) & 31)),
-            And { d, a, b } => set!(d, get!(a) & get!(b)),
-            Or { d, a, b } => set!(d, get!(a) | get!(b)),
-            Xor { d, a, b } => set!(d, get!(a) ^ get!(b)),
-            Mov { d, a } => set!(d, get!(a)),
-            MovImm { d, imm } => set!(d, imm),
-            S2R { d, sr } => set!(d, self.special_value(w, lane, block, sr)),
-            SetP { p, cmp, ty, a, b } => {
-                let va = get!(a);
-                let vb = get!(b);
-                let r = match ty {
-                    NumTy::S32 => cmp.eval_i32(va as i32, vb as i32),
-                    NumTy::F32 => cmp.eval_f32(f(va), f(vb)),
-                };
-                w.lanes[lane].preds[p.0 as usize] = r;
-            }
-            Sel { d, p, a, b } => {
-                let v = if w.lanes[lane].preds[p.0 as usize] {
-                    get!(a)
-                } else {
-                    get!(b)
-                };
-                set!(d, v);
-            }
-            I2F { d, a } => set!(d, fb(get!(a) as i32 as f32)),
-            F2I { d, a } => set!(d, (f(get!(a)) as i32) as u32),
-            Rcp { d, a } => set!(d, fb(1.0 / f(get!(a)))),
-            Rsq { d, a } => set!(d, fb(1.0 / f(get!(a)).sqrt())),
-            Sin { d, a } => set!(d, fb(f(get!(a)).sin())),
-            Cos { d, a } => set!(d, fb(f(get!(a)).cos())),
-            Lg2 { d, a } => set!(d, fb(f(get!(a)).log2())),
-            Ex2 { d, a } => set!(d, fb(f(get!(a)).exp2())),
-            DAdd { d, a, b } => {
-                let v = w.read_f64(lane, a) + w.read_f64(lane, b);
-                w.write_f64(lane, d, v);
-            }
-            DMul { d, a, b } => {
-                let v = w.read_f64(lane, a) * w.read_f64(lane, b);
-                w.write_f64(lane, d, v);
-            }
-            DFma { d, a, b, c } => {
-                let v = w
-                    .read_f64(lane, a)
-                    .mul_add(w.read_f64(lane, b), w.read_f64(lane, c));
-                w.write_f64(lane, d, v);
-            }
-            LdShared { d, addr, width } => {
-                let a = self.smem_lane_addr(w, lane, addr)?;
-                self.check_smem(a, width.bytes(), smem.len(), pc)?;
-                for k in 0..width.regs() {
-                    let i = a as usize + usize::from(k) * 4;
-                    let v = u32::from_le_bytes(smem[i..i + 4].try_into().unwrap());
-                    w.lanes[lane].regs[usize::from(d.0 + k)] = v;
-                }
-            }
-            StShared { addr, src, width } => {
-                let a = self.smem_lane_addr(w, lane, addr)?;
-                self.check_smem(a, width.bytes(), smem.len(), pc)?;
-                for k in 0..width.regs() {
-                    let i = a as usize + usize::from(k) * 4;
-                    let v = w.lanes[lane].regs[usize::from(src.0 + k)];
-                    smem[i..i + 4].copy_from_slice(&v.to_le_bytes());
-                }
-            }
-            LdGlobal { d, addr, width } => {
-                let a = self.gmem_lane_addr(w, lane, addr) as u64;
-                for k in 0..width.regs() {
-                    let v = gmem.read_u32(a + u64::from(k) * 4).map_err(|_| {
-                        SimError::GlobalOutOfBounds {
-                            addr: a,
-                            len: width.bytes(),
-                            pc,
-                        }
-                    })?;
-                    w.lanes[lane].regs[usize::from(d.0 + k)] = v;
-                }
-            }
-            StGlobal { addr, src, width } => {
-                let a = self.gmem_lane_addr(w, lane, addr) as u64;
-                for k in 0..width.regs() {
-                    let v = w.lanes[lane].regs[usize::from(src.0 + k)];
-                    gmem.write_u32(a + u64::from(k) * 4, v).map_err(|_| {
-                        SimError::GlobalOutOfBounds {
-                            addr: a,
-                            len: width.bytes(),
-                            pc,
-                        }
-                    })?;
-                }
-            }
-            LdParam { d, offset } => {
-                let idx = usize::from(offset) / 4;
-                let v = *self
-                    .params
-                    .get(idx)
-                    .ok_or(SimError::ParamOutOfBounds { offset })?;
-                set!(d, v);
-            }
-            Bar | Bra { .. } | Exit | Nop => {}
-        }
-        Ok(())
     }
 
     fn special_value(&self, w: &WarpState, lane: usize, block: u32, sr: SpecialReg) -> u32 {
@@ -889,22 +1108,6 @@ fn bar_entry() -> TraceEntry {
     }
 }
 
-/// Per-lane architectural state.
-#[derive(Debug, Clone)]
-struct LaneCtx {
-    regs: Box<[u32; 128]>,
-    preds: [bool; 4],
-}
-
-impl LaneCtx {
-    fn new() -> LaneCtx {
-        LaneCtx {
-            regs: Box::new([0; 128]),
-            preds: [false; 4],
-        }
-    }
-}
-
 /// A divergence-stack frame.
 #[derive(Debug, Clone)]
 struct Frame {
@@ -913,7 +1116,26 @@ struct Frame {
     merged: u32,
 }
 
-/// Execution state of one warp.
+/// Pre-resolved shared-memory operand of an ALU instruction: the word
+/// each lane would read, loaded once during the bank-accounting pass.
+struct SmemPre {
+    /// The operand this covers, or `None` when nothing was preloaded.
+    addr: Option<MemAddr>,
+    /// Per-lane word values (valid for lanes in the exec mask).
+    vals: [u32; WARP],
+}
+
+/// Architectural registers per lane (the GT200 register-file slice a
+/// kernel may address).
+const LANE_REGS: usize = 128;
+/// Predicate registers per lane.
+const LANE_PREDS: usize = 4;
+
+/// Execution state of one warp. The register file is one flat slab in
+/// **register-major** order (`reg * WARP + lane`) rather than per-lane
+/// boxes: one architectural register across all 32 lanes is contiguous,
+/// which is both the locality the per-lane interpreter loop wants and
+/// the layout the vectorized full-warp fast paths require.
 #[derive(Debug)]
 struct WarpState {
     pc: usize,
@@ -924,7 +1146,8 @@ struct WarpState {
     done: bool,
     stage: usize,
     first_thread: u32,
-    lanes: Vec<LaneCtx>,
+    regs: Box<[u32; WARP * LANE_REGS]>,
+    preds: [bool; WARP * LANE_PREDS],
     trace: Vec<TraceEntry>,
     counted_any: Option<usize>,
     counted_smem: Option<usize>,
@@ -948,23 +1171,63 @@ impl WarpState {
             done: false,
             stage: 0,
             first_thread,
-            lanes: (0..WARP).map(|_| LaneCtx::new()).collect(),
+            regs: vec![0u32; WARP * LANE_REGS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("fixed-size register slab"),
+            preds: [false; WARP * LANE_PREDS],
             trace: Vec::new(),
             counted_any: None,
             counted_smem: None,
         }
     }
 
+    #[inline]
+    fn reg(&self, lane: usize, r: u8) -> u32 {
+        self.regs[r as usize * WARP + lane]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, lane: usize, r: u8, v: u32) {
+        self.regs[r as usize * WARP + lane] = v;
+    }
+
+    /// One register across all 32 lanes.
+    #[inline]
+    fn reg_row(&self, r: u8) -> &[u32; WARP] {
+        self.regs[r as usize * WARP..(r as usize + 1) * WARP]
+            .try_into()
+            .expect("warp-sized register row")
+    }
+
+    /// One register across all 32 lanes, mutably.
+    #[inline]
+    fn reg_row_mut(&mut self, r: u8) -> &mut [u32; WARP] {
+        (&mut self.regs[r as usize * WARP..(r as usize + 1) * WARP])
+            .try_into()
+            .expect("warp-sized register row")
+    }
+
+    #[inline]
+    fn pred(&self, lane: usize, p: u8) -> bool {
+        self.preds[lane * LANE_PREDS + p as usize]
+    }
+
+    #[inline]
+    fn set_pred(&mut self, lane: usize, p: u8, v: bool) {
+        self.preds[lane * LANE_PREDS + p as usize] = v;
+    }
+
     fn read_f64(&self, lane: usize, r: Reg) -> f64 {
-        let lo = self.lanes[lane].regs[r.0 as usize];
-        let hi = self.lanes[lane].regs[r.0 as usize + 1];
+        let lo = self.reg(lane, r.0);
+        let hi = self.reg(lane, r.0 + 1);
         f64::from_bits(u64::from(lo) | (u64::from(hi) << 32))
     }
 
     fn write_f64(&mut self, lane: usize, r: Reg, v: f64) {
         let bits = v.to_bits();
-        self.lanes[lane].regs[r.0 as usize] = bits as u32;
-        self.lanes[lane].regs[r.0 as usize + 1] = (bits >> 32) as u32;
+        self.set_reg(lane, r.0, bits as u32);
+        self.set_reg(lane, r.0 + 1, (bits >> 32) as u32);
     }
 }
 

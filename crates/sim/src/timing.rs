@@ -25,11 +25,12 @@
 //! Calibration constants live in [`TimingConfig::gt200`] and are justified
 //! in DESIGN.md §6.
 
+use crate::engine::{SimEngine, Threads};
 use crate::grid::LaunchConfig;
 use crate::stats::{BlockTrace, DstLatency};
 use gpa_hw::{occupancy, KernelResources, Machine};
 use gpa_mem::texcache::TexCache;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Calibrated timing parameters (cycles at the shader clock).
 #[derive(Debug, Clone, PartialEq)]
@@ -94,28 +95,56 @@ impl Default for TimingConfig {
 /// kernels provide per-block traces, eagerly or lazily.
 pub enum TraceSource<'a> {
     /// Every block replays the same trace.
-    Homogeneous(Rc<BlockTrace>),
+    Homogeneous(Arc<BlockTrace>),
     /// `traces[b]` is block `b`'s trace.
-    PerBlock(Vec<Rc<BlockTrace>>),
+    PerBlock(Vec<Arc<BlockTrace>>),
     /// Traces fetched on demand (keeps memory bounded for huge grids).
-    Lazy(Box<dyn FnMut(u32) -> Rc<BlockTrace> + 'a>),
+    /// Inherently stateful, so the parallel replay path falls back to
+    /// one worker for this variant.
+    Lazy(Box<dyn FnMut(u32) -> Arc<BlockTrace> + 'a>),
 }
 
 impl<'a> TraceSource<'a> {
     /// A [`TraceSource::PerBlock`] from already-collected traces in
     /// block-id order — the bridge from a parallel
     /// [`crate::engine::SimEngine`] run, which batches block execution per
-    /// shard and returns the concatenated traces, to the (inherently
-    /// sequential) timing replay.
+    /// shard and returns the concatenated traces, to the timing replay.
     pub fn from_blocks(traces: Vec<BlockTrace>) -> TraceSource<'static> {
-        TraceSource::PerBlock(traces.into_iter().map(Rc::new).collect())
+        TraceSource::PerBlock(traces.into_iter().map(Arc::new).collect())
     }
 
-    fn fetch(&mut self, block: u32) -> Rc<BlockTrace> {
+    fn fetch(&mut self, block: u32) -> Arc<BlockTrace> {
         match self {
-            TraceSource::Homogeneous(t) => Rc::clone(t),
-            TraceSource::PerBlock(v) => Rc::clone(&v[block as usize]),
+            TraceSource::Homogeneous(t) => Arc::clone(t),
+            TraceSource::PerBlock(v) => Arc::clone(&v[block as usize]),
             TraceSource::Lazy(f) => f(block),
+        }
+    }
+
+    /// A shareable immutable view for the parallel replay path; `None`
+    /// for the stateful [`TraceSource::Lazy`] variant.
+    fn view(&self) -> Option<TraceView<'_>> {
+        match self {
+            TraceSource::Homogeneous(t) => Some(TraceView::Homogeneous(t)),
+            TraceSource::PerBlock(v) => Some(TraceView::PerBlock(v)),
+            TraceSource::Lazy(_) => None,
+        }
+    }
+}
+
+/// Immutable, `Send + Sync` view of a [`TraceSource`] used to fetch
+/// traces from parallel cluster workers.
+#[derive(Clone, Copy)]
+enum TraceView<'s> {
+    Homogeneous(&'s Arc<BlockTrace>),
+    PerBlock(&'s [Arc<BlockTrace>]),
+}
+
+impl TraceView<'_> {
+    fn fetch(&self, block: u32) -> Arc<BlockTrace> {
+        match self {
+            TraceView::Homogeneous(t) => Arc::clone(t),
+            TraceView::PerBlock(v) => Arc::clone(&v[block as usize]),
         }
     }
 }
@@ -171,6 +200,7 @@ pub struct TimingSim<'m> {
     config: TimingConfig,
     tex_regions: Vec<(u64, u64)>,
     uniform_clusters: bool,
+    threads: Threads,
 }
 
 impl<'m> TimingSim<'m> {
@@ -181,6 +211,7 @@ impl<'m> TimingSim<'m> {
             config: TimingConfig::gt200(),
             tex_regions: Vec::new(),
             uniform_clusters: false,
+            threads: Threads::sequential(),
         }
     }
 
@@ -202,6 +233,23 @@ impl<'m> TimingSim<'m> {
     pub fn assume_uniform_clusters(&mut self, yes: bool) -> &mut Self {
         self.uniform_clusters = yes;
         self
+    }
+
+    /// Shard cluster replay across this many worker threads (clusters are
+    /// fully independent — own SMs, own shared-memory port, own memory
+    /// pipe, own texture cache). The default is the sequential walk, like
+    /// [`crate::FunctionalSim`]; the options layers above default to
+    /// auto. Output is bit-identical for every thread count: outcomes are
+    /// merged in cluster-id order. [`TraceSource::Lazy`] is stateful and
+    /// always replays on one worker.
+    pub fn set_threads(&mut self, threads: Threads) -> &mut Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Configured worker-thread selector for cluster replay.
+    pub fn threads(&self) -> Threads {
+        self.threads
     }
 
     /// Timing parameters in use.
@@ -229,19 +277,19 @@ impl<'m> TimingSim<'m> {
         let occ = occupancy(self.machine, resources);
         assert!(occ.blocks > 0, "kernel does not fit on an SM");
 
-        // Round-robin block → cluster assignment (paper Figure 3).
-        let mut queues: Vec<Vec<u32>> = vec![Vec::new(); nclusters as usize];
-        for b in 0..nblocks {
-            queues[(b % nclusters) as usize].push(b);
-        }
-
-        let simulate: Vec<usize> = if self.uniform_clusters {
+        let simulate: Vec<u32> = if self.uniform_clusters {
             // The first cluster always has the most blocks.
             vec![0]
         } else {
-            (0..nclusters as usize).collect()
+            (0..nclusters).collect()
         };
 
+        let outcomes = self.run_clusters(&simulate, source, nblocks, occ.blocks);
+
+        // Deterministic merge: fold outcomes in cluster-id order (the
+        // `simulate` list is ascending and the parallel path returns one
+        // outcome per entry, in order), so the f64 accumulation below is
+        // the same sum in the same order for every thread count.
         let mut per_cluster = vec![0.0f64; nclusters as usize];
         let mut issued = 0u64;
         let mut alu_busy = 0.0;
@@ -251,9 +299,8 @@ impl<'m> TimingSim<'m> {
         let mut tex_hits = 0u64;
         let mut tex_total = 0u64;
 
-        for &c in &simulate {
-            let r = self.run_cluster(&queues[c], source, occ.blocks);
-            per_cluster[c] = r.end;
+        for (&c, r) in simulate.iter().zip(&outcomes) {
+            per_cluster[c as usize] = r.end;
             issued += r.issued;
             alu_busy += r.alu_busy;
             smem_busy += r.smem_busy;
@@ -266,18 +313,21 @@ impl<'m> TimingSim<'m> {
         if self.uniform_clusters {
             // Unsimulated clusters take at most as long as cluster 0.
             let t0 = per_cluster[0];
-            let n_active = queues.iter().filter(|q| !q.is_empty()).count() as u64;
-            for (c, q) in queues.iter().enumerate().skip(1) {
-                per_cluster[c] = if q.is_empty() { 0.0 } else { t0 };
+            for (c, slot) in per_cluster.iter_mut().enumerate().skip(1) {
+                // Round-robin assignment: cluster c got blocks iff c < nblocks.
+                *slot = if (c as u32) < nblocks { t0 } else { 0.0 };
             }
-            // Scale aggregate counters to the whole chip.
-            let scale = nblocks as f64 / queues[0].len().max(1) as f64;
-            issued = (issued as f64 * scale) as u64;
+            // Scale aggregate counters to the whole chip. Integer counters
+            // scale exactly in integer arithmetic (`issued * nblocks` fits
+            // u128 comfortably) — on a grid that divides evenly across
+            // clusters this is exact, with no float round-trip.
+            let q0 = ClusterQueue::new(0, nclusters, nblocks).len().max(1);
+            issued = (u128::from(issued) * u128::from(nblocks) / q0 as u128) as u64;
+            gmem_bytes = (u128::from(gmem_bytes) * u128::from(nblocks) / q0 as u128) as u64;
+            let scale = f64::from(nblocks) / q0 as f64;
             alu_busy *= scale;
             smem_busy *= scale;
             pipe_busy *= scale;
-            gmem_bytes = (gmem_bytes as f64 * scale) as u64;
-            let _ = n_active;
         }
 
         let cycles = per_cluster.iter().cloned().fold(0.0, f64::max);
@@ -298,10 +348,107 @@ impl<'m> TimingSim<'m> {
         }
     }
 
+    /// Replay `simulate`'s clusters, sharded across the configured worker
+    /// threads, returning one [`ClusterOutcome`] per entry, in order.
+    ///
+    /// Clusters share nothing (the paper's TPC: private SMs, shared-memory
+    /// ports, memory pipe, texture cache), so each worker replays a
+    /// contiguous shard of the cluster list and the results concatenate
+    /// into exactly the sequence the sequential walk would produce.
+    fn run_clusters(
+        &self,
+        simulate: &[u32],
+        source: &mut TraceSource<'_>,
+        nblocks: u32,
+        blocks_per_sm: u32,
+    ) -> Vec<ClusterOutcome> {
+        let nclusters = self.machine.num_clusters();
+        let workers = match source.view() {
+            // A stateful fetch closure cannot be shared across workers.
+            None => 1,
+            Some(_) => self.threads.count().min(simulate.len()).max(1),
+        };
+        if workers <= 1 {
+            return simulate
+                .iter()
+                .map(|&c| {
+                    let queue = ClusterQueue::new(c, nclusters, nblocks);
+                    let mut fetch = |b: u32| source.fetch(b);
+                    self.run_cluster(queue, &mut fetch, blocks_per_sm)
+                })
+                .collect();
+        }
+        let view = source.view().expect("checked above");
+        let plan = SimEngine::shard_plan(simulate.len() as u32, workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .into_iter()
+                .map(|shard| {
+                    let shard = &simulate[shard.start as usize..shard.end as usize];
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|&c| {
+                                let queue = ClusterQueue::new(c, nclusters, nblocks);
+                                let mut fetch = |b: u32| view.fetch(b);
+                                self.run_cluster(queue, &mut fetch, blocks_per_sm)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("timing worker panicked"))
+                .collect()
+        })
+    }
+
+    /// The SM's earliest-issuable warp: minimum issue time over resident
+    /// warps, ties broken by loose round-robin distance from the SM's
+    /// rotation pointer (greedy earliest-first alone phase-locks warps
+    /// into convoys and lets the port idle; GT200 schedulers rotate).
+    ///
+    /// Selection reads only SM-local state (`alu_free`, `smem_free`,
+    /// `rotate`, warp scoreboards) — never the shared cluster pipe — which
+    /// is what lets [`Self::run_cluster`] cache this result per SM and
+    /// recompute it only for the SM that last issued.
+    fn sm_best(sm: &SmState) -> Option<Candidate> {
+        let total: usize = sm.blocks.iter().map(|b| b.warps.len()).sum();
+        let mut sm_best: Option<Candidate> = None;
+        let mut flat = 0usize;
+        for (bi, blk) in sm.blocks.iter().enumerate() {
+            for (wi, w) in blk.warps.iter().enumerate() {
+                let idx = flat;
+                flat += 1;
+                if w.done() || w.waiting {
+                    continue;
+                }
+                let e = &blk.trace.warps[wi][w.cursor];
+                let mut t = w.ready.max(sm.alu_free);
+                if e.smem_half_txns > 0 {
+                    t = t.max(sm.smem_free);
+                }
+                for s in 0..usize::from(e.nsrcs) {
+                    t = t.max(w.reg_ready[usize::from(e.srcs[s])]);
+                }
+                let dist = (idx + total - sm.rotate % total.max(1)) % total.max(1);
+                let better = match sm_best {
+                    None => true,
+                    Some((_, _, bt, bdist)) => t < bt - 1e-9 || (t < bt + 1e-9 && dist < bdist),
+                };
+                if better {
+                    sm_best = Some((bi, wi, t, dist));
+                }
+            }
+        }
+        sm_best
+    }
+
     fn run_cluster(
         &self,
-        queue: &[u32],
-        source: &mut TraceSource<'_>,
+        queue: ClusterQueue,
+        fetch: &mut dyn FnMut(u32) -> Arc<BlockTrace>,
         blocks_per_sm: u32,
     ) -> ClusterOutcome {
         let cfg = &self.config;
@@ -316,6 +463,9 @@ impl<'m> TimingSim<'m> {
         let mut tex = TexCache::gt200_tpc();
         let mut next_block = 0usize;
         let mut out = ClusterOutcome::default();
+        // Retired blocks donate their warp scoreboards back to a pool so
+        // admitting a fresh block does not reallocate.
+        let mut warp_pool: Vec<Vec<WarpRun>> = Vec::new();
 
         // Initial fill, round-robin across the cluster's SMs.
         'fill: for _ in 0..blocks_per_sm {
@@ -323,50 +473,30 @@ impl<'m> TimingSim<'m> {
                 if next_block >= queue.len() {
                     break 'fill;
                 }
-                let trace = source.fetch(queue[next_block]);
-                sm.blocks.push(BlockRun::new(trace, 0.0));
+                let trace = fetch(queue.get(next_block));
+                sm.blocks.push(BlockRun::new(trace, 0.0, &mut warp_pool));
                 next_block += 1;
             }
         }
 
+        // Incremental issue scheduling: every event that can change an
+        // SM's best candidate — issuing (alu_free/smem_free/rotate/
+        // scoreboard updates), barrier release, block retirement, block
+        // admission — happens on the SM that issues this iteration, so
+        // only that SM's cached candidate is recomputed. The global pick
+        // below compares cached candidates in SM index order with strict
+        // `t < bt`, exactly the order and tie-break of a full rescan.
+        let mut cached: Vec<Option<Candidate>> = vec![None; nsms];
+        let mut dirty: Vec<bool> = vec![true; nsms];
+
         loop {
-            // Per SM: find the earliest issue time, breaking ties by loose
-            // round-robin from the SM's rotation pointer (greedy
-            // earliest-first alone phase-locks warps into convoys and lets
-            // the port idle; GT200 schedulers rotate).
             let mut best: Option<(usize, usize, usize, f64)> = None;
-            for (si, sm) in sms.iter().enumerate() {
-                let total: usize = sm.blocks.iter().map(|b| b.warps.len()).sum();
-                let mut sm_best: Option<(usize, usize, f64, usize)> = None;
-                let mut flat = 0usize;
-                for (bi, blk) in sm.blocks.iter().enumerate() {
-                    for (wi, w) in blk.warps.iter().enumerate() {
-                        let idx = flat;
-                        flat += 1;
-                        if w.done() || w.waiting {
-                            continue;
-                        }
-                        let e = &blk.trace.warps[wi][w.cursor];
-                        let mut t = w.ready.max(sm.alu_free);
-                        if e.smem_half_txns > 0 {
-                            t = t.max(sm.smem_free);
-                        }
-                        for s in 0..usize::from(e.nsrcs) {
-                            t = t.max(w.reg_ready[usize::from(e.srcs[s])]);
-                        }
-                        let dist = (idx + total - sm.rotate % total.max(1)) % total.max(1);
-                        let better = match sm_best {
-                            None => true,
-                            Some((_, _, bt, bdist)) => {
-                                t < bt - 1e-9 || (t < bt + 1e-9 && dist < bdist)
-                            }
-                        };
-                        if better {
-                            sm_best = Some((bi, wi, t, dist));
-                        }
-                    }
+            for si in 0..nsms {
+                if dirty[si] {
+                    cached[si] = Self::sm_best(&sms[si]);
+                    dirty[si] = false;
                 }
-                if let Some((bi, wi, t, _dist)) = sm_best {
+                if let Some((bi, wi, t, _dist)) = cached[si] {
                     if best.is_none_or(|(_, _, _, bt)| t < bt) {
                         best = Some((si, bi, wi, t));
                     }
@@ -382,11 +512,14 @@ impl<'m> TimingSim<'m> {
                 break;
             };
 
-            // Issue.
+            // Issue. Everything below mutates only SM `si` (plus the
+            // cluster-shared pipe/texture state, which selection ignores),
+            // so only `si`'s cached candidate is invalidated.
+            dirty[si] = true;
             let sm = &mut sms[si];
             sm.rotate = sm.blocks[..bi].iter().map(|b| b.warps.len()).sum::<usize>() + wi + 1;
             let blk = &mut sm.blocks[bi];
-            let trace = Rc::clone(&blk.trace);
+            let trace = Arc::clone(&blk.trace);
             let e = &trace.warps[wi][blk.warps[wi].cursor];
             out.issued += 1;
 
@@ -476,12 +609,17 @@ impl<'m> TimingSim<'m> {
             // Block completion → admit the next queued block to this SM.
             if blk.warps.iter().all(WarpRun::done) {
                 let done_at = blk.warps.iter().map(|w| w.ready).fold(t, f64::max);
-                sm.blocks.swap_remove(bi);
+                let mut retired = sm.blocks.swap_remove(bi);
+                retired.warps.clear();
+                warp_pool.push(retired.warps);
                 if next_block < queue.len() {
-                    let trace = source.fetch(queue[next_block]);
+                    let trace = fetch(queue.get(next_block));
                     next_block += 1;
-                    sm.blocks
-                        .push(BlockRun::new(trace, done_at + cfg.block_launch_latency));
+                    sm.blocks.push(BlockRun::new(
+                        trace,
+                        done_at + cfg.block_launch_latency,
+                        &mut warp_pool,
+                    ));
                 }
             }
         }
@@ -492,6 +630,45 @@ impl<'m> TimingSim<'m> {
                 .fold(0.0, f64::max),
         );
         out
+    }
+}
+
+/// An SM-local issue candidate: `(block index, warp index, issue time,
+/// round-robin distance)`.
+type Candidate = (usize, usize, f64, usize);
+
+/// A cluster's block queue under round-robin assignment (paper Figure 3):
+/// cluster `c` runs blocks `c, c + nclusters, c + 2·nclusters, …` — pure
+/// arithmetic, so nothing is materialized per cluster.
+#[derive(Debug, Clone, Copy)]
+struct ClusterQueue {
+    first: u32,
+    stride: u32,
+    len: usize,
+}
+
+impl ClusterQueue {
+    fn new(cluster: u32, nclusters: u32, nblocks: u32) -> ClusterQueue {
+        debug_assert!(cluster < nclusters);
+        let len = if nblocks > cluster {
+            ((nblocks - cluster - 1) / nclusters + 1) as usize
+        } else {
+            0
+        };
+        ClusterQueue {
+            first: cluster,
+            stride: nclusters,
+            len,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len);
+        self.first + i as u32 * self.stride
     }
 }
 
@@ -518,24 +695,22 @@ struct SmState {
 
 #[derive(Debug)]
 struct BlockRun {
-    trace: Rc<BlockTrace>,
+    trace: Arc<BlockTrace>,
     warps: Vec<WarpRun>,
     arrived: usize,
 }
 
 impl BlockRun {
-    fn new(trace: Rc<BlockTrace>, start: f64) -> BlockRun {
-        let warps = trace
-            .warps
-            .iter()
-            .map(|t| WarpRun {
-                len: t.len(),
-                cursor: 0,
-                ready: start,
-                waiting: false,
-                reg_ready: [0.0; 132],
-            })
-            .collect();
+    fn new(trace: Arc<BlockTrace>, start: f64, pool: &mut Vec<Vec<WarpRun>>) -> BlockRun {
+        let mut warps = pool.pop().unwrap_or_default();
+        debug_assert!(warps.is_empty());
+        warps.extend(trace.warps.iter().map(|t| WarpRun {
+            len: t.len(),
+            cursor: 0,
+            ready: start,
+            waiting: false,
+            reg_ready: [0.0; 132],
+        }));
         BlockRun {
             trace,
             warps,

@@ -55,7 +55,7 @@ fn res(threads: u32) -> KernelResources {
 }
 
 fn one_block(warps: Vec<Vec<TraceEntry>>) -> TraceSource<'static> {
-    TraceSource::Homogeneous(Rc::new(BlockTrace { warps }))
+    TraceSource::Homogeneous(Arc::new(BlockTrace { warps }))
 }
 
 #[test]
@@ -293,6 +293,53 @@ fn uniform_cluster_mode_matches_full_simulation() {
 }
 
 #[test]
+fn uniform_scaling_is_exact_on_divisible_grids() {
+    // 20 blocks over GTX 285's 10 clusters: every cluster runs exactly 2
+    // blocks, so the uniform-mode scale factor is the integer 10 and the
+    // scaled counters must equal the full simulation's *exactly* — no
+    // float round-trip allowed to shave an instruction or a byte.
+    let m = machine();
+    let make_warp = || -> Vec<TraceEntry> {
+        (0..60)
+            .map(|i| {
+                let mut e = entry(InstrClass::TypeII);
+                e.dst = (i % 16) as u8;
+                e.dst_n = 1;
+                if i % 3 == 0 {
+                    e.dst_lat = DstLatency::Gmem;
+                    e.gmem_load = true;
+                    e.gmem = Some(
+                        vec![Transaction {
+                            base: 4096 + i as u64 * 64,
+                            size: 64,
+                        }]
+                        .into_boxed_slice(),
+                    );
+                }
+                e
+            })
+            .collect()
+    };
+    let warps: Vec<Vec<TraceEntry>> = vec![make_warp(); 2];
+    let launch = LaunchConfig::new_1d(20, 64);
+    let full = {
+        let mut src = one_block(warps.clone());
+        TimingSim::new(&m).run(&mut src, &launch, res(64))
+    };
+    let fast = {
+        let mut src = one_block(warps);
+        let mut s = TimingSim::new(&m);
+        s.assume_uniform_clusters(true);
+        s.run(&mut src, &launch, res(64))
+    };
+    assert_eq!(fast.issued, full.issued, "issued must scale exactly");
+    assert_eq!(fast.gmem_bytes, full.gmem_bytes, "bytes must scale exactly");
+    // Identical blocks: the totals divide evenly by the grid size.
+    assert_eq!(fast.issued % 20, 0);
+    assert_eq!(fast.gmem_bytes % 20, 0);
+}
+
+#[test]
 fn texture_cache_accelerates_reused_loads() {
     let m = machine();
     // All warps hammer the same 1 KB of "vector" data.
@@ -360,7 +407,7 @@ fn lazy_source_is_called_per_block() {
     {
         let mut src = TraceSource::Lazy(Box::new(|_b| {
             calls += 1;
-            Rc::new(BlockTrace {
+            Arc::new(BlockTrace {
                 warps: vec![dependent_chain(5)],
             })
         }));

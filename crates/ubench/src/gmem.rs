@@ -12,7 +12,7 @@ use gpa_isa::builder::{BuildError, KernelBuilder};
 use gpa_isa::instr::{CmpOp, MemAddr, NumTy, Pred, SpecialReg, Src, Width};
 use gpa_isa::Kernel;
 use gpa_sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Benchmark shape: the three factors paper §4.3 identifies as what global
 /// bandwidth is sensitive to.
@@ -124,7 +124,7 @@ pub fn measure(machine: &Machine, cfg: GmemConfig) -> f64 {
 
     let mut timing = TimingSim::new(machine);
     timing.assume_uniform_clusters(true);
-    let mut src = TraceSource::Homogeneous(Rc::new(trace));
+    let mut src = TraceSource::Homogeneous(Arc::new(trace));
     let res = KernelResources::new(12, 0, cfg.threads);
     let r = timing.run(&mut src, &launch, res);
     cfg.total_bytes() as f64 / r.seconds

@@ -11,7 +11,7 @@ use gpa_isa::builder::{BuildError, KernelBuilder};
 use gpa_isa::instr::{CmpOp, NumTy, Pred, Src};
 use gpa_isa::Kernel;
 use gpa_sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Build the microbenchmark kernel for one instruction class.
 ///
@@ -137,7 +137,7 @@ pub fn measure(
 
     let mut timing = TimingSim::new(machine);
     timing.assume_uniform_clusters(true);
-    let mut src = TraceSource::Homogeneous(Rc::new(trace));
+    let mut src = TraceSource::Homogeneous(Arc::new(trace));
     // Resources: declare enough so the requested blocks per SM are resident.
     let res = KernelResources::new(8, 0, threads);
     let r = timing.run(&mut src, &launch, res);

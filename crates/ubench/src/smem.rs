@@ -12,7 +12,7 @@ use gpa_isa::builder::{BuildError, KernelBuilder};
 use gpa_isa::instr::{CmpOp, MemAddr, NumTy, Pred, Src, Width};
 use gpa_isa::Kernel;
 use gpa_sim::{FunctionalSim, GlobalMemory, LaunchConfig, TimingSim, TraceSource};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Number of load+store slot pairs per loop iteration. High enough that
 /// loop bookkeeping is negligible next to the memory instructions.
@@ -92,7 +92,7 @@ pub fn measure(machine: &Machine, warps_per_sm: u32, iters: u32) -> f64 {
 
     let mut timing = TimingSim::new(machine);
     timing.assume_uniform_clusters(true);
-    let mut src = TraceSource::Homogeneous(Rc::new(trace));
+    let mut src = TraceSource::Homogeneous(Arc::new(trace));
     let res = KernelResources::new(8, k.resources.smem_per_block, threads);
     let r = timing.run(&mut src, &launch, res);
 
