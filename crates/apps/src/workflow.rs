@@ -34,6 +34,16 @@ pub enum TraceMode {
     Homogeneous,
     /// Trace every block (data-dependent kernels, texture-cached gathers).
     PerBlock,
+    /// Detect per-block divergence instead of assuming either answer:
+    /// trace every block once, and when all traces are pairwise
+    /// shape-equal ([`gpa_sim::BlockTrace::shape_eq`]) time the grid
+    /// from block 0's trace exactly as [`TraceMode::Homogeneous`] would;
+    /// otherwise fall back to [`TraceMode::PerBlock`]. Texture-cached
+    /// kernels always take the per-block path (replay consults real
+    /// addresses, which shape equality deliberately ignores). This is
+    /// the safe default for kernels whose behavior is not known ahead
+    /// of time — wire-submitted custom kernels use it.
+    Auto,
 }
 
 /// Options for [`run_case`]: how traces are obtained, how many worker
@@ -419,6 +429,9 @@ pub fn run_case(
             timing.assume_uniform_clusters(true);
             let mut src = TraceSource::Homogeneous(Arc::new(trace));
             let t = timing.run(&mut src, &launch, kernel.resources);
+            // The replay is done with the trace: recycle its buffers for
+            // the next traced run (a no-op if anyone still holds it).
+            gpa_sim::trace_pool::reclaim(src);
 
             let mut func = FunctionalSim::new(machine, kernel, launch)?;
             configure(&mut func);
@@ -434,7 +447,39 @@ pub fn run_case(
             let out = func.run(gmem)?;
             let traces = out.traces.expect("trace collection enabled");
             let mut src = TraceSource::from_blocks(traces);
-            (timing.run(&mut src, &launch, kernel.resources), out.stats)
+            let t = timing.run(&mut src, &launch, kernel.resources);
+            gpa_sim::trace_pool::reclaim(src);
+            (t, out.stats)
+        }
+        TraceMode::Auto => {
+            // One traced pass answers both questions at once: the
+            // dynamic statistics, and whether the blocks actually
+            // diverge.
+            let mut func = FunctionalSim::new(machine, kernel, launch)?;
+            configure(&mut func);
+            func.collect_traces(true);
+            let out = func.run(gmem)?;
+            let mut traces = out.traces.expect("trace collection enabled");
+            let uniform = !regions.iter().any(|r| r.texture)
+                && traces.windows(2).all(|w| w[0].shape_eq(&w[1]));
+            let mut src = if uniform {
+                // Block 0 executes against pre-launch memory in every
+                // engine configuration, so its trace here is exactly
+                // the trace the Homogeneous arm collects — this branch
+                // reproduces TraceMode::Homogeneous bit for bit.
+                timing.assume_uniform_clusters(true);
+                for extra in traces.split_off(1) {
+                    gpa_sim::trace_pool::give_block(extra);
+                }
+                TraceSource::Homogeneous(Arc::new(
+                    traces.pop().expect("a launch has at least one block"),
+                ))
+            } else {
+                TraceSource::from_blocks(traces)
+            };
+            let t = timing.run(&mut src, &launch, kernel.resources);
+            gpa_sim::trace_pool::reclaim(src);
+            (t, out.stats)
         }
     };
 
@@ -446,4 +491,48 @@ pub fn run_case(
         analysis,
         timing: timing_result,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_ubench::ThroughputCurves;
+
+    /// Synthetic curves: the runs below never consult real measurements.
+    fn model(machine: &Machine) -> Model<'_> {
+        Model::new(
+            machine,
+            ThroughputCurves {
+                machine_name: machine.name.clone(),
+                warps: vec![1, 32],
+                instr: std::array::from_fn(|_| vec![1e9, 1e10]),
+                smem: vec![1e10, 1e11],
+            },
+        )
+    }
+
+    #[test]
+    fn repeated_runs_recycle_trace_buffers() {
+        let machine = Machine::gtx285();
+        let mut model = model(&machine);
+
+        // Two warm-up rounds: the first analyze lazily builds model
+        // state that itself runs a traced simulation and retains those
+        // buffers, so steady-state recycling starts one round later.
+        for _ in 0..2 {
+            let mut study = crate::matmul::case(64, 16);
+            run_study(&machine, &mut model, &mut study, Threads::from(1), None).unwrap();
+        }
+
+        // The steady-state run must draw from the pool rather than
+        // allocate fresh buffers. The counter is global and monotone, so
+        // assert the delta (any concurrent reuse only increases it).
+        let before = gpa_sim::trace_pool::reuses();
+        let mut study = crate::matmul::case(64, 16);
+        run_study(&machine, &mut model, &mut study, Threads::from(1), None).unwrap();
+        assert!(
+            gpa_sim::trace_pool::reuses() > before,
+            "a repeated traced run must recycle at least one buffer"
+        );
+    }
 }

@@ -6,7 +6,7 @@
 //! | `POST /v1/analyze` | report JSON for one request object, or an array of per-request reports/`{"error"}` elements for a batch array — the same `gpa_service::wire` JSON as `gpa-analyze` |
 //! | `GET /v1/machines` | `{"machines": [...]}`, the calibrated machine names |
 //! | `GET /healthz` | `{"status": "ok", "machines": N}` |
-//! | `GET /v1/stats` | served/error/rejected counters, queue depth, workers |
+//! | `GET /v1/stats` | served/error/rejected/timeout/deadline/admission counters, queue depth, open/idle connection gauges, workers |
 //!
 //! Unknown paths answer 404, known paths with the wrong method 405
 //! (with `Allow`), malformed JSON or failed single requests 400. The
@@ -162,8 +162,24 @@ impl AnalyzeApi {
             ("rejected".into(), Value::Number(stats.rejected as f64)),
             ("timeouts".into(), Value::Number(stats.timeouts as f64)),
             (
+                "deadline_expired".into(),
+                Value::Number(stats.deadline_expired as f64),
+            ),
+            (
+                "admission_rejected".into(),
+                Value::Number(stats.admission_rejected as f64),
+            ),
+            (
                 "queue_depth".into(),
                 Value::Number(stats.queue_depth as f64),
+            ),
+            (
+                "open_connections".into(),
+                Value::Number(stats.open_connections as f64),
+            ),
+            (
+                "idle_connections".into(),
+                Value::Number(stats.idle_connections as f64),
             ),
             ("workers".into(), Value::Number(stats.workers as f64)),
         ];
@@ -231,7 +247,11 @@ mod tests {
             errors: 2,
             rejected: 1,
             timeouts: 7,
+            deadline_expired: 6,
+            admission_rejected: 8,
             queue_depth: 3,
+            open_connections: 9,
+            idle_connections: 1,
             workers: 4,
         }
     }
@@ -260,7 +280,11 @@ mod tests {
         assert_eq!(v.get("errors").unwrap().as_u64().unwrap(), 2);
         assert_eq!(v.get("rejected").unwrap().as_u64().unwrap(), 1);
         assert_eq!(v.get("timeouts").unwrap().as_u64().unwrap(), 7);
+        assert_eq!(v.get("deadline_expired").unwrap().as_u64().unwrap(), 6);
+        assert_eq!(v.get("admission_rejected").unwrap().as_u64().unwrap(), 8);
         assert_eq!(v.get("queue_depth").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(v.get("open_connections").unwrap().as_u64().unwrap(), 9);
+        assert_eq!(v.get("idle_connections").unwrap().as_u64().unwrap(), 1);
         assert_eq!(v.get("workers").unwrap().as_u64().unwrap(), 4);
         // No report cache enabled: the section is absent, not zeroed.
         assert!(v.get("report_cache").is_err());

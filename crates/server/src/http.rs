@@ -290,6 +290,14 @@ pub fn write_response_with(
     resp: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
+    writer.write_all(&response_bytes(resp, keep_alive))?;
+    writer.flush()
+}
+
+/// The exact bytes [`write_response_with`] would put on the wire, as one
+/// buffer. The reactor path serializes through this so that both I/O
+/// models emit byte-identical responses by construction.
+pub fn response_bytes(resp: &Response, keep_alive: bool) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
@@ -302,9 +310,77 @@ pub fn write_response_with(
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(&resp.body)?;
-    writer.flush()
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// A [`BufRead`] over the bytes buffered so far from a nonblocking
+/// socket. While `eof` is false, running out of buffered bytes raises
+/// [`io::ErrorKind::WouldBlock`] instead of reporting end-of-stream, so
+/// [`read_request`] run over it either finishes on the buffered prefix
+/// exactly as it would on a blocking socket, or surfaces "need more
+/// bytes" as a distinguishable error.
+struct PartialInput<'a> {
+    data: &'a [u8],
+    pos: usize,
+    eof: bool,
+}
+
+impl Read for PartialInput<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let chunk = self.fill_buf()?;
+        let n = chunk.len().min(out.len());
+        out[..n].copy_from_slice(&chunk[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for PartialInput<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos == self.data.len() && !self.eof {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "awaiting more request bytes",
+            ));
+        }
+        Ok(&self.data[self.pos..])
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// Verdict of [`parse_buffered`] on the bytes accumulated so far.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A complete request, plus how many buffered bytes it consumed
+    /// (trailing bytes belong to the next pipelined request).
+    Request(Request, usize),
+    /// The buffered prefix is consistent with a request still in
+    /// flight; more bytes must arrive before there is a verdict.
+    Incomplete,
+    /// The buffered bytes already doom the request — same error, at the
+    /// same point, as the blocking parser would report.
+    Failed(HttpError),
+}
+
+/// Run the request parser over the bytes buffered from a nonblocking
+/// socket. `eof` says the peer half-closed, i.e. no more bytes can
+/// arrive. Because [`read_request`] is deterministic on the byte prefix
+/// it consumes, calling this after every arrival and acting on the first
+/// non-[`Incomplete`](ParseOutcome::Incomplete) outcome yields exactly
+/// the blocking path's verdicts — including early 400s on malformed
+/// lines that precede the end of the head.
+pub fn parse_buffered(data: &[u8], eof: bool, max_body: usize) -> ParseOutcome {
+    let mut input = PartialInput { data, pos: 0, eof };
+    match read_request(&mut input, max_body) {
+        Ok(req) => ParseOutcome::Request(req, input.pos),
+        Err(HttpError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => ParseOutcome::Incomplete,
+        Err(e) => ParseOutcome::Failed(e),
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +480,121 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Allow: GET\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    /// At every prefix length, the incremental parser must either say
+    /// `Incomplete` or agree exactly with the blocking parser on the
+    /// full input — same request or same error variant and message.
+    fn assert_incremental_matches_blocking(bytes: &[u8], max_body: usize) {
+        let blocking = read_request(&mut BufReader::new(bytes), max_body);
+        let mut settled = None;
+        for cut in 0..=bytes.len() {
+            match parse_buffered(&bytes[..cut], false, max_body) {
+                ParseOutcome::Incomplete => {
+                    assert!(settled.is_none(), "verdict regressed at cut {cut}");
+                }
+                outcome => {
+                    settled.get_or_insert(cut);
+                    match (&outcome, &blocking) {
+                        (ParseOutcome::Request(req, consumed), Ok(want)) => {
+                            assert_eq!(req, want, "cut {cut}");
+                            assert!(*consumed <= cut);
+                        }
+                        (ParseOutcome::Failed(got), Err(want)) => {
+                            assert_eq!(got.status(), want.status(), "cut {cut}");
+                            assert_eq!(got.message(), want.message(), "cut {cut}");
+                        }
+                        other => panic!("cut {cut}: mismatched verdicts {other:?}"),
+                    }
+                }
+            }
+        }
+        // The full input with eof must settle to the blocking verdict
+        // even if no prefix did (e.g. a head truncated mid-line).
+        match (parse_buffered(bytes, true, max_body), blocking) {
+            (ParseOutcome::Request(req, consumed), Ok(want)) => {
+                assert_eq!(req, want);
+                assert!(consumed <= bytes.len());
+            }
+            (ParseOutcome::Failed(got), Err(want)) => {
+                assert_eq!(got.message(), want.message());
+            }
+            (got, want) => panic!("eof verdicts disagree: {got:?} vs {want:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_at_every_split() {
+        let cases: &[&[u8]] = &[
+            b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\n{\"a\"",
+            b"GET /healthz HTTP/1.0\n\n",
+            b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n",
+            b"NOT-HTTP\r\n\r\n",
+            b"GET /healthz HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"\r\n\r\n",
+        ];
+        for bytes in cases {
+            assert_incremental_matches_blocking(bytes, DEFAULT_MAX_BODY_BYTES);
+        }
+        assert_incremental_matches_blocking(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 64);
+    }
+
+    #[test]
+    fn incremental_parse_handles_eof_and_pipelining() {
+        // Clean pre-request hangup: no bytes, peer closed.
+        assert!(matches!(
+            parse_buffered(b"", true, DEFAULT_MAX_BODY_BYTES),
+            ParseOutcome::Failed(HttpError::Closed)
+        ));
+        // No bytes, peer still connected: keep waiting.
+        assert!(matches!(
+            parse_buffered(b"", false, DEFAULT_MAX_BODY_BYTES),
+            ParseOutcome::Incomplete
+        ));
+        // EOF mid-head surfaces the blocking parser's 400s.
+        match parse_buffered(b"GET /x HTTP/1.1\r\nHost", true, DEFAULT_MAX_BODY_BYTES) {
+            ParseOutcome::Failed(HttpError::BadRequest(m)) => {
+                assert_eq!(m, "truncated header line");
+            }
+            other => panic!("expected truncated-line 400, got {other:?}"),
+        }
+        match parse_buffered(b"GET /x HTTP/1.1\r\n", true, DEFAULT_MAX_BODY_BYTES) {
+            ParseOutcome::Failed(HttpError::BadRequest(m)) => {
+                assert_eq!(m, "EOF inside request head");
+            }
+            other => panic!("expected EOF-in-head 400, got {other:?}"),
+        }
+        // A pipelined second request is left in the buffer.
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\n\r\n";
+        match parse_buffered(two, false, DEFAULT_MAX_BODY_BYTES) {
+            ParseOutcome::Request(req, consumed) => {
+                assert_eq!(req.target, "/healthz");
+                assert_eq!(&two[consumed..], b"GET /v1/stats HTTP/1.1\r\n\r\n");
+            }
+            other => panic!("expected first request, got {other:?}"),
+        }
+        // An oversized head is doomed as soon as the budget overflows,
+        // even with the connection open and no newline in sight.
+        let mut junk = b"GET /x HTTP/1.1\r\n".to_vec();
+        junk.resize(MAX_HEAD_BYTES + 2, b'y');
+        match parse_buffered(&junk, false, DEFAULT_MAX_BODY_BYTES) {
+            ParseOutcome::Failed(e) => assert_eq!(e.status(), 400),
+            other => panic!("expected head-budget 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_bytes_matches_writer() {
+        for keep in [false, true] {
+            let resp = Response::error(503, "server is at capacity, retry later")
+                .with_header("Allow", "GET");
+            let mut via_writer = Vec::new();
+            write_response_with(&mut via_writer, &resp, keep).unwrap();
+            assert_eq!(via_writer, response_bytes(&resp, keep));
+        }
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   [`Analyzer`](gpa_service::Analyzer) behind an `Arc`. Queue-full
 //!   answers 503 so overload degrades predictably; shutdown drains
 //!   queued and in-flight work before returning.
+//! * [`reactor`] — the event-driven alternative to thread-per-connection
+//!   (`ServerConfig::io_model = IoModel::Reactor`): one thread
+//!   multiplexes every connection over `poll(2)` via direct FFI, parses
+//!   requests incrementally, enforces read/idle/request deadlines, and
+//!   hands ready requests to the same worker pool — byte-identical
+//!   responses, but parked keep-alive connections no longer pin
+//!   threads.
 //! * [`api`] — the route table: `POST /v1/analyze` (single object or
 //!   batch array, the same `gpa_service::wire` JSON as `gpa-analyze`,
 //!   byte-identical output at matching calibration effort),
@@ -50,9 +57,11 @@
 pub mod api;
 pub mod client;
 pub mod http;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
 
 pub use api::AnalyzeApi;
 pub use client::{Client, HttpResponse};
 pub use http::{Request, Response};
-pub use server::{Handler, Server, ServerConfig, StatsSnapshot};
+pub use server::{Handler, IoModel, Server, ServerConfig, StatsSnapshot};

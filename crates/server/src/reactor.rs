@@ -1,0 +1,935 @@
+//! The event-driven connection engine: one thread multiplexing every
+//! connection over `poll(2)`, in front of the same worker pool as the
+//! threaded engine.
+//!
+//! Selected by `ServerConfig::io_model = IoModel::Reactor`. The point is
+//! the C10K decoupling: a parked keep-alive connection costs one table
+//! entry and one `pollfd` instead of a pinned worker thread, so
+//! thousands of mostly-idle clients can sit on a pool of a few workers.
+//!
+//! # Shape
+//!
+//! * **Nonblocking everything.** The listener and every accepted socket
+//!   run nonblocking; the loop sleeps only inside `poll(2)`, declared by
+//!   hand via `extern "C"` FFI (the build image has no crates.io, so no
+//!   `libc` crate — see the private `sys` module below).
+//! * **Per-connection state machine.** `Reading` (accumulate bytes, run
+//!   the incremental parser after every arrival) → `InFlight` (the
+//!   parsed request sits in the job queue or a worker is running it) →
+//!   `Writing` (flush the serialized response) → `Parked` (keep-alive,
+//!   waiting for the next request) or `Draining` (discard unread input
+//!   so an error response survives the close). Responses serialize
+//!   through `http::response_bytes`, so the bytes on the wire are
+//!   identical to the threaded path's by construction.
+//! * **Deadline wheel.** Every connection carries at most one deadline —
+//!   `read_timeout` while a request is in flight on the wire,
+//!   `keep_alive_idle` while parked, a 2-second stall bound while
+//!   draining — and queued jobs carry `request_deadline`. The poll
+//!   timeout is the minimum over all of them; expiry answers 408 /
+//!   silent-close / 503 exactly like the threaded engine's
+//!   per-socket timeouts.
+//! * **Admission control.** At `max_connections` open connections, new
+//!   accepts are answered 503 immediately (counted in
+//!   `admission_rejected`) instead of letting the backlog grow.
+//! * **Self-pipe wakeup.** Workers finish requests on their own threads
+//!   and push completions; a byte down the pipe interrupts `poll` so
+//!   the loop writes the response out. Shutdown wakes the same way,
+//!   stops accepting, closes idle connections, and drains in-flight
+//!   work before the loop exits and the workers are joined.
+
+use crate::http::{self, HttpError, ParseOutcome, Request, Response};
+use crate::server::{wants_keep_alive, Handler, Shared, MAX_REJECTORS};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The hand-declared slice of the C interface the reactor needs:
+/// `poll(2)` plus the pipe/fcntl trio for the self-pipe. Declared
+/// directly because the build image has no crates.io access (no `libc`
+/// crate); the values are the Linux ABI ones, with the small macOS
+/// divergences gated by `target_os`.
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+
+    #[cfg(target_os = "macos")]
+    pub type NfdsT = u32;
+    #[cfg(not(target_os = "macos"))]
+    pub type NfdsT = std::os::raw::c_ulong;
+
+    pub const F_SETFD: c_int = 2;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const FD_CLOEXEC: c_int = 1;
+    #[cfg(target_os = "macos")]
+    pub const O_NONBLOCK: c_int = 0x0004;
+    #[cfg(not(target_os = "macos"))]
+    pub const O_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Bytes read per connection per poll round before yielding to the
+/// other ready connections (poll is level-triggered, so the remainder
+/// is re-reported immediately).
+const READ_ROUND_BYTES: usize = 256 * 1024;
+
+/// Unread-input budget while draining before an error-response close —
+/// mirrors the threaded engine's `drain`.
+const DRAIN_BUDGET: usize = 256 * 1024;
+
+/// Stall bound between drain reads — mirrors the threaded engine's
+/// 2-second drain read timeout.
+const DRAIN_STALL: Duration = Duration::from_secs(2);
+
+/// The self-pipe: workers (and `Server::shutdown`) write a byte to
+/// interrupt `poll`; the loop drains it on wakeup. Both ends are
+/// nonblocking — a full pipe means a wakeup is already pending, which
+/// is exactly what the writer wanted.
+pub(crate) struct Waker {
+    read_fd: std::os::raw::c_int,
+    write_fd: std::os::raw::c_int,
+}
+
+impl Waker {
+    fn new() -> io::Result<Waker> {
+        let mut fds = [0 as std::os::raw::c_int; 2];
+        // SAFETY: `pipe` writes two fds into the array it is given.
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let waker = Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        for fd in fds {
+            // SAFETY: plain fcntl flag updates on fds this process owns.
+            let ok = unsafe {
+                let flags = sys::fcntl(fd, sys::F_GETFL);
+                flags >= 0
+                    && sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) >= 0
+                    && sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) >= 0
+            };
+            if !ok {
+                return Err(io::Error::last_os_error()); // drop closes both ends
+            }
+        }
+        Ok(waker)
+    }
+
+    /// Interrupt the poll loop (idempotent while a wakeup is pending).
+    pub(crate) fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: writing one byte from a live stack buffer to an fd we
+        // own; EAGAIN (pipe full) is fine — a wakeup is already queued.
+        let _ = unsafe { sys::write(self.write_fd, byte.as_ptr().cast(), 1) };
+    }
+
+    /// Consume pending wakeup bytes after poll reports the pipe readable.
+    fn drain(&self) {
+        let mut sink = [0u8; 64];
+        // SAFETY: reading into a live stack buffer from an fd we own;
+        // the loop ends on EAGAIN (negative return) or EOF.
+        while unsafe { sys::read(self.read_fd, sink.as_mut_ptr().cast(), sink.len()) } > 0 {}
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: closing fds this struct owns, exactly once.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// A parsed request waiting for (or being run by) a worker.
+struct Job {
+    conn: u64,
+    request: Request,
+    enqueued: Instant,
+}
+
+struct JobQueue {
+    pending: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A finished response on its way back to the event loop.
+struct Completion {
+    conn: u64,
+    response: Response,
+}
+
+/// State shared between the event loop and the reactor's worker pool.
+struct ReactorShared {
+    shared: Arc<Shared>,
+    jobs: Mutex<JobQueue>,
+    ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    waker: Arc<Waker>,
+}
+
+/// Everything `Server::start` needs to own a running reactor.
+pub(crate) struct Started {
+    pub(crate) event_loop: JoinHandle<()>,
+    pub(crate) workers: Vec<JoinHandle<()>>,
+    pub(crate) waker: Arc<Waker>,
+}
+
+/// Spawn the event loop and its worker pool over an already-bound
+/// listener.
+pub(crate) fn start(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handler: Arc<dyn Handler>,
+) -> io::Result<Started> {
+    listener.set_nonblocking(true)?;
+    let waker = Arc::new(Waker::new()?);
+    let rs = Arc::new(ReactorShared {
+        shared: Arc::clone(&shared),
+        jobs: Mutex::new(JobQueue {
+            pending: VecDeque::new(),
+            closed: false,
+        }),
+        ready: Condvar::new(),
+        completions: Mutex::new(Vec::new()),
+        waker: Arc::clone(&waker),
+    });
+    let workers = (0..shared.workers)
+        .map(|i| {
+            let rs = Arc::clone(&rs);
+            let handler = Arc::clone(&handler);
+            std::thread::Builder::new()
+                .name(format!("gpa-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rs, handler.as_ref()))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let event_loop = std::thread::Builder::new()
+        .name("gpa-serve-reactor".into())
+        .spawn(move || Reactor::new(listener, rs).run())
+        .expect("spawn reactor thread");
+    Ok(Started {
+        event_loop,
+        workers,
+        waker,
+    })
+}
+
+/// Pull jobs, run the handler, push completions, wake the loop. The
+/// same panic/counting contract as the threaded `worker_loop`: a
+/// handler panic answers 500, every response is counted before it is
+/// written.
+fn worker_loop(rs: &ReactorShared, handler: &dyn Handler) {
+    loop {
+        let job = {
+            let mut jobs = rs.jobs.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = jobs.pending.pop_front() {
+                    break Some(job);
+                }
+                if jobs.closed {
+                    break None;
+                }
+                jobs = rs.ready.wait(jobs).expect("job queue poisoned");
+            }
+        };
+        let Some(job) = job else {
+            return; // shutdown, queue fully drained
+        };
+        rs.shared.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+        let deadline = rs.shared.config.request_deadline;
+        let response = if !deadline.is_zero() && job.enqueued.elapsed() >= deadline {
+            // The event loop expires queued jobs proactively, but a job
+            // can still cross the line between its scan and this pop.
+            rs.shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            deadline_response()
+        } else {
+            let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                handler.handle(&job.request, rs.shared.snapshot())
+            }))
+            .unwrap_or_else(|_| Response::error(500, "internal server error"));
+            rs.shared.count_response(resp.status);
+            resp
+        };
+        rs.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion {
+                conn: job.conn,
+                response,
+            });
+        rs.waker.wake();
+    }
+}
+
+/// Where a connection sits in its lifecycle; one variant per poll
+/// interest.
+enum State {
+    /// Accumulating request bytes (head or body); parse after every
+    /// arrival. Interest: readable.
+    Reading,
+    /// A parsed request is queued or running; the socket is not polled
+    /// (matching the threaded engine, which does not read while the
+    /// handler runs).
+    InFlight,
+    /// Flushing the serialized response. Interest: writable.
+    Writing {
+        out: Vec<u8>,
+        off: usize,
+        then: After,
+    },
+    /// Keep-alive: between requests, waiting for the next first byte.
+    /// Interest: readable.
+    Parked,
+    /// Response written, discarding unread input before closing so the
+    /// response survives the trip (closing with unread data would RST).
+    /// Interest: readable.
+    Draining { budget: usize },
+}
+
+/// What to do once a `Writing` state finishes flushing.
+#[derive(Clone, Copy)]
+enum After {
+    /// Keep-alive honored: park (or parse the pipelined next request).
+    Keep,
+    /// Clean close — the one request was fully read, a plain FIN is safe.
+    Close,
+    /// Half-close and drain unread input first (error responses,
+    /// refused keep-alive), mirroring the threaded engine's
+    /// write → `shutdown(Write)` → drain sequence.
+    Drain,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: State,
+    /// Received-but-unparsed bytes (and, while `InFlight`/`Writing`,
+    /// any pipelined follow-up request).
+    buf: Vec<u8>,
+    /// Peer half-closed its sending side.
+    eof: bool,
+    /// Requests parsed off this connection so far (the keep-alive cap
+    /// compares against this).
+    served: usize,
+    /// Whether the *current* request asked for keep-alive.
+    client_keep: bool,
+    deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            state: State::Reading,
+            buf: Vec::new(),
+            eof: false,
+            served: 0,
+            client_keep: false,
+            deadline: None,
+        }
+    }
+
+    fn interest(&self) -> i16 {
+        match self.state {
+            State::Reading | State::Parked | State::Draining { .. } => sys::POLLIN,
+            State::Writing { .. } => sys::POLLOUT,
+            State::InFlight => 0,
+        }
+    }
+}
+
+fn overload_response() -> Response {
+    Response::error(503, "server is at capacity, retry later")
+}
+
+fn deadline_response() -> Response {
+    Response::error(503, "request deadline exceeded while queued")
+}
+
+fn timeout_response() -> Response {
+    Response::error(408, "timed out waiting for the rest of the request")
+}
+
+/// Outcome of trying to advance a connection's state machine.
+enum Step {
+    /// Blocked on I/O (or parked/in-flight); keep the connection.
+    Wait,
+    /// The connection is finished; drop it.
+    Close,
+}
+
+struct Reactor {
+    listener: Option<TcpListener>,
+    rs: Arc<ReactorShared>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    /// Accept backoff after a persistent accept failure (e.g. EMFILE):
+    /// the listener is left out of the poll set until this passes.
+    accept_cooldown: Option<Instant>,
+    /// Shutdown observed: listener dropped, idle connections closed,
+    /// loop exits once the table drains.
+    draining: bool,
+}
+
+impl Reactor {
+    fn new(listener: TcpListener, rs: Arc<ReactorShared>) -> Reactor {
+        Reactor {
+            listener: Some(listener),
+            rs,
+            conns: HashMap::new(),
+            next_id: 0,
+            accept_cooldown: None,
+            draining: false,
+        }
+    }
+
+    fn run(mut self) {
+        let mut fds: Vec<sys::PollFd> = Vec::new();
+        let mut order: Vec<u64> = Vec::new();
+        loop {
+            self.apply_completions();
+            if !self.draining && self.rs.shared.stopping.load(Ordering::SeqCst) {
+                self.draining = true;
+                self.listener = None; // stop accepting; pending connects get reset
+                                      // Idle connections have nothing to drain: close them now
+                                      // instead of waiting out their idle windows.
+                self.conns.retain(|_, conn| match conn.state {
+                    State::Parked => false,
+                    State::Reading => !conn.buf.is_empty(),
+                    _ => true,
+                });
+            }
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+
+            fds.clear();
+            order.clear();
+            fds.push(sys::PollFd {
+                fd: self.rs.waker.read_fd,
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            let now = Instant::now();
+            let cooling = self.accept_cooldown.is_some_and(|until| until > now);
+            if !cooling {
+                self.accept_cooldown = None;
+            }
+            let poll_listener = match (&self.listener, cooling) {
+                (Some(listener), false) => {
+                    fds.push(sys::PollFd {
+                        fd: listener.as_raw_fd(),
+                        events: sys::POLLIN,
+                        revents: 0,
+                    });
+                    true
+                }
+                _ => false,
+            };
+            let mut idle = 0usize;
+            for (&id, conn) in &self.conns {
+                if matches!(conn.state, State::Parked) {
+                    idle += 1;
+                }
+                let events = conn.interest();
+                if events != 0 {
+                    order.push(id);
+                    fds.push(sys::PollFd {
+                        fd: conn.stream.as_raw_fd(),
+                        events,
+                        revents: 0,
+                    });
+                }
+            }
+            self.rs
+                .shared
+                .open_conns
+                .store(self.conns.len(), Ordering::Relaxed);
+            self.rs.shared.idle_conns.store(idle, Ordering::Relaxed);
+
+            let timeout = self.poll_timeout(now);
+            // SAFETY: `fds` is a live, exclusively-borrowed slice of
+            // repr(C) pollfds; the kernel only writes their `revents`.
+            let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout) };
+            if rc < 0 {
+                if io::Error::last_os_error().kind() != io::ErrorKind::Interrupted {
+                    // Unexpected poll failure: back off instead of
+                    // spinning a core on a persistent error.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                continue;
+            }
+
+            if fds[0].revents != 0 {
+                self.rs.waker.drain();
+            }
+            if poll_listener && fds[1].revents != 0 {
+                self.accept_ready();
+            }
+            let base = 1 + usize::from(poll_listener);
+            for (i, &id) in order.iter().enumerate() {
+                if fds[base + i].revents != 0 {
+                    self.step(id);
+                }
+            }
+            self.expire_deadlines();
+        }
+
+        self.rs.shared.open_conns.store(0, Ordering::Relaxed);
+        self.rs.shared.idle_conns.store(0, Ordering::Relaxed);
+        let mut jobs = self.rs.jobs.lock().expect("job queue poisoned");
+        jobs.closed = true;
+        self.rs.ready.notify_all();
+    }
+
+    /// Write out every response the workers have finished.
+    fn apply_completions(&mut self) {
+        let done = std::mem::take(&mut *self.rs.completions.lock().expect("completions poisoned"));
+        for completion in done {
+            self.deliver(completion.conn, completion.response);
+        }
+    }
+
+    /// Start (and opportunistically finish) writing `response` on a
+    /// connection whose request just completed.
+    fn deliver(&mut self, id: u64, response: Response) {
+        let Some(mut conn) = self.conns.remove(&id) else {
+            return; // connection died while the request ran
+        };
+        let cap = self.rs.shared.config.keep_alive_requests.max(1);
+        let keep = conn.client_keep && conn.served < cap && response.status < 400 && !self.draining;
+        let then = if keep {
+            After::Keep
+        } else if conn.client_keep {
+            // The client asked for keep-alive we are refusing (cap
+            // reached, error status): it may have pipelined a follow-up,
+            // so drain before closing — same as the threaded path.
+            After::Drain
+        } else {
+            After::Close
+        };
+        start_response(&self.rs, &mut conn, &response, keep, then);
+        if matches!(advance(&self.rs, &mut conn, id), Step::Wait) {
+            self.conns.insert(id, conn);
+        }
+    }
+
+    /// Drive one connection after poll reported its fd ready.
+    fn step(&mut self, id: u64) {
+        let Some(mut conn) = self.conns.remove(&id) else {
+            return;
+        };
+        if matches!(advance(&self.rs, &mut conn, id), Step::Wait) {
+            self.conns.insert(id, conn);
+        }
+    }
+
+    /// Accept everything the backlog has, applying admission control.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Same rationale as the threaded acceptor: without
+                    // TCP_NODELAY, head-then-body writes stall ~40 ms on
+                    // Nagle + delayed ACK for keep-alive peers.
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // can't serve a blocking socket here
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let mut conn = Conn::new(stream);
+                    let max = self.rs.shared.config.max_connections;
+                    if max > 0 && self.conns.len() >= max {
+                        self.rs
+                            .shared
+                            .admission_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        if self.conns.len() >= max + MAX_REJECTORS {
+                            // Overflow slots exhausted (a flood): cheap
+                            // best-effort 503, then drop — bounded work
+                            // beats guaranteed delivery, as in the
+                            // threaded rejector cap.
+                            let bytes = http::response_bytes(&overload_response(), false);
+                            let _ = conn.stream.write(&bytes);
+                            continue;
+                        }
+                        start_response(
+                            &self.rs,
+                            &mut conn,
+                            &overload_response(),
+                            false,
+                            After::Drain,
+                        );
+                        if matches!(advance(&self.rs, &mut conn, id), Step::Wait) {
+                            self.conns.insert(id, conn);
+                        }
+                        continue;
+                    }
+                    conn.deadline = Some(Instant::now() + self.rs.shared.config.read_timeout);
+                    self.conns.insert(id, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // Persistent failure (e.g. EMFILE): leave the
+                    // listener out of the poll set briefly instead of
+                    // spinning — the reactor's version of the threaded
+                    // acceptor's 50 ms sleep.
+                    self.accept_cooldown = Some(Instant::now() + Duration::from_millis(50));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Answer every expired deadline: 408 for mid-request stalls,
+    /// silent close for idle sockets, 503 for requests that waited in
+    /// the queue past `request_deadline`.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let due: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.deadline.is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let Some(mut conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            let keep = match conn.state {
+                State::Reading if !conn.buf.is_empty() => {
+                    // A stall *after* request bytes started arriving is
+                    // worth telling the client about — the threaded
+                    // engine's `consumed > consumed_before` 408 path.
+                    self.rs.shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let resp = timeout_response();
+                    self.rs.shared.count_response(resp.status);
+                    start_response(&self.rs, &mut conn, &resp, false, After::Drain);
+                    matches!(advance(&self.rs, &mut conn, id), Step::Wait)
+                }
+                // Idle keep-alive reclaim, silent never-sent-a-byte
+                // closes, write stalls, drain stalls: just close.
+                _ => false,
+            };
+            if keep {
+                self.conns.insert(id, conn);
+            }
+        }
+
+        let request_deadline = self.rs.shared.config.request_deadline;
+        if request_deadline.is_zero() {
+            return;
+        }
+        // Jobs enqueue in arrival order, so expired ones sit at the
+        // front. Expiring here (not just at worker pop) means a queued
+        // request still gets its 503 on time when every worker is stuck
+        // in a long-running handler.
+        loop {
+            let job = {
+                let mut jobs = self.rs.jobs.lock().expect("job queue poisoned");
+                match jobs.pending.front() {
+                    Some(job) if now.duration_since(job.enqueued) >= request_deadline => {
+                        jobs.pending.pop_front()
+                    }
+                    _ => None,
+                }
+            };
+            let Some(job) = job else { break };
+            self.rs.shared.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+            self.rs
+                .shared
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            self.deliver(job.conn, deadline_response());
+        }
+    }
+
+    /// The poll timeout in milliseconds: sleep exactly until the next
+    /// deadline anywhere, or forever when nothing is pending.
+    fn poll_timeout(&self, now: Instant) -> std::os::raw::c_int {
+        let mut next: Option<Instant> = None;
+        let mut merge = |candidate: Instant| {
+            next = Some(match next {
+                Some(t) if t <= candidate => t,
+                _ => candidate,
+            });
+        };
+        for conn in self.conns.values() {
+            if let Some(deadline) = conn.deadline {
+                merge(deadline);
+            }
+        }
+        if let Some(until) = self.accept_cooldown {
+            merge(until);
+        }
+        let request_deadline = self.rs.shared.config.request_deadline;
+        if !request_deadline.is_zero() {
+            let jobs = self.rs.jobs.lock().expect("job queue poisoned");
+            if let Some(job) = jobs.pending.front() {
+                merge(job.enqueued + request_deadline);
+            }
+        }
+        match next {
+            None => -1,
+            Some(t) if t <= now => 0,
+            // +1 rounds up so the deadline has actually passed when the
+            // wheel fires; the cap keeps the cast to c_int safe.
+            Some(t) => ((t - now).as_millis().min(60_000) as std::os::raw::c_int) + 1,
+        }
+    }
+}
+
+/// Run `conn`'s state machine until it blocks or finishes. This is the
+/// whole per-connection protocol: reads, incremental parse, dispatch,
+/// response writes, keep-alive transitions, drains.
+fn advance(rs: &ReactorShared, conn: &mut Conn, id: u64) -> Step {
+    loop {
+        match conn.state {
+            State::Parked => {
+                if !slurp(rs, conn) {
+                    return Step::Close;
+                }
+                if conn.buf.is_empty() && !conn.eof {
+                    return Step::Wait; // spurious wakeup: stay parked
+                }
+                // First bytes of the next request (or a hangup): the
+                // idle window ends, the full read budget applies.
+                conn.state = State::Reading;
+            }
+            State::Reading => {
+                if !slurp(rs, conn) {
+                    return Step::Close;
+                }
+                match dispatch(rs, conn, id) {
+                    Verdict::Wait => return Step::Wait,
+                    Verdict::Close => return Step::Close,
+                    Verdict::Continue => {}
+                }
+            }
+            State::InFlight => return Step::Wait,
+            State::Writing { .. } => match flush(rs, conn) {
+                Verdict::Wait => return Step::Wait,
+                Verdict::Close => return Step::Close,
+                Verdict::Continue => {}
+            },
+            State::Draining { .. } => {
+                return if drain_some(conn) {
+                    Step::Wait
+                } else {
+                    Step::Close
+                };
+            }
+        }
+    }
+}
+
+enum Verdict {
+    Wait,
+    Close,
+    Continue,
+}
+
+/// Read whatever the socket has (bounded per round), appending to the
+/// connection buffer. Returns `false` on a hard I/O error — the
+/// threaded engine's silent-close path for dead sockets.
+fn slurp(rs: &ReactorShared, conn: &mut Conn) -> bool {
+    if conn.eof {
+        return true;
+    }
+    let mut scratch = [0u8; 16 * 1024];
+    let mut round = READ_ROUND_BYTES;
+    loop {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                conn.eof = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&scratch[..n]);
+                // Fresh bytes restart the read clock, exactly like the
+                // threaded engine's per-read socket timeout.
+                conn.deadline = Some(Instant::now() + rs.shared.config.read_timeout);
+                round = round.saturating_sub(n);
+                if round == 0 {
+                    return true; // level-triggered poll re-reports the rest
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Parse the buffered bytes and act on the verdict: queue a complete
+/// request, wait for more bytes, or answer the error.
+fn dispatch(rs: &ReactorShared, conn: &mut Conn, id: u64) -> Verdict {
+    match http::parse_buffered(&conn.buf, conn.eof, rs.shared.config.max_body_bytes) {
+        ParseOutcome::Incomplete => {
+            if conn.eof {
+                return Verdict::Close; // unreachable: eof parses always settle
+            }
+            Verdict::Wait
+        }
+        ParseOutcome::Request(request, consumed) => {
+            conn.buf.drain(..consumed);
+            conn.served += 1;
+            conn.client_keep = wants_keep_alive(&request);
+            let queued = {
+                let mut jobs = rs.jobs.lock().expect("job queue poisoned");
+                if jobs.closed || jobs.pending.len() >= rs.shared.config.queue_depth {
+                    false
+                } else {
+                    // Incremented before the job becomes visible, so a
+                    // fast worker's decrement can never underflow.
+                    rs.shared.jobs_queued.fetch_add(1, Ordering::Relaxed);
+                    jobs.pending.push_back(Job {
+                        conn: id,
+                        request,
+                        enqueued: Instant::now(),
+                    });
+                    true
+                }
+            };
+            if queued {
+                rs.ready.notify_one();
+                conn.state = State::InFlight;
+                conn.deadline = None;
+                Verdict::Wait
+            } else {
+                // The job queue is the reactor's 503 threshold — the
+                // same `queue_depth`, message, and counter as the
+                // threaded acceptor's overload rejection.
+                rs.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                start_response(rs, conn, &overload_response(), false, After::Drain);
+                Verdict::Continue
+            }
+        }
+        ParseOutcome::Failed(HttpError::Closed) => Verdict::Close,
+        ParseOutcome::Failed(HttpError::Io(_)) => Verdict::Close,
+        ParseOutcome::Failed(e) => {
+            let resp = Response::error(e.status(), &e.message());
+            rs.shared.count_response(resp.status);
+            start_response(rs, conn, &resp, false, After::Drain);
+            Verdict::Continue
+        }
+    }
+}
+
+/// Serialize `resp` and move the connection into `Writing`. The bytes
+/// come from `http::response_bytes`, the same serializer the threaded
+/// path writes through — byte identity by construction.
+fn start_response(rs: &ReactorShared, conn: &mut Conn, resp: &Response, keep: bool, then: After) {
+    conn.state = State::Writing {
+        out: http::response_bytes(resp, keep),
+        off: 0,
+        then,
+    };
+    // An unwritable peer must not hold the connection forever; reuse
+    // the read stall bound for the write direction.
+    conn.deadline = Some(Instant::now() + rs.shared.config.read_timeout);
+}
+
+/// Push response bytes until done or blocked, then take the `After`
+/// transition.
+fn flush(rs: &ReactorShared, conn: &mut Conn) -> Verdict {
+    let State::Writing { out, off, then } = &mut conn.state else {
+        return Verdict::Close;
+    };
+    let then = *then;
+    while *off < out.len() {
+        match conn.stream.write(&out[*off..]) {
+            Ok(0) => return Verdict::Close,
+            Ok(n) => *off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conn.deadline = Some(Instant::now() + rs.shared.config.read_timeout);
+                return Verdict::Wait;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Close,
+        }
+    }
+    match then {
+        After::Keep => {
+            if conn.buf.is_empty() && !conn.eof {
+                conn.state = State::Parked;
+                conn.deadline = Some(Instant::now() + rs.shared.config.keep_alive_idle);
+                Verdict::Wait
+            } else {
+                // A pipelined follow-up already arrived (or the peer
+                // hung up): parse it immediately.
+                conn.state = State::Reading;
+                conn.deadline = Some(Instant::now() + rs.shared.config.read_timeout);
+                Verdict::Continue
+            }
+        }
+        After::Close => Verdict::Close,
+        After::Drain => {
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            // Already-buffered bytes are part of the unread input being
+            // discarded (the threaded path drops its BufReader the same
+            // way).
+            conn.buf.clear();
+            conn.state = State::Draining {
+                budget: DRAIN_BUDGET,
+            };
+            conn.deadline = Some(Instant::now() + DRAIN_STALL);
+            Verdict::Continue
+        }
+    }
+}
+
+/// Discard unread input until EOF, an error, the byte budget, or (via
+/// the deadline wheel) a 2-second stall. Returns `false` when the
+/// connection should close now.
+fn drain_some(conn: &mut Conn) -> bool {
+    let State::Draining { budget } = &mut conn.state else {
+        return false;
+    };
+    let mut scratch = [0u8; 4096];
+    loop {
+        if *budget == 0 {
+            return false;
+        }
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => return false,
+            Ok(n) => {
+                *budget -= n.min(*budget);
+                conn.deadline = Some(Instant::now() + DRAIN_STALL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}

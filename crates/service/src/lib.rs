@@ -494,7 +494,12 @@ impl CustomKernel {
             params,
             gmem,
             regions,
-            TraceMode::Homogeneous,
+            // Wire-submitted kernels carry no promise of homogeneity:
+            // let the traced pass decide. Grids whose blocks are
+            // shape-identical still get the cheap single-cluster
+            // timing, byte for byte; divergent grids (the old silent
+            // wrong answer) get per-block replay.
+            TraceMode::Auto,
         ))
     }
 

@@ -74,6 +74,7 @@ fn mode_to_value(m: TraceMode) -> Value {
     Value::from(match m {
         TraceMode::Homogeneous => "homogeneous",
         TraceMode::PerBlock => "per-block",
+        TraceMode::Auto => "auto",
     })
 }
 
@@ -81,6 +82,7 @@ fn mode_from_value(v: &Value) -> Result<TraceMode, ServiceError> {
     match v.as_str()? {
         "homogeneous" => Ok(TraceMode::Homogeneous),
         "per-block" => Ok(TraceMode::PerBlock),
+        "auto" => Ok(TraceMode::Auto),
         other => Err(wire_err(format!("unknown trace mode `{other}`"))),
     }
 }

@@ -354,3 +354,79 @@ fn wire_level_custom_garbage_is_a_wire_error() {
         }
     }
 }
+
+/// The regression that motivated `TraceMode::Auto` as the custom-kernel
+/// default: a grid whose blocks execute *different* instruction streams.
+/// Block 0 takes a guarded early exit after two instructions; blocks
+/// 1..4 run a 16-deep f32 chain. The old hardcoded `Homogeneous` mode
+/// replayed block 0's short trace for every cluster — a silently wrong
+/// (under-estimated) answer. Auto must detect the shape divergence and
+/// answer exactly as a forced per-block replay does. (Block 0 is the
+/// *short* block on purpose: were it the longest, it would dominate the
+/// critical path either way and the two modes would coincide.)
+#[test]
+fn auto_mode_replays_divergent_grids_per_block() {
+    let analyzer = analyzer();
+    let mut asm = String::from(
+        ".kernel divergent\n.reg 2\n.threads 32\n\
+         \x20   s2r r0, %ctaid.x\n\
+         \x20   setp.eq.s32 p0, r0, 0\n\
+         \x20   @p0 exit\n",
+    );
+    for _ in 0..16 {
+        asm.push_str("    mad.f32 r1, r1, r1, r1\n");
+    }
+    asm.push_str("    exit\n");
+    let kernel = CustomKernel {
+        asm,
+        launch: LaunchConfig::new_1d(4, 32),
+        params: vec![],
+        memory: vec![],
+    };
+    let report = |mode: Option<gpa_service::RequestTraceMode>| {
+        let mut request =
+            AnalysisRequest::new(KernelSpec::Custom(Box::new(kernel.clone())), "gtx285");
+        request.options.mode = mode;
+        analyzer
+            .analyze(&request)
+            .expect("divergent kernel analyzes")
+    };
+    // No explicit mode: custom kernels default to Auto.
+    let auto = report(None);
+    let per_block = report(Some(gpa_service::RequestTraceMode::PerBlock));
+    let homogeneous = report(Some(gpa_service::RequestTraceMode::Homogeneous));
+    assert_eq!(
+        auto.to_json(),
+        per_block.to_json(),
+        "auto must fall back to per-block replay on a shape-divergent grid"
+    );
+    assert_ne!(
+        auto.measured_cycles, homogeneous.measured_cycles,
+        "the divergent grid must actually distinguish per-block from \
+         homogeneous replay, or this test proves nothing"
+    );
+}
+
+/// The flip side: on a shape-uniform multi-block grid, Auto must take
+/// the cheap homogeneous path and answer byte-identically to forcing
+/// `Homogeneous` (the pre-Auto behavior for well-formed kernels).
+#[test]
+fn auto_mode_matches_homogeneous_on_uniform_grids() {
+    let analyzer = analyzer();
+    let mut kernel = valid_custom();
+    kernel.launch = LaunchConfig::new_1d(4, 32);
+    kernel.memory[0].len = 4 * 32 * 4;
+    let report = |mode: Option<gpa_service::RequestTraceMode>| {
+        let mut request =
+            AnalysisRequest::new(KernelSpec::Custom(Box::new(kernel.clone())), "gtx285");
+        request.options.mode = mode;
+        analyzer.analyze(&request).expect("uniform kernel analyzes")
+    };
+    let auto = report(None);
+    let homogeneous = report(Some(gpa_service::RequestTraceMode::Homogeneous));
+    assert_eq!(
+        auto.to_json(),
+        homogeneous.to_json(),
+        "auto must be byte-identical to homogeneous replay on a uniform grid"
+    );
+}

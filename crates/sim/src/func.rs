@@ -341,6 +341,14 @@ impl<'a> FunctionalSim<'a> {
         let mut warps: Vec<WarpState> = (0..nwarps)
             .map(|w| WarpState::new(w as u32, threads))
             .collect();
+        if self.collect_trace {
+            // Pooled buffers: repeated traced runs (a serving process, a
+            // calibration sweep) grow each warp's trace once and then
+            // recycle the capacity instead of reallocating per block.
+            for w in &mut warps {
+                w.trace = crate::trace_pool::take();
+            }
+        }
 
         loop {
             let mut all_done = true;

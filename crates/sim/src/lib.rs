@@ -34,6 +34,7 @@ pub mod grid;
 pub mod memory;
 pub mod stats;
 pub mod timing;
+pub mod trace_pool;
 
 pub use engine::{SimEngine, Threads};
 pub use error::SimError;

@@ -295,6 +295,35 @@ pub struct BlockTrace {
     pub warps: Vec<Vec<TraceEntry>>,
 }
 
+impl TraceEntry {
+    /// Equality up to global-memory *placement*: everything the timing
+    /// replay consumes for a non-texture kernel — instruction class,
+    /// register dependencies, destination latency, bank-conflict weight,
+    /// and the coalesced transaction count and sizes — but not the
+    /// transaction base addresses, which legitimately differ between
+    /// blocks of a perfectly homogeneous grid (each block walks its own
+    /// slice of memory).
+    pub fn shape_eq(&self, other: &TraceEntry) -> bool {
+        let gmem_shape = match (&self.gmem, &other.gmem) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.size == y.size)
+            }
+            _ => false,
+        };
+        self.class == other.class
+            && self.dst == other.dst
+            && self.dst_n == other.dst_n
+            && self.srcs == other.srcs
+            && self.nsrcs == other.nsrcs
+            && self.dst_lat == other.dst_lat
+            && self.smem_half_txns == other.smem_half_txns
+            && self.gmem_load == other.gmem_load
+            && self.bar == other.bar
+            && gmem_shape
+    }
+}
+
 impl BlockTrace {
     /// Total traced warp-instructions.
     pub fn len(&self) -> usize {
@@ -304,6 +333,20 @@ impl BlockTrace {
     /// Returns `true` if no instructions were traced.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether two block traces replay identically on a non-texture
+    /// timing simulation (see [`TraceEntry::shape_eq`]). This is the
+    /// homogeneity test behind `TraceMode::Auto`: a grid whose blocks
+    /// are pairwise shape-equal can be timed from a single block's
+    /// trace.
+    pub fn shape_eq(&self, other: &BlockTrace) -> bool {
+        self.warps.len() == other.warps.len()
+            && self
+                .warps
+                .iter()
+                .zip(&other.warps)
+                .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.shape_eq(y)))
     }
 }
 
