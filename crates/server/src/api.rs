@@ -6,7 +6,8 @@
 //! | `POST /v1/analyze` | report JSON for one request object, or an array of per-request reports/`{"error"}` elements for a batch array — the same `gpa_service::wire` JSON as `gpa-analyze` |
 //! | `GET /v1/machines` | `{"machines": [...]}`, the calibrated machine names |
 //! | `GET /healthz` | `{"status": "ok", "machines": N}` |
-//! | `GET /v1/stats` | served/error/rejected/timeout/deadline/admission counters, queue depth, open/idle connection gauges, workers |
+//! | `GET /v1/stats` | served/error/rejected/timeout/deadline/admission counters, queue depth, open/idle connection gauges, workers, uptime, build version, the selected io model |
+//! | `GET /v1/metrics` | Prometheus text exposition (see [`gpa_telemetry::Registry::render`]): request counter, latency and per-phase histograms, server counters/gauges, report-cache counters when enabled |
 //!
 //! Unknown paths answer 404, known paths with the wrong method 405
 //! (with `Allow`), malformed JSON or failed single requests 400. The
@@ -22,9 +23,11 @@
 //! accepted answers are **byte-identical** to `gpa-analyze` stdout.
 
 use crate::http::{Request, Response};
-use crate::server::{Handler, StatsSnapshot};
+use crate::server::{Handler, RequestContext};
+use crate::telemetry::ServerTelemetry;
 use gpa_json::Value;
 use gpa_service::{AnalysisRequest, Analyzer, Effort, ServiceError};
+use gpa_telemetry::{phase, PhaseSpan};
 use std::sync::Arc;
 
 /// The route table over a calibrated [`Analyzer`].
@@ -92,6 +95,7 @@ impl AnalyzeApi {
                 // Batch answers mirror `gpa-analyze`: healthy reports in
                 // request order, failures degraded to `{"error"}`
                 // elements — the transport never hides partial success.
+                let _span = PhaseSpan::start(phase::SERIALIZE);
                 let items: Vec<Value> = reqs
                     .iter()
                     .map(|r| {
@@ -118,7 +122,10 @@ impl AnalyzeApi {
                     .check_effort(&request)
                     .and_then(|()| self.analyzer.analyze(&request));
                 match answer {
-                    Ok(report) => Response::json(200, report.to_json()),
+                    Ok(report) => {
+                        let _span = PhaseSpan::start(phase::SERIALIZE);
+                        Response::json(200, report.to_json())
+                    }
                     // Every analysis failure is something the request
                     // asked for (unknown machine, out-of-range size,
                     // failed verification): a client error, not a 500.
@@ -155,7 +162,8 @@ impl AnalyzeApi {
         )
     }
 
-    fn stats(&self, stats: StatsSnapshot) -> Response {
+    fn stats(&self, ctx: &RequestContext<'_>) -> Response {
+        let stats = ctx.stats;
         let mut fields = vec![
             ("served".into(), Value::Number(stats.served as f64)),
             ("errors".into(), Value::Number(stats.errors as f64)),
@@ -182,6 +190,12 @@ impl AnalyzeApi {
                 Value::Number(stats.idle_connections as f64),
             ),
             ("workers".into(), Value::Number(stats.workers as f64)),
+            (
+                "uptime_seconds".into(),
+                Value::Number(ctx.telemetry.uptime_seconds() as f64),
+            ),
+            ("version".into(), Value::from(ServerTelemetry::version())),
+            ("io_model".into(), Value::from(ctx.telemetry.io_model_str())),
         ];
         // Only present when the analyzer memoizes reports, so a scraper
         // can tell "cache off" from "cache cold".
@@ -199,15 +213,30 @@ impl AnalyzeApi {
         }
         Response::json(200, Value::Object(fields).to_string_pretty())
     }
+
+    /// The Prometheus scrape: the server's registered metrics plus the
+    /// stats-snapshot and report-cache families, rendered by
+    /// [`ServerTelemetry::render`].
+    fn metrics(&self, ctx: &RequestContext<'_>) -> Response {
+        let text = ctx
+            .telemetry
+            .render(&ctx.stats, self.analyzer.report_cache_stats().as_ref());
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: text.into_bytes(),
+        }
+    }
 }
 
 impl Handler for AnalyzeApi {
-    fn handle(&self, req: &Request, stats: StatsSnapshot) -> Response {
+    fn handle(&self, req: &Request, ctx: &RequestContext<'_>) -> Response {
         // Route on the path first so a wrong method gets a 405 naming
         // the right one, not a 404.
         let allowed: &'static str = match req.target.as_str() {
             "/v1/analyze" => "POST",
-            "/v1/machines" | "/v1/stats" | "/healthz" => "GET",
+            "/v1/machines" | "/v1/stats" | "/v1/metrics" | "/healthz" => "GET",
             _ => return Response::error(404, &format!("no such path `{}`", req.target)),
         };
         if req.method != allowed {
@@ -217,7 +246,8 @@ impl Handler for AnalyzeApi {
         match req.target.as_str() {
             "/v1/analyze" => self.analyze(req),
             "/v1/machines" => self.machines(),
-            "/v1/stats" => self.stats(stats),
+            "/v1/stats" => self.stats(ctx),
+            "/v1/metrics" => self.metrics(ctx),
             "/healthz" => self.healthz(),
             _ => unreachable!("routed above"),
         }
@@ -227,6 +257,7 @@ impl Handler for AnalyzeApi {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::{IoModel, StatsSnapshot};
 
     fn api() -> AnalyzeApi {
         AnalyzeApi::new(Arc::new(Analyzer::new()))
@@ -256,17 +287,25 @@ mod tests {
         }
     }
 
+    fn ctx(telemetry: &ServerTelemetry) -> RequestContext<'_> {
+        RequestContext {
+            stats: stats0(),
+            telemetry,
+        }
+    }
+
     #[test]
     fn routes_without_an_analyzer_entry() {
         let api = api();
-        assert_eq!(api.handle(&get("/healthz"), stats0()).status, 200);
-        assert_eq!(api.handle(&get("/v1/machines"), stats0()).status, 200);
-        assert_eq!(api.handle(&get("/nope"), stats0()).status, 404);
+        let t = ServerTelemetry::new(IoModel::Threads, None);
+        assert_eq!(api.handle(&get("/healthz"), &ctx(&t)).status, 200);
+        assert_eq!(api.handle(&get("/v1/machines"), &ctx(&t)).status, 200);
+        assert_eq!(api.handle(&get("/nope"), &ctx(&t)).status, 404);
         let post = Request {
             method: "POST".into(),
             ..get("/healthz")
         };
-        let resp = api.handle(&post, stats0());
+        let resp = api.handle(&post, &ctx(&t));
         assert_eq!(resp.status, 405);
         assert!(resp.headers.contains(&("Allow".into(), "GET".into())));
     }
@@ -274,7 +313,8 @@ mod tests {
     #[test]
     fn stats_serialize_every_counter() {
         let api = api();
-        let resp = api.handle(&get("/v1/stats"), stats0());
+        let t = ServerTelemetry::new(IoModel::Reactor, None);
+        let resp = api.handle(&get("/v1/stats"), &ctx(&t));
         let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(v.get("served").unwrap().as_u64().unwrap(), 5);
         assert_eq!(v.get("errors").unwrap().as_u64().unwrap(), 2);
@@ -286,6 +326,13 @@ mod tests {
         assert_eq!(v.get("open_connections").unwrap().as_u64().unwrap(), 9);
         assert_eq!(v.get("idle_connections").unwrap().as_u64().unwrap(), 1);
         assert_eq!(v.get("workers").unwrap().as_u64().unwrap(), 4);
+        // The identity satellite: uptime, build version, io model.
+        assert!(v.get("uptime_seconds").unwrap().as_u64().is_ok());
+        assert_eq!(
+            v.get("version").unwrap().as_str().unwrap(),
+            env!("CARGO_PKG_VERSION")
+        );
+        assert_eq!(v.get("io_model").unwrap().as_str().unwrap(), "reactor");
         // No report cache enabled: the section is absent, not zeroed.
         assert!(v.get("report_cache").is_err());
     }
@@ -295,12 +342,45 @@ mod tests {
         let mut analyzer = Analyzer::new();
         analyzer.enable_report_cache(gpa_service::ReportCacheConfig::default());
         let api = AnalyzeApi::new(Arc::new(analyzer));
-        let resp = api.handle(&get("/v1/stats"), stats0());
+        let t = ServerTelemetry::new(IoModel::Threads, None);
+        let resp = api.handle(&get("/v1/stats"), &ctx(&t));
         let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         let cache = v.get("report_cache").unwrap();
         for field in ["hits", "misses", "evictions", "entries", "bytes"] {
             assert_eq!(cache.get(field).unwrap().as_u64().unwrap(), 0, "{field}");
         }
+    }
+
+    #[test]
+    fn metrics_expose_server_and_cache_families() {
+        let mut analyzer = Analyzer::new();
+        analyzer.enable_report_cache(gpa_service::ReportCacheConfig::default());
+        let api = AnalyzeApi::new(Arc::new(analyzer));
+        let t = ServerTelemetry::new(IoModel::Threads, None);
+        let resp = api.handle(&get("/v1/metrics"), &ctx(&t));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"));
+        let text = String::from_utf8(resp.body).unwrap();
+        for family in [
+            "gpa_requests_total 0\n",
+            "gpa_request_duration_us_bucket{le=\"+Inf\"} 0\n",
+            "gpa_request_phase_us_count{phase=\"handle\"} 0\n",
+            "gpa_server_served_total 5\n",
+            "gpa_server_errors_total 2\n",
+            "gpa_report_cache_hits_total 0\n",
+            "gpa_process_uptime_seconds",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        // Without a report cache the cache families disappear entirely
+        // (absent, not zeroed — same contract as /v1/stats).
+        let bare = api_no_cache_metrics(&t);
+        assert!(!bare.contains("gpa_report_cache_"));
+    }
+
+    fn api_no_cache_metrics(t: &ServerTelemetry) -> String {
+        let resp = api().handle(&get("/v1/metrics"), &ctx(t));
+        String::from_utf8(resp.body).unwrap()
     }
 
     #[test]
@@ -318,20 +398,21 @@ mod tests {
             headers: Vec::new(),
             body: payload.into_bytes(),
         };
+        let t = ServerTelemetry::new(IoModel::Threads, None);
         // Paper-effort request on a quick-effort server: refused with a
         // message naming both efforts.
-        let resp = api.handle(&post(body("paper")), stats0());
+        let resp = api.handle(&post(body("paper")), &ctx(&t));
         assert_eq!(resp.status, 400);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("Paper") && text.contains("Quick"), "{text}");
         // Matching effort passes the gate (and then fails on the empty
         // analyzer, proving the gate ran first).
-        let resp = api.handle(&post(body("quick")), stats0());
+        let resp = api.handle(&post(body("quick")), &ctx(&t));
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("no calibrated machine"), "{text}");
         // In a batch, the refusal is an {"error"} element in order.
         let batch = format!("[{}, {}]", body("quick"), body("paper"));
-        let resp = api.handle(&post(batch), stats0());
+        let resp = api.handle(&post(batch), &ctx(&t));
         assert_eq!(resp.status, 200);
         let doc = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         let items = doc.as_array().unwrap();
@@ -352,6 +433,7 @@ mod tests {
     #[test]
     fn analyze_rejects_bad_payloads_cleanly() {
         let api = api();
+        let t = ServerTelemetry::new(IoModel::Threads, None);
         for (body, want) in [
             (&b"\xff\xfe"[..], "not valid UTF-8"),
             (b"{", "malformed JSON"),
@@ -365,7 +447,7 @@ mod tests {
                 headers: Vec::new(),
                 body: body.to_vec(),
             };
-            let resp = api.handle(&req, stats0());
+            let resp = api.handle(&req, &ctx(&t));
             assert_eq!(resp.status, 400, "{want}");
             let text = String::from_utf8(resp.body).unwrap();
             assert!(text.contains(want), "`{text}` missing `{want}`");

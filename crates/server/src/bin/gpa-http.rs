@@ -12,22 +12,51 @@
 //! transport errors.
 
 use gpa_server::client::{split_url, Client};
+use gpa_telemetry::log::{self, Level, LogFormat};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: gpa-http get URL
-       gpa-http post URL [BODY.json | -]
+usage: gpa-http [-q | -v] [--log-format FMT] get URL
+       gpa-http [-q | -v] [--log-format FMT] post URL [BODY.json | -]
 
 URL is http://host:port/path. POST bodies come from the file argument,
-or stdin with `-` (or no argument).";
+or stdin with `-` (or no argument). `-q` silences the status line on
+stderr; `--log-format json` emits it as a structured record.";
 
 fn run() -> Result<u16, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return Ok(200);
     }
+    let mut level = Level::Info;
+    let mut format = LogFormat::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-q" | "--quiet" => {
+                level = Level::Warn;
+                args.remove(i);
+            }
+            "-v" | "--verbose" => {
+                level = Level::Debug;
+                args.remove(i);
+            }
+            "--log-format" => {
+                args.remove(i);
+                let spec = if i < args.len() {
+                    args.remove(i)
+                } else {
+                    return Err("--log-format requires a value".into());
+                };
+                format = LogFormat::parse(&spec)
+                    .ok_or_else(|| format!("unknown log format `{spec}` (text | json)"))?;
+            }
+            _ => i += 1,
+        }
+    }
+    log::init(level, format);
     let (verb, url, body_arg) = match args.as_slice() {
         [verb, url] => (verb.as_str(), url, None),
         [verb, url, body] => (verb.as_str(), url, Some(body.as_str())),
@@ -61,10 +90,16 @@ fn run() -> Result<u16, String> {
     }
     .map_err(|e| format!("{url}: {e}"))?;
 
-    eprintln!(
-        "gpa-http: {} {}",
-        response.status,
-        gpa_server::http::status_reason(response.status)
+    log::info(
+        "http",
+        "response",
+        &[
+            ("status", response.status.into()),
+            (
+                "reason",
+                gpa_server::http::status_reason(response.status).into(),
+            ),
+        ],
     );
     // Swallow EPIPE so `gpa-http ... | head` exits quietly.
     let _ = std::io::stdout().write_all(&response.body);

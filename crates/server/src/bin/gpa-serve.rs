@@ -18,6 +18,7 @@
 use gpa_server::api::AnalyzeApi;
 use gpa_server::server::{IoModel, Server, ServerConfig};
 use gpa_service::{find_builtin, Analyzer, Effort, ReportCacheConfig};
+use gpa_telemetry::log::{self, Level, LogFormat};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,7 +53,13 @@ Options:
                      persisted under the cache dir unless --no-cache
   --no-report-cache  recompute every answer
   --report-cache-bytes BYTES
-                     in-memory report cache budget (default 67108864)";
+                     in-memory report cache budget (default 67108864)
+  --slow-request-ms N
+                     promote requests slower than N ms end-to-end to WARN
+                     access-log lines carrying the full per-phase breakdown
+  --log-format FMT   log line format: text | json (default text)
+  -v, --verbose      log at DEBUG
+  -q, --quiet        log at WARN (errors and slow requests only)";
 
 struct Options {
     addr: String,
@@ -62,6 +69,8 @@ struct Options {
     cache_dir: Option<PathBuf>,
     report_cache: bool,
     report_cache_bytes: usize,
+    log_level: Level,
+    log_format: LogFormat,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -73,6 +82,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache_dir: Some(gpa_ubench::cache::default_dir()),
         report_cache: true,
         report_cache_bytes: ReportCacheConfig::default().max_bytes,
+        log_level: Level::Info,
+        log_format: LogFormat::Text,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -141,6 +152,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--max-body requires a byte count".to_owned())?;
             }
+            "--slow-request-ms" => {
+                let ms: u64 = value(&mut i, "--slow-request-ms")?
+                    .parse()
+                    .map_err(|_| "--slow-request-ms requires milliseconds".to_owned())?;
+                opts.config.slow_request_ms = Some(ms);
+            }
+            "--log-format" => {
+                let spec = value(&mut i, "--log-format")?;
+                opts.log_format = LogFormat::parse(&spec)
+                    .ok_or_else(|| format!("unknown log format `{spec}` (text | json)"))?;
+            }
+            "-v" | "--verbose" => opts.log_level = Level::Debug,
+            "-q" | "--quiet" => opts.log_level = Level::Warn,
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -161,6 +185,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    log::init(opts.log_level, opts.log_format);
 
     // Calibrate every requested machine before accepting a single
     // connection: requests are then pure read-only lookups and the
@@ -170,11 +195,18 @@ fn main() -> ExitCode {
         let machine = match find_builtin(selector) {
             Ok(m) => m,
             Err(e) => {
-                eprintln!("gpa-serve: {e}");
+                log::error("serve", &e.to_string(), &[]);
                 return ExitCode::from(2);
             }
         };
-        eprintln!("calibrating {} ({:?})...", machine.name, opts.effort);
+        log::info(
+            "serve",
+            "calibrating",
+            &[
+                ("machine", machine.name.as_str().into()),
+                ("effort", format!("{:?}", opts.effort).into()),
+            ],
+        );
         match &opts.cache_dir {
             Some(dir) => analyzer.calibrate_cached(machine, opts.effort.measure_opts(), dir),
             None => analyzer.calibrate(machine, opts.effort.measure_opts()),
@@ -199,7 +231,14 @@ fn main() -> ExitCode {
     let server = match Server::start(opts.addr.as_str(), opts.config, handler) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("gpa-serve: cannot bind {}: {e}", opts.addr);
+            log::error(
+                "serve",
+                "cannot bind",
+                &[
+                    ("addr", opts.addr.as_str().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -209,15 +248,15 @@ fn main() -> ExitCode {
     let mut stdout = std::io::stdout();
     let _ = writeln!(stdout, "listening on http://{}", server.local_addr());
     let _ = stdout.flush();
-    eprintln!(
-        "gpa-serve: {} machine(s), {} worker(s), queue depth {}, {} i/o",
-        opts.machines.len(),
-        server.stats().workers,
-        opts.config.queue_depth,
-        match opts.config.io_model {
-            IoModel::Threads => "thread-per-connection",
-            IoModel::Reactor => "reactor",
-        }
+    log::info(
+        "serve",
+        "serving",
+        &[
+            ("machines", opts.machines.len().into()),
+            ("workers", server.stats().workers.into()),
+            ("queue_depth", opts.config.queue_depth.into()),
+            ("io_model", server.telemetry().io_model_str().into()),
+        ],
     );
 
     server.wait(); // runs until the process is killed

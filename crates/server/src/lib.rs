@@ -27,6 +27,11 @@
 //!   `GET /v1/machines`, `GET /healthz`, `GET /v1/stats`.
 //! * [`client`] — a minimal blocking HTTP client (tests, CI, and the
 //!   `gpa-http` binary drive the server with it; no curl required).
+//! * [`telemetry`] — the observability bundle behind `GET /v1/metrics`:
+//!   a Prometheus-text registry (request counter, latency histogram,
+//!   per-phase histograms fed by [`gpa_telemetry`] trace spans), the
+//!   structured access log with `--slow-request-ms` WARN promotion, and
+//!   the `X-Request-Id` / opt-in `Server-Timing` response headers.
 //!
 //! The `gpa-serve` binary ties it together: calibrate the requested
 //! machines through the shared on-disk curve cache
@@ -60,8 +65,10 @@ pub mod http;
 #[cfg(unix)]
 pub mod reactor;
 pub mod server;
+pub mod telemetry;
 
 pub use api::AnalyzeApi;
 pub use client::{Client, HttpResponse};
 pub use http::{Request, Response};
-pub use server::{Handler, IoModel, Server, ServerConfig, StatsSnapshot};
+pub use server::{Handler, IoModel, RequestContext, Server, ServerConfig, StatsSnapshot};
+pub use telemetry::ServerTelemetry;

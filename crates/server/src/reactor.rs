@@ -38,7 +38,9 @@
 //!   work before the loop exits and the workers are joined.
 
 use crate::http::{self, HttpError, ParseOutcome, Request, Response};
-use crate::server::{wants_keep_alive, Handler, Shared, MAX_REJECTORS};
+use crate::server::{micros, wants_keep_alive, Handler, Shared, MAX_REJECTORS};
+use crate::telemetry::RequestOutcome;
+use gpa_telemetry::{phase, trace, RequestTrace};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -172,6 +174,10 @@ struct Job {
     conn: u64,
     request: Request,
     enqueued: Instant,
+    /// The request's trace (`parse` already recorded by `dispatch`).
+    trace: RequestTrace,
+    /// When the request's first bytes arrived, for the end-to-end total.
+    started: Instant,
 }
 
 struct JobQueue {
@@ -179,10 +185,31 @@ struct JobQueue {
     closed: bool,
 }
 
-/// A finished response on its way back to the event loop.
+/// A finished response on its way back to the event loop, carrying
+/// everything [`crate::telemetry::ServerTelemetry::finish_request`]
+/// needs once the bytes are on the wire.
 struct Completion {
     conn: u64,
     response: Response,
+    trace: RequestTrace,
+    method: String,
+    target: String,
+    started: Instant,
+}
+
+/// Telemetry held on a connection while its response flushes; recorded
+/// by `flush` the moment the last byte is written, mirroring the point
+/// where the threaded engine calls `finish_request`. Pre-parse answers
+/// (408s, malformed requests) carry no trace, exactly like the threaded
+/// path.
+struct Finish {
+    trace: Option<RequestTrace>,
+    method: String,
+    target: String,
+    status: u16,
+    bytes: usize,
+    started: Instant,
+    write_start: Instant,
 }
 
 /// State shared between the event loop and the reactor's worker pool.
@@ -259,23 +286,38 @@ fn worker_loop(rs: &ReactorShared, handler: &dyn Handler) {
                 jobs = rs.ready.wait(jobs).expect("job queue poisoned");
             }
         };
-        let Some(job) = job else {
+        let Some(mut job) = job else {
             return; // shutdown, queue fully drained
         };
         rs.shared.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+        job.trace
+            .record(phase::QUEUE, micros(job.enqueued.elapsed()));
         let deadline = rs.shared.config.request_deadline;
-        let response = if !deadline.is_zero() && job.enqueued.elapsed() >= deadline {
+        let (response, req_trace) = if !deadline.is_zero() && job.enqueued.elapsed() >= deadline {
             // The event loop expires queued jobs proactively, but a job
             // can still cross the line between its scan and this pop.
             rs.shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            deadline_response()
+            let resp = deadline_response().with_header("X-Request-Id", job.trace.id());
+            (resp, job.trace)
         } else {
-            let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                handler.handle(&job.request, rs.shared.snapshot())
+            // The trace rides the worker's thread-local slot so the
+            // handler's own spans (cache lookup, simulation phases)
+            // nest inside `handle` — same contract as the threaded
+            // engine.
+            let _ = trace::install(job.trace);
+            let span = trace::PhaseSpan::start(phase::HANDLE);
+            let mut resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                handler.handle(&job.request, &rs.shared.request_context())
             }))
             .unwrap_or_else(|_| Response::error(500, "internal server error"));
+            drop(span);
+            let req_trace = trace::take().expect("trace installed above");
+            resp = resp.with_header("X-Request-Id", req_trace.id());
+            if job.request.header("x-gpa-server-timing").is_some() {
+                resp = resp.with_header("Server-Timing", &req_trace.server_timing());
+            }
             rs.shared.count_response(resp.status);
-            resp
+            (resp, req_trace)
         };
         rs.completions
             .lock()
@@ -283,6 +325,10 @@ fn worker_loop(rs: &ReactorShared, handler: &dyn Handler) {
             .push(Completion {
                 conn: job.conn,
                 response,
+                trace: req_trace,
+                method: job.request.method,
+                target: job.request.target,
+                started: job.started,
             });
         rs.waker.wake();
     }
@@ -340,6 +386,11 @@ struct Conn {
     /// Whether the *current* request asked for keep-alive.
     client_keep: bool,
     deadline: Option<Instant>,
+    /// When the current request's first bytes arrived (cleared once a
+    /// request parses; reset for a pipelined follow-up).
+    req_started: Option<Instant>,
+    /// Telemetry to record when the response now flushing completes.
+    finish: Option<Finish>,
 }
 
 impl Conn {
@@ -352,6 +403,8 @@ impl Conn {
             served: 0,
             client_keep: false,
             deadline: None,
+            req_started: None,
+            finish: None,
         }
     }
 
@@ -512,13 +565,22 @@ impl Reactor {
     fn apply_completions(&mut self) {
         let done = std::mem::take(&mut *self.rs.completions.lock().expect("completions poisoned"));
         for completion in done {
-            self.deliver(completion.conn, completion.response);
+            self.deliver(completion);
         }
     }
 
-    /// Start (and opportunistically finish) writing `response` on a
-    /// connection whose request just completed.
-    fn deliver(&mut self, id: u64, response: Response) {
+    /// Start (and opportunistically finish) writing a completed
+    /// request's response, parking its telemetry on the connection
+    /// until the bytes are fully out.
+    fn deliver(&mut self, completion: Completion) {
+        let Completion {
+            conn: id,
+            response,
+            trace,
+            method,
+            target,
+            started,
+        } = completion;
         let Some(mut conn) = self.conns.remove(&id) else {
             return; // connection died while the request ran
         };
@@ -534,6 +596,15 @@ impl Reactor {
         } else {
             After::Close
         };
+        conn.finish = Some(Finish {
+            trace: Some(trace),
+            method,
+            target,
+            status: response.status,
+            bytes: response.body.len(),
+            started,
+            write_start: Instant::now(),
+        });
         start_response(&self.rs, &mut conn, &response, keep, then);
         if matches!(advance(&self.rs, &mut conn, id), Step::Wait) {
             self.conns.insert(id, conn);
@@ -634,6 +705,15 @@ impl Reactor {
                     self.rs.shared.timeouts.fetch_add(1, Ordering::Relaxed);
                     let resp = timeout_response();
                     self.rs.shared.count_response(resp.status);
+                    conn.finish = Some(Finish {
+                        trace: None,
+                        method: "-".into(),
+                        target: "-".into(),
+                        status: resp.status,
+                        bytes: resp.body.len(),
+                        started: conn.req_started.take().unwrap_or(now),
+                        write_start: Instant::now(),
+                    });
                     start_response(&self.rs, &mut conn, &resp, false, After::Drain);
                     matches!(advance(&self.rs, &mut conn, id), Step::Wait)
                 }
@@ -664,13 +744,23 @@ impl Reactor {
                     _ => None,
                 }
             };
-            let Some(job) = job else { break };
+            let Some(mut job) = job else { break };
             self.rs.shared.jobs_queued.fetch_sub(1, Ordering::Relaxed);
             self.rs
                 .shared
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
-            self.deliver(job.conn, deadline_response());
+            job.trace
+                .record(phase::QUEUE, micros(job.enqueued.elapsed()));
+            let response = deadline_response().with_header("X-Request-Id", job.trace.id());
+            self.deliver(Completion {
+                conn: job.conn,
+                response,
+                trace: job.trace,
+                method: job.request.method,
+                target: job.request.target,
+                started: job.started,
+            });
         }
     }
 
@@ -775,6 +865,11 @@ fn slurp(rs: &ReactorShared, conn: &mut Conn) -> bool {
                 return true;
             }
             Ok(n) => {
+                // The first bytes of a request start its end-to-end
+                // clock (the threaded engine's `req_start`).
+                if conn.req_started.is_none() {
+                    conn.req_started = Some(Instant::now());
+                }
                 conn.buf.extend_from_slice(&scratch[..n]);
                 // Fresh bytes restart the read clock, exactly like the
                 // threaded engine's per-read socket timeout.
@@ -794,6 +889,7 @@ fn slurp(rs: &ReactorShared, conn: &mut Conn) -> bool {
 /// Parse the buffered bytes and act on the verdict: queue a complete
 /// request, wait for more bytes, or answer the error.
 fn dispatch(rs: &ReactorShared, conn: &mut Conn, id: u64) -> Verdict {
+    let parse_start = Instant::now();
     match http::parse_buffered(&conn.buf, conn.eof, rs.shared.config.max_body_bytes) {
         ParseOutcome::Incomplete => {
             if conn.eof {
@@ -802,9 +898,21 @@ fn dispatch(rs: &ReactorShared, conn: &mut Conn, id: u64) -> Verdict {
             Verdict::Wait
         }
         ParseOutcome::Request(request, consumed) => {
+            // The reactor's `parse` span is the final (settling) parse
+            // call — the wait for bytes shows up as wall-clock between
+            // `started` and now instead, unlike the threaded engine
+            // whose blocking read folds the wait into `parse`.
+            let mut req_trace = RequestTrace::new();
+            req_trace.record(phase::PARSE, micros(parse_start.elapsed()));
+            let started = conn.req_started.take().unwrap_or(parse_start);
             conn.buf.drain(..consumed);
             conn.served += 1;
             conn.client_keep = wants_keep_alive(&request);
+            if !conn.buf.is_empty() {
+                // Pipelined follow-up bytes already arrived; its clock
+                // starts now rather than never.
+                conn.req_started = Some(Instant::now());
+            }
             let queued = {
                 let mut jobs = rs.jobs.lock().expect("job queue poisoned");
                 if jobs.closed || jobs.pending.len() >= rs.shared.config.queue_depth {
@@ -817,6 +925,8 @@ fn dispatch(rs: &ReactorShared, conn: &mut Conn, id: u64) -> Verdict {
                         conn: id,
                         request,
                         enqueued: Instant::now(),
+                        trace: req_trace,
+                        started,
                     });
                     true
                 }
@@ -840,6 +950,15 @@ fn dispatch(rs: &ReactorShared, conn: &mut Conn, id: u64) -> Verdict {
         ParseOutcome::Failed(e) => {
             let resp = Response::error(e.status(), &e.message());
             rs.shared.count_response(resp.status);
+            conn.finish = Some(Finish {
+                trace: None,
+                method: "-".into(),
+                target: "-".into(),
+                status: resp.status,
+                bytes: resp.body.len(),
+                started: conn.req_started.take().unwrap_or(parse_start),
+                write_start: Instant::now(),
+            });
             start_response(rs, conn, &resp, false, After::Drain);
             Verdict::Continue
         }
@@ -878,6 +997,22 @@ fn flush(rs: &ReactorShared, conn: &mut Conn) -> Verdict {
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return Verdict::Close,
         }
+    }
+    // The last byte just left: record the request exactly where the
+    // threaded engine does (a response that never finishes writing is
+    // never counted there either).
+    if let Some(mut finish) = conn.finish.take() {
+        if let Some(req_trace) = finish.trace.as_mut() {
+            req_trace.record(phase::WRITE, micros(finish.write_start.elapsed()));
+        }
+        rs.shared.telemetry.finish_request(&RequestOutcome {
+            trace: finish.trace.as_ref(),
+            method: &finish.method,
+            target: &finish.target,
+            status: finish.status,
+            bytes: finish.bytes,
+            total: finish.started.elapsed(),
+        });
     }
     match then {
         After::Keep => {

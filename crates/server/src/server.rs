@@ -41,6 +41,8 @@
 //! opt in keep the original one-request `Connection: close` behavior.
 
 use crate::http::{self, HttpError, Request, Response};
+use crate::telemetry::{RequestOutcome, ServerTelemetry};
+use gpa_telemetry::{phase, trace, RequestTrace};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -48,7 +50,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which connection engine fronts the worker pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,6 +121,10 @@ pub struct ServerConfig {
     /// [`StatsSnapshot::deadline_expired`]; requests a worker already
     /// started always run to completion.
     pub request_deadline: Duration,
+    /// Requests slower than this many milliseconds end-to-end are
+    /// promoted from INFO to WARN in the access log, carrying their
+    /// full per-phase span breakdown (`None` = never promote).
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +139,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             max_connections: 4096,
             request_deadline: Duration::ZERO,
+            slow_request_ms: None,
         }
     }
 }
@@ -184,21 +191,33 @@ pub struct StatsSnapshot {
     pub workers: usize,
 }
 
+/// Everything the serving engine hands a [`Handler`] beyond the request
+/// itself: a stats snapshot taken just before dispatch, and the
+/// server's [`ServerTelemetry`] (the `/v1/metrics` registry, uptime,
+/// and io-model identity). Both engines build it the same way, which is
+/// what keeps `/v1/stats` and `/v1/metrics` identical across io models.
+pub struct RequestContext<'a> {
+    /// Counters and gauges at dispatch time.
+    pub stats: StatsSnapshot,
+    /// The server's metrics registry and identity.
+    pub telemetry: &'a ServerTelemetry,
+}
+
 /// A request handler. One instance is shared by every worker thread, so
 /// implementations must be internally synchronized (the analyzer API is
 /// read-only after calibration, which is why the whole server can share
 /// one [`gpa_service::Analyzer`] behind an `Arc`).
 pub trait Handler: Send + Sync + 'static {
     /// Answer one parsed request.
-    fn handle(&self, req: &Request, stats: StatsSnapshot) -> Response;
+    fn handle(&self, req: &Request, ctx: &RequestContext<'_>) -> Response;
 }
 
 impl<F> Handler for F
 where
-    F: Fn(&Request, StatsSnapshot) -> Response + Send + Sync + 'static,
+    F: for<'a> Fn(&Request, &RequestContext<'a>) -> Response + Send + Sync + 'static,
 {
-    fn handle(&self, req: &Request, stats: StatsSnapshot) -> Response {
-        self(req, stats)
+    fn handle(&self, req: &Request, ctx: &RequestContext<'_>) -> Response {
+        self(req, ctx)
     }
 }
 
@@ -229,10 +248,14 @@ pub(crate) struct Shared {
     pub(crate) jobs_queued: AtomicUsize,
     pub(crate) workers: usize,
     pub(crate) config: ServerConfig,
+    /// Metrics registry + request finishing, shared by both engines.
+    pub(crate) telemetry: ServerTelemetry,
 }
 
 pub(crate) struct QueueState {
-    pub(crate) pending: VecDeque<TcpStream>,
+    /// Accepted connections with their enqueue instants (the `queue`
+    /// phase of the first request on each).
+    pub(crate) pending: VecDeque<(TcpStream, Instant)>,
     /// Mirrors `stopping` under the queue lock so workers can't miss the
     /// wake-up between their emptiness check and their `wait`.
     pub(crate) closed: bool,
@@ -259,6 +282,15 @@ impl Shared {
             jobs_queued: AtomicUsize::new(0),
             workers,
             config,
+            telemetry: ServerTelemetry::new(config.io_model, config.slow_request_ms),
+        }
+    }
+
+    /// The context handed to the handler for one dispatch.
+    pub(crate) fn request_context(&self) -> RequestContext<'_> {
+        RequestContext {
+            stats: self.snapshot(),
+            telemetry: &self.telemetry,
         }
     }
 
@@ -403,6 +435,12 @@ impl Server {
         self.shared.snapshot()
     }
 
+    /// The server's metrics registry and identity (what `/v1/metrics`
+    /// renders); useful for in-process scraping and tests.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.shared.telemetry
+    }
+
     /// Stop accepting, drain every queued connection, finish in-flight
     /// requests, and join all threads. Consumes the server; the final
     /// counters come back so a caller can log them.
@@ -484,7 +522,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             if queue.pending.len() >= shared.config.queue_depth {
                 Some(stream)
             } else {
-                queue.pending.push_back(stream);
+                queue.pending.push_back((stream, Instant::now()));
                 shared.ready.notify_one();
                 None
             }
@@ -568,10 +606,10 @@ fn worker_loop(shared: &Shared, handler: &dyn Handler) {
                 queue = shared.ready.wait(queue).expect("queue poisoned");
             }
         };
-        let Some(stream) = stream else {
+        let Some((stream, enqueued)) = stream else {
             return; // shutdown, queue fully drained
         };
-        serve_connection(stream, shared, handler);
+        serve_connection(stream, shared, handler, enqueued.elapsed());
     }
 }
 
@@ -636,12 +674,29 @@ fn consumed(reader: &BufReader<MeteredStream>) -> u64 {
     reader.get_ref().bytes_read - reader.buffer().len() as u64
 }
 
+/// Whole microseconds of a duration, saturating (traces carry `u64` µs).
+pub(crate) fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Serve one connection: parse requests, answer them, and honor
 /// `Connection: keep-alive` up to the configured per-connection request
 /// cap and idle timeout. Any error — malformed request, oversized body,
 /// or a handler answer of 4xx/5xx — closes the connection
 /// (`Connection: close`), so a confused peer can never wedge the framing.
-fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
+///
+/// Every request gets a [`RequestTrace`]: `parse` covers reading the
+/// head and body off the socket (including waiting for the first
+/// byte), `queue` is the connection's wait for this worker (first
+/// request only — follow-ups on a kept-alive connection never queue),
+/// `handle` wraps the handler (whose own spans nest inside via the
+/// thread-local trace), and `write` covers response serialization.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    handler: &dyn Handler,
+    queue_wait: Duration,
+) {
     let _open = GaugeGuard::acquire(&shared.open_conns);
     // A silent client must not wedge a worker forever.
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
@@ -650,21 +705,45 @@ fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
         bytes_read: 0,
     });
     let cap = shared.config.keep_alive_requests.max(1);
+    let mut queue_wait = Some(queue_wait);
     for served in 1..=cap {
         let consumed_before = consumed(&reader);
+        let req_start = Instant::now();
         match http::read_request(&mut reader, shared.config.max_body_bytes) {
             Ok(req) => {
+                let mut req_trace = RequestTrace::new();
+                req_trace.record(phase::PARSE, micros(req_start.elapsed()));
+                let wait = queue_wait.take().unwrap_or(Duration::ZERO);
+                req_trace.record(phase::QUEUE, micros(wait));
+                let _ = trace::install(req_trace);
+                let span = trace::PhaseSpan::start(phase::HANDLE);
                 // A handler panic answers 500 and keeps the worker alive.
-                let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    handler.handle(&req, shared.snapshot())
+                let mut resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    handler.handle(&req, &shared.request_context())
                 }))
                 .unwrap_or_else(|_| Response::error(500, "internal server error"));
+                drop(span);
+                let mut req_trace = trace::take().expect("trace installed above");
+                resp = resp.with_header("X-Request-Id", req_trace.id());
+                if req.header("x-gpa-server-timing").is_some() {
+                    resp = resp.with_header("Server-Timing", &req_trace.server_timing());
+                }
                 shared.count_response(resp.status);
                 let client_keep = wants_keep_alive(&req);
                 let keep = client_keep && served < cap && resp.status < 400;
+                let write_start = Instant::now();
                 if http::write_response_with(reader.get_mut(), &resp, keep).is_err() {
                     return;
                 }
+                req_trace.record(phase::WRITE, micros(write_start.elapsed()));
+                shared.telemetry.finish_request(&RequestOutcome {
+                    trace: Some(&req_trace),
+                    method: &req.method,
+                    target: &req.target,
+                    status: resp.status,
+                    bytes: resp.body.len(),
+                    total: wait + req_start.elapsed(),
+                });
                 if !keep {
                     if client_keep {
                         // The client asked for keep-alive and may have
@@ -723,8 +802,17 @@ fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
                     let resp =
                         Response::error(408, "timed out waiting for the rest of the request");
                     shared.count_response(resp.status);
+                    let wait = queue_wait.take().unwrap_or(Duration::ZERO);
                     let mut stream = reader.into_inner().inner;
                     if http::write_response(&mut stream, &resp).is_ok() {
+                        shared.telemetry.finish_request(&RequestOutcome {
+                            trace: None,
+                            method: "-",
+                            target: "-",
+                            status: resp.status,
+                            bytes: resp.body.len(),
+                            total: wait + req_start.elapsed(),
+                        });
                         let _ = stream.shutdown(Shutdown::Write);
                         drain(&mut stream);
                     }
@@ -734,8 +822,17 @@ fn serve_connection(stream: TcpStream, shared: &Shared, handler: &dyn Handler) {
             Err(e) => {
                 let resp = Response::error(e.status(), &e.message());
                 shared.count_response(resp.status);
+                let wait = queue_wait.take().unwrap_or(Duration::ZERO);
                 let mut stream = reader.into_inner().inner;
                 if http::write_response(&mut stream, &resp).is_ok() {
+                    shared.telemetry.finish_request(&RequestOutcome {
+                        trace: None,
+                        method: "-",
+                        target: "-",
+                        status: resp.status,
+                        bytes: resp.body.len(),
+                        total: wait + req_start.elapsed(),
+                    });
                     // The request may have unread bytes (an oversized body
                     // we refused to read, trailing garbage): drain before
                     // closing so the error response survives the trip.

@@ -13,7 +13,7 @@ use gpa_json::Value;
 use gpa_server::api::AnalyzeApi;
 use gpa_server::client::Client;
 use gpa_server::http::{Request, Response};
-use gpa_server::server::{IoModel, Server, ServerConfig, StatsSnapshot};
+use gpa_server::server::{IoModel, RequestContext, Server, ServerConfig};
 use gpa_service::Analyzer;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -102,7 +102,7 @@ fn malformed_and_oversized_requests_get_correct_statuses() {
 
 /// A trivial 200-everything handler for connection-behavior tests.
 fn echo_handler() -> Arc<dyn gpa_server::server::Handler> {
-    Arc::new(|req: &Request, _: StatsSnapshot| {
+    Arc::new(|req: &Request, _: &RequestContext| {
         Response::json(200, format!("{{\"path\": \"{}\"}}", req.target))
     })
 }
@@ -335,7 +335,7 @@ fn handler_panics_become_500s_and_the_worker_survives() {
                 io_model: io,
                 ..ServerConfig::default()
             },
-            Arc::new(|req: &Request, _: StatsSnapshot| {
+            Arc::new(|req: &Request, _: &RequestContext| {
                 if req.target == "/boom" {
                     panic!("handler exploded");
                 }
@@ -372,7 +372,7 @@ impl Gate {
 
     fn handler(self: &Arc<Gate>) -> Arc<dyn gpa_server::server::Handler> {
         let gate = Arc::clone(self);
-        Arc::new(move |_: &Request, _: StatsSnapshot| {
+        Arc::new(move |_: &Request, _: &RequestContext| {
             gate.entered.fetch_add(1, Ordering::SeqCst);
             let mut open = gate.open.lock().unwrap();
             while !*open {
@@ -712,4 +712,163 @@ fn reactor_request_deadline_expires_queued_work() {
     assert_eq!(stats.served, 1);
     assert_eq!(stats.deadline_expired, 1);
     assert_eq!(stats.errors, 0, "expiry is its own ledger, not an error");
+}
+
+#[test]
+fn every_handled_response_carries_a_unique_request_id() {
+    for_each_model(|io| {
+        let server = api_server(ServerConfig {
+            io_model: io,
+            ..ServerConfig::default()
+        });
+        let client = Client::new(server.local_addr().to_string());
+
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..5 {
+            let resp = client.get("/healthz").unwrap();
+            let id = resp
+                .header("x-request-id")
+                .expect("X-Request-Id on every handled response")
+                .to_string();
+            assert!(!id.is_empty(), "{io:?}");
+            assert!(ids.insert(id), "{io:?} req {i}: request ids must be unique");
+        }
+
+        // Server-Timing is opt-in: absent by default, present (with the
+        // server phases) when the request carries x-gpa-server-timing.
+        let plain = client.get("/healthz").unwrap();
+        assert_eq!(plain.header("server-timing"), None, "{io:?}");
+        let resp = raw_roundtrip(
+            server.local_addr(),
+            b"GET /healthz HTTP/1.1\r\nx-gpa-server-timing: 1\r\n\r\n",
+        );
+        assert!(resp.contains("X-Request-Id: "), "{io:?}: {resp}");
+        assert!(resp.contains("Server-Timing: "), "{io:?}: {resp}");
+        assert!(resp.contains("handle;dur="), "{io:?}: {resp}");
+
+        server.shutdown();
+    });
+}
+
+#[test]
+fn metrics_exposition_is_identical_across_io_models() {
+    // One series-name shape per model; compared at the end.
+    let shapes: std::cell::RefCell<Vec<Vec<String>>> = std::cell::RefCell::new(Vec::new());
+    for_each_model(|io| {
+        let server = api_server(ServerConfig {
+            io_model: io,
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let client = Client::new(server.local_addr().to_string());
+        for _ in 0..3 {
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
+        assert_eq!(client.get("/nope").unwrap().status, 404); // error path too
+
+        // finish_request lands a hair after the response bytes reach the
+        // client (and each scrape counts itself once finished), so poll
+        // until a scrape shows the books balanced: at least the 4
+        // requests above, with the histogram agreeing with the counter.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let (text, requests) = loop {
+            let text = client
+                .get("/v1/metrics")
+                .unwrap()
+                .body_str()
+                .unwrap()
+                .to_string();
+            let value = |prefix: &str| -> Option<u64> {
+                text.lines()
+                    .find(|l| l.starts_with(prefix))
+                    .and_then(|l| l.rsplit(' ').next())
+                    .and_then(|v| v.parse().ok())
+            };
+            let requests = value("gpa_requests_total ").unwrap_or(0);
+            if requests >= 4
+                && value("gpa_request_duration_us_count ") == Some(requests)
+                && value("gpa_request_duration_us_bucket{le=\"+Inf\"} ") == Some(requests)
+            {
+                break (text, requests);
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{io:?}: books never balanced:\n{text}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(requests >= 4, "{io:?}");
+        shapes.borrow_mut().push(
+            text.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| {
+                    l.rsplit_once(' ')
+                        .map_or(l, |(series, _)| series)
+                        .to_string()
+                })
+                .collect(),
+        );
+        server.shutdown();
+    });
+    let shapes = shapes.into_inner();
+    if shapes.len() == 2 {
+        assert_eq!(
+            shapes[0], shapes[1],
+            "metric names and labels must not depend on the io model"
+        );
+    }
+}
+
+#[test]
+fn slow_requests_warn_with_a_phase_breakdown_that_adds_up() {
+    // One model suffices: the WARN promotion and span accounting live in
+    // finish_request, which both engines share.
+    let capture = Arc::new(Mutex::new(Vec::new()));
+    gpa_telemetry::log::set_capture(Some(Arc::clone(&capture)));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            slow_request_ms: Some(10),
+            ..ServerConfig::default()
+        },
+        Arc::new(|_: &Request, _: &RequestContext| {
+            std::thread::sleep(Duration::from_millis(30));
+            Response::json(200, "{}")
+        }),
+    )
+    .expect("bind loopback");
+    let client = Client::new(server.local_addr().to_string());
+    let resp = client.get("/slow").unwrap();
+    let id = resp.header("x-request-id").unwrap().to_string();
+    // shutdown joins the workers, so the access line is captured by now.
+    server.shutdown();
+    gpa_telemetry::log::set_capture(None);
+
+    let lines = capture.lock().unwrap();
+    let needle = format!("id={id}");
+    let line = lines
+        .iter()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("no access line for {id} in {lines:?}"));
+    assert!(line.contains("WARN"), "{line}");
+    assert!(line.contains("slow request"), "{line}");
+    assert!(line.contains("status=200"), "{line}");
+    let field = |key: &str| -> u64 {
+        let prefix = format!("{key}=");
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(prefix.as_str()))
+            .unwrap_or_else(|| panic!("missing {key} in {line}"))
+            .parse()
+            .unwrap()
+    };
+    let total = field("total_us");
+    let sum = field("parse_us") + field("queue_us") + field("handle_us") + field("write_us");
+    assert!(total >= 30_000, "slept 30ms but total_us={total}");
+    // The acceptance bound: the four server phases account for the
+    // request within 10% of wall clock.
+    assert!(
+        sum * 10 >= total * 9 && sum <= total + total / 10,
+        "phases sum to {sum}us vs total {total}us: {line}"
+    );
 }

@@ -26,6 +26,7 @@
 
 use gpa_json::Value;
 use gpa_service::{find_builtin, AnalysisReport, AnalysisRequest, Analyzer, Effort, ServiceError};
+use gpa_telemetry::log::{self, Level, LogFormat};
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -57,13 +58,23 @@ Options:
                     needing parameters or device memory must use the
                     full request JSON instead.
   --machine SEL     machine selector for --kernel-asm
-  --grid X[xY]      grid shape in blocks for --kernel-asm";
+  --grid X[xY]      grid shape in blocks for --kernel-asm
+  --log-format FMT  log line format: text | json (default text)
+  -v, --verbose     log at DEBUG
+  -q, --quiet       log at WARN (suppresses the calibrating lines)";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         emit(&format!("{USAGE}\n"));
         return ExitCode::SUCCESS;
+    }
+    match extract_log_flags(&mut args) {
+        Ok((level, format)) => log::init(level, format),
+        Err(e) => {
+            eprintln!("gpa-analyze: {e}");
+            return ExitCode::from(2);
+        }
     }
     let cache_dir = match extract_cache_dir(&mut args) {
         Ok(d) => d,
@@ -156,7 +167,14 @@ fn main() -> ExitCode {
     }
     for (name, effort) in &calibrated {
         let machine = find_builtin(name).expect("calibration list holds resolved names");
-        eprintln!("calibrating {name} ({effort:?})...");
+        log::info(
+            "analyze",
+            "calibrating",
+            &[
+                ("machine", name.as_str().into()),
+                ("effort", format!("{effort:?}").into()),
+            ],
+        );
         match &cache_dir {
             Some(dir) => analyzer.calibrate_cached(machine, effort.measure_opts(), dir),
             None => analyzer.calibrate(machine, effort.measure_opts()),
@@ -227,6 +245,38 @@ fn main() -> ExitCode {
 /// head` exits quietly instead of panicking mid-print.
 fn emit(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+/// Strip the logging flags (`-q`/`--quiet`, `-v`/`--verbose`,
+/// `--log-format FMT`) out of `args`, returning the level and format to
+/// initialize the structured logger with.
+fn extract_log_flags(args: &mut Vec<String>) -> Result<(Level, LogFormat), String> {
+    let mut level = Level::Info;
+    let mut format = LogFormat::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-q" | "--quiet" => {
+                level = Level::Warn;
+                args.remove(i);
+            }
+            "-v" | "--verbose" => {
+                level = Level::Debug;
+                args.remove(i);
+            }
+            "--log-format" => {
+                if i + 1 >= args.len() {
+                    return Err("--log-format requires a value".into());
+                }
+                args.remove(i);
+                let spec = args.remove(i);
+                format = LogFormat::parse(&spec)
+                    .ok_or_else(|| format!("unknown log format `{spec}` (text | json)"))?;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok((level, format))
 }
 
 /// Strip the calibration-cache flags out of `args`, returning the cache

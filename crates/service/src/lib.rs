@@ -1093,21 +1093,29 @@ impl Analyzer {
     /// encodings, simulation or extraction failure, or a failed
     /// verification.
     pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReport, ServiceError> {
-        let entry = self.lookup(&req.machine)?;
+        let entry = {
+            let _span = gpa_telemetry::PhaseSpan::start(gpa_telemetry::phase::CALIBRATION_FETCH);
+            self.lookup(&req.machine)?
+        };
         let cache = match &self.report_cache {
             Some(cache) if Self::cacheable(req) => cache,
             _ => return self.analyze_resolved(entry, req),
         };
+        let span = gpa_telemetry::PhaseSpan::start(gpa_telemetry::phase::CACHE_LOOKUP);
         let canonical =
             wire::canonical_request_json(&req.kernel, &entry.machine.name, &req.options);
         let key = CacheKey::new(entry.identity, &canonical);
-        if let Some(json) = cache.get(&key) {
+        let cached = cache.get(&key);
+        drop(span);
+        if let Some(json) = cached {
             // A torn or foreign entry falls through to recompute (and
             // gets overwritten below); a healthy one is the answer.
             if let Ok(report) = AnalysisReport::from_json(&json) {
+                gpa_telemetry::trace::set_cache_hit(true);
                 return Ok(report);
             }
         }
+        gpa_telemetry::trace::set_cache_hit(false);
         let report = self.analyze_resolved(entry, req)?;
         cache.put(&key, &report.to_json());
         Ok(report)
@@ -1120,7 +1128,10 @@ impl Analyzer {
         entry: &Calibrated,
         req: &AnalysisRequest,
     ) -> Result<AnalysisReport, ServiceError> {
-        let mut study = req.kernel.build()?;
+        let mut study = {
+            let _span = gpa_telemetry::PhaseSpan::start(gpa_telemetry::phase::BUILD);
+            req.kernel.build()?
+        };
         let mut report = self.analyze_prepared(entry, &mut study, &req.options)?;
         if let KernelSpec::Custom(custom) = &req.kernel {
             report.outputs = custom.collect_readback(&study);
@@ -1164,11 +1175,14 @@ impl Analyzer {
         } else {
             None
         };
-        let what_ifs = options
-            .what_ifs
-            .iter()
-            .map(|w| w.eval(&mut model, &run.input))
-            .collect();
+        let what_ifs = {
+            let _span = gpa_telemetry::PhaseSpan::start(gpa_telemetry::phase::WHAT_IFS);
+            options
+                .what_ifs
+                .iter()
+                .map(|w| w.eval(&mut model, &run.input))
+                .collect()
+        };
         // Honest flop accounting: a case study's declared algorithmic
         // count when present, the simulator's lane-level count otherwise.
         let flops = if study.flops != 0 {

@@ -63,6 +63,7 @@
 //! fingerprint-match is a miss, never a panic.
 
 use gpa_json::Value;
+use gpa_telemetry::Counter;
 use gpa_ubench::cache::{fnv1a, CACHE_GENERATION};
 use std::collections::HashMap;
 use std::fs;
@@ -186,9 +187,12 @@ pub struct ReportCache {
     disk_dir: Option<PathBuf>,
     /// Logical LRU clock, bumped on every lookup/insert.
     clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Telemetry handles rather than raw atomics: `Counter` clones share
+    // the underlying value, so the serving layer can expose these same
+    // counters on its /v1/metrics registry.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl ReportCache {
@@ -201,9 +205,9 @@ impl ReportCache {
             shard_budget: config.max_bytes / shards,
             disk_dir: config.disk_dir,
             clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
@@ -223,17 +227,17 @@ impl ReportCache {
                 // into a miss instead of a wrong answer.
                 if entry.fingerprint == key.fingerprint {
                     entry.last_used = now;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Some(entry.report_json.clone());
                 }
             }
         }
         if let Some(json) = self.disk_load(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             self.insert(key, &json, now);
             return Some(json);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         None
     }
 
@@ -267,7 +271,7 @@ impl ReportCache {
             };
             let evicted = shard.map.remove(&victim).expect("victim is present");
             shard.bytes -= evicted.cost();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -322,9 +326,9 @@ impl ReportCache {
             bytes += shard.bytes;
         }
         ReportCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries,
             bytes,
         }

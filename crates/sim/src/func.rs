@@ -285,6 +285,7 @@ impl<'a> FunctionalSim<'a> {
     /// in a parallel one, so only fuel-exhaustion behaviour may differ
     /// between thread counts.
     pub fn run(&self, gmem: &mut GlobalMemory) -> Result<RunOutput, SimError> {
+        let _span = gpa_telemetry::PhaseSpan::start(gpa_telemetry::phase::FUNCTIONAL_SIM);
         crate::engine::SimEngine::new(self.num_threads).run(self, gmem)
     }
 

@@ -272,6 +272,7 @@ impl<'m> TimingSim<'m> {
         launch: &LaunchConfig,
         resources: KernelResources,
     ) -> TimingResult {
+        let _span = gpa_telemetry::PhaseSpan::start(gpa_telemetry::phase::TIMING_REPLAY);
         let nclusters = self.machine.num_clusters();
         let nblocks = launch.num_blocks();
         let occ = occupancy(self.machine, resources);

@@ -1,0 +1,329 @@
+//! Leveled structured logging to stderr, in text or JSON lines.
+//!
+//! One process-global configuration (level, format, optional capture
+//! sink for tests) guards every emission; binaries call [`init`] once
+//! after flag parsing and then log through the level functions. Each
+//! line carries a wall-clock RFC 3339 timestamp, the level, a `target`
+//! (component name), a message, and zero or more typed key/value
+//! fields:
+//!
+//! ```text
+//! 2026-08-08T12:00:00Z INFO gpa-serve listening workers=4
+//! {"ts":"2026-08-08T12:00:00Z","level":"info","target":"gpa-serve","msg":"listening","workers":4}
+//! ```
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error,
+    /// Degraded behaviour worth operator attention (slow requests).
+    Warn,
+    /// Normal operational events (startup, access log).
+    Info,
+    /// Verbose diagnostics (`-v`).
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn json_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Output encoding for log lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-oriented single-line text.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parse the `--log-format` flag value (`text` | `json`).
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value; strings are quoted/escaped, numbers are bare.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// Text value.
+    Str(String),
+    /// Unsigned integer value.
+    U64(u64),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+struct Config {
+    level: Level,
+    format: LogFormat,
+    capture: Option<Arc<Mutex<Vec<String>>>>,
+}
+
+static CONFIG: RwLock<Config> = RwLock::new(Config {
+    level: Level::Info,
+    format: LogFormat::Text,
+    capture: None,
+});
+
+/// Set the process-global level and format. Callable repeatedly; the
+/// latest call wins.
+pub fn init(level: Level, format: LogFormat) {
+    let mut cfg = CONFIG.write().expect("logger poisoned");
+    cfg.level = level;
+    cfg.format = format;
+}
+
+/// Redirect rendered lines into `buf` instead of stderr (tests), or
+/// restore stderr with `None`.
+pub fn set_capture(buf: Option<Arc<Mutex<Vec<String>>>>) {
+    CONFIG.write().expect("logger poisoned").capture = buf;
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level <= CONFIG.read().expect("logger poisoned").level
+}
+
+/// Emit at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// Emit at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Emit at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Emit at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Emit one structured line at `level` if the level is enabled.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    let cfg = CONFIG.read().expect("logger poisoned");
+    if level > cfg.level {
+        return;
+    }
+    let ts = rfc3339_now();
+    let line = match cfg.format {
+        LogFormat::Text => render_text(&ts, level, target, msg, fields),
+        LogFormat::Json => render_json(&ts, level, target, msg, fields),
+    };
+    match &cfg.capture {
+        Some(buf) => buf.lock().expect("capture poisoned").push(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+fn render_text(
+    ts: &str,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut out = format!("{ts} {} {target} {msg}", level.as_str());
+    for (k, v) in fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::Str(s) if !s.is_empty() && !s.contains([' ', '"', '=']) => {
+                out.push_str(s);
+            }
+            FieldValue::Str(s) => {
+                out.push('"');
+                json_escape(&mut out, s);
+                out.push('"');
+            }
+        }
+    }
+    out
+}
+
+fn render_json(
+    ts: &str,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"ts\":\"");
+    out.push_str(ts);
+    out.push_str("\",\"level\":\"");
+    out.push_str(level.json_str());
+    out.push_str("\",\"target\":\"");
+    json_escape(&mut out, target);
+    out.push_str("\",\"msg\":\"");
+    json_escape(&mut out, msg);
+    out.push('"');
+    for (k, v) in fields {
+        out.push_str(",\"");
+        json_escape(&mut out, k);
+        out.push_str("\":");
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::Str(s) => {
+                out.push('"');
+                json_escape(&mut out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn rfc3339_now() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    rfc3339(secs)
+}
+
+/// Format seconds-since-epoch as `YYYY-MM-DDTHH:MM:SSZ` (UTC).
+fn rfc3339(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    // Howard Hinnant's civil_from_days, shifted to the Unix epoch.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        tod / 3_600,
+        (tod / 60) % 60,
+        tod % 60,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3339_matches_known_dates() {
+        assert_eq!(rfc3339(0), "1970-01-01T00:00:00Z");
+        assert_eq!(rfc3339(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(rfc3339(1_754_611_200), "2025-08-08T00:00:00Z");
+    }
+
+    #[test]
+    fn json_lines_escape_and_type_fields() {
+        let line = render_json(
+            "1970-01-01T00:00:00Z",
+            Level::Warn,
+            "t",
+            "a \"b\"",
+            &[("n", FieldValue::U64(7)), ("s", FieldValue::from("x\ny"))],
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":\"1970-01-01T00:00:00Z\",\"level\":\"warn\",\"target\":\"t\",\
+             \"msg\":\"a \\\"b\\\"\",\"n\":7,\"s\":\"x\\ny\"}"
+        );
+    }
+
+    #[test]
+    fn text_lines_quote_only_awkward_strings() {
+        let line = render_text(
+            "1970-01-01T00:00:00Z",
+            Level::Info,
+            "t",
+            "m",
+            &[
+                ("plain", FieldValue::from("abc")),
+                ("spaced", FieldValue::from("a b")),
+            ],
+        );
+        assert_eq!(
+            line,
+            "1970-01-01T00:00:00Z INFO t m plain=abc spaced=\"a b\""
+        );
+    }
+}

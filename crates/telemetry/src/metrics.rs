@@ -1,0 +1,644 @@
+//! Lock-cheap metrics: counters, gauges, log-linear histograms, and a
+//! registry that renders Prometheus text exposition.
+//!
+//! All instruments are cheap handles (`Clone` shares the underlying
+//! atomics), so the same counter can live in a hot path and in the
+//! registry at once. Updates are relaxed atomic operations — no locks on
+//! the hot path; the registry's mutex is touched only at registration
+//! and scrape time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive, in microseconds) of the finite histogram
+/// buckets: a 1-2-5 log-linear ladder from 1 µs to 100 s. Every
+/// [`Histogram`] shares this fixed layout, which is what makes
+/// histograms mergeable across threads and byte-stable in exposition.
+pub const BUCKET_BOUNDS: [u64; 25] = [
+    1,
+    2,
+    5,
+    10,
+    20,
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+/// Number of buckets including the overflow (`+Inf`) bucket.
+pub const BUCKETS: usize = BUCKET_BOUNDS.len() + 1;
+
+/// `le` label values in bucket order, ending with `"+Inf"`. Precomputed
+/// so exposition never formats numbers at scrape time.
+pub const BUCKET_LABELS: [&str; BUCKETS] = [
+    "1",
+    "2",
+    "5",
+    "10",
+    "20",
+    "50",
+    "100",
+    "200",
+    "500",
+    "1000",
+    "2000",
+    "5000",
+    "10000",
+    "20000",
+    "50000",
+    "100000",
+    "200000",
+    "500000",
+    "1000000",
+    "2000000",
+    "5000000",
+    "10000000",
+    "20000000",
+    "50000000",
+    "100000000",
+    "+Inf",
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Latency histogram over the fixed [`BUCKET_BOUNDS`] layout, counting
+/// observations in microseconds.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation of `micros` microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < micros);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(micros, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observation of a [`Duration`] (saturating at `u64` µs).
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold another histogram's observations into this one. Because
+    /// every histogram shares the same bucket layout this is exact: the
+    /// result is as if all observations had been made on `self`.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(&other.0.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0
+            .sum
+            .fetch_add(other.0.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values, in microseconds.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (individual loads are
+    /// relaxed; concurrent observers may be half-visible).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// Estimated quantile `q` (in `[0, 1]`) in microseconds, by linear
+    /// interpolation inside the owning bucket. Returns 0 for an empty
+    /// histogram; observations in the overflow bucket report the last
+    /// finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], used for quantile extraction.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of observed values in microseconds.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let before = cum;
+            cum += n;
+            if (cum as f64) >= target && n > 0 {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS[i - 1] } as f64;
+                let upper = if i < BUCKET_BOUNDS.len() {
+                    BUCKET_BOUNDS[i] as f64
+                } else {
+                    // Overflow bucket: report the last finite bound.
+                    return *BUCKET_BOUNDS.last().expect("nonempty") as f64;
+                };
+                let frac = (target - before as f64) / n as f64;
+                return lower + (upper - lower) * frac;
+            }
+        }
+        *BUCKET_BOUNDS.last().expect("nonempty") as f64
+    }
+}
+
+/// Instrument kind, used for the `# TYPE` exposition line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Bucketed histogram.
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Sample {
+    labels: Vec<(&'static str, String)>,
+    instrument: Instrument,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    kind: Kind,
+    samples: Vec<Sample>,
+}
+
+/// A scrape-time metric family that is not backed by a registered
+/// instrument — e.g. values derived from a stats snapshot. Merged into
+/// [`Registry::render`] output under the same ordering contract.
+#[derive(Clone, Debug)]
+pub struct AdHoc {
+    /// Metric family name.
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+    /// Counter or gauge (histograms must be registered).
+    pub kind: Kind,
+    /// Label set for the single sample (may be empty).
+    pub labels: Vec<(&'static str, String)>,
+    /// Sample value.
+    pub value: u64,
+}
+
+impl AdHoc {
+    /// Unlabeled counter sample.
+    pub fn counter(name: &'static str, help: &'static str, value: u64) -> AdHoc {
+        AdHoc {
+            name,
+            help,
+            kind: Kind::Counter,
+            labels: Vec::new(),
+            value,
+        }
+    }
+
+    /// Unlabeled gauge sample.
+    pub fn gauge(name: &'static str, help: &'static str, value: u64) -> AdHoc {
+        AdHoc {
+            name,
+            help,
+            kind: Kind::Gauge,
+            labels: Vec::new(),
+            value,
+        }
+    }
+}
+
+/// Registry of named metric families, rendered as Prometheus text
+/// exposition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: Kind,
+        labels: &[(&'static str, &str)],
+        instrument: Instrument,
+    ) {
+        let sample = Sample {
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+            instrument,
+        };
+        let mut families = self.families.lock().expect("registry poisoned");
+        if let Some(f) = families.iter_mut().find(|f| f.name == name) {
+            assert!(
+                f.kind == kind,
+                "metric {name} re-registered as another kind"
+            );
+            f.samples.push(sample);
+        } else {
+            families.push(Family {
+                name,
+                help,
+                kind,
+                samples: vec![sample],
+            });
+        }
+    }
+
+    /// Register and return an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        let c = Counter::new();
+        self.register(
+            name,
+            help,
+            Kind::Counter,
+            &[],
+            Instrument::Counter(c.clone()),
+        );
+        c
+    }
+
+    /// Register and return a labeled counter. Repeated calls with the
+    /// same `name` add samples to the same family (the kind must match).
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Counter {
+        let c = Counter::new();
+        self.register(
+            name,
+            help,
+            Kind::Counter,
+            labels,
+            Instrument::Counter(c.clone()),
+        );
+        c
+    }
+
+    /// Register and return an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        let g = Gauge::new();
+        self.register(name, help, Kind::Gauge, &[], Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Register and return a labeled gauge.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Gauge {
+        let g = Gauge::new();
+        self.register(
+            name,
+            help,
+            Kind::Gauge,
+            labels,
+            Instrument::Gauge(g.clone()),
+        );
+        g
+    }
+
+    /// Register and return an unlabeled histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        let h = Histogram::new();
+        self.register(
+            name,
+            help,
+            Kind::Histogram,
+            &[],
+            Instrument::Histogram(h.clone()),
+        );
+        h
+    }
+
+    /// Register and return a labeled histogram (one bucket set per
+    /// label combination, all sharing [`BUCKET_BOUNDS`]).
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Histogram {
+        let h = Histogram::new();
+        self.register(
+            name,
+            help,
+            Kind::Histogram,
+            labels,
+            Instrument::Histogram(h.clone()),
+        );
+        h
+    }
+
+    /// Render Prometheus text exposition (format version 0.0.4).
+    ///
+    /// # Exposition contract
+    ///
+    /// The output is **byte-stable for a fixed set of values**:
+    ///
+    /// * families (registered and `extra` alike) appear sorted by
+    ///   metric name, each as `# HELP`, `# TYPE`, then its samples;
+    /// * within a family, samples appear in registration order, with
+    ///   label pairs in the order given at registration;
+    /// * histograms render cumulative `<name>_bucket{...,le="..."}`
+    ///   lines in [`BUCKET_LABELS`] order (ending `le="+Inf"`), then
+    ///   `<name>_sum` and `<name>_count`; the `+Inf` bucket always
+    ///   equals `_count`;
+    /// * every value is an unsigned decimal integer (durations are
+    ///   microseconds — see the `_us` suffix on time-valued metrics);
+    /// * label values escape `\`, `"`, and newline per the Prometheus
+    ///   text format; the output ends with a trailing newline.
+    pub fn render(&self, extra: &[AdHoc]) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut blocks: Vec<(&str, String)> = Vec::with_capacity(families.len() + extra.len());
+        for f in families.iter() {
+            let mut out = String::new();
+            header(&mut out, f.name, f.help, f.kind);
+            for s in &f.samples {
+                match &s.instrument {
+                    Instrument::Counter(c) => {
+                        sample_line(&mut out, f.name, &s.labels, None, c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        sample_line(&mut out, f.name, &s.labels, None, g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        let bucket_name = format!("{}_bucket", f.name);
+                        for (i, &n) in snap.buckets.iter().enumerate() {
+                            cum += n;
+                            sample_line(
+                                &mut out,
+                                &bucket_name,
+                                &s.labels,
+                                Some(BUCKET_LABELS[i]),
+                                cum,
+                            );
+                        }
+                        sample_line(
+                            &mut out,
+                            &format!("{}_sum", f.name),
+                            &s.labels,
+                            None,
+                            snap.sum,
+                        );
+                        sample_line(
+                            &mut out,
+                            &format!("{}_count", f.name),
+                            &s.labels,
+                            None,
+                            snap.count,
+                        );
+                    }
+                }
+            }
+            blocks.push((f.name, out));
+        }
+        for a in extra {
+            let mut out = String::new();
+            header(&mut out, a.name, a.help, a.kind);
+            sample_line(&mut out, a.name, &a.labels, None, a.value);
+            blocks.push((a.name, out));
+        }
+        blocks.sort_by(|a, b| a.0.cmp(b.0));
+        blocks.into_iter().map(|(_, b)| b).collect()
+    }
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: Kind) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind.as_str());
+    out.push('\n');
+}
+
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(&'static str, String)],
+    le: Option<&str>,
+    value: u64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label(out, v);
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn escape_label(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_ladder_inclusively() {
+        let h = Histogram::new();
+        h.observe_micros(0);
+        h.observe_micros(1); // inclusive upper bound: still bucket 0
+        h.observe_micros(2);
+        h.observe_micros(3); // first value above 2 lands in the 5 bucket
+        h.observe_micros(u64::MAX); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[BUCKETS - 1], 1);
+        assert_eq!(snap.count, 5);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe_micros(15); // (10, 20] bucket
+        }
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 10.0 && p50 <= 20.0, "p50 = {p50}");
+        assert_eq!(h.quantile(0.0), h.snapshot().quantile(0.0));
+        assert_eq!(Histogram::new().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn labeled_families_group_and_reject_kind_changes() {
+        let r = Registry::new();
+        let a = r.counter_with("x_total", "help", &[("phase", "parse")]);
+        let b = r.counter_with("x_total", "help", &[("phase", "write")]);
+        a.inc();
+        b.add(2);
+        let text = r.render(&[]);
+        assert_eq!(text.matches("# TYPE x_total counter").count(), 1);
+        assert!(text.contains("x_total{phase=\"parse\"} 1\n"));
+        assert!(text.contains("x_total{phase=\"write\"} 2\n"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-request trace spans.
+//!
+//! A [`RequestTrace`] is created when a request is parsed, carried by
+//! the serving engine, and *installed* on whichever thread runs the
+//! handler. While installed, [`PhaseSpan`] guards — dropped anywhere
+//! below in the call stack — accumulate `(phase, micros)` pairs onto
+//! it. When nothing is installed the guards cost two `Instant` reads
+//! and a thread-local check, so instrumented library code (the
+//! simulators, the report cache) pays nothing outside the serving path.
+//!
+//! One deliberate gap: work handed to *other* threads (e.g. batch
+//! sub-requests sharded across scoped workers) runs without the trace
+//! installed, so its inner phases are not attributed — the enclosing
+//! span on the installing thread still captures the wall-clock total.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique request id: the process id and a monotonic
+/// sequence number, both lowercase hex, joined by `-`.
+pub fn next_request_id() -> String {
+    format!(
+        "{:x}-{:x}",
+        std::process::id(),
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Accumulated per-request span timings plus identity.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    id: String,
+    phases: Vec<(&'static str, u64)>,
+    cache: Option<bool>,
+}
+
+impl Default for RequestTrace {
+    fn default() -> RequestTrace {
+        RequestTrace::new()
+    }
+}
+
+impl RequestTrace {
+    /// A fresh trace with a [`next_request_id`] identity.
+    pub fn new() -> RequestTrace {
+        RequestTrace {
+            id: next_request_id(),
+            phases: Vec::with_capacity(8),
+            cache: None,
+        }
+    }
+
+    /// The request id echoed in `X-Request-Id`.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Attribute `micros` to `phase`; repeated records under the same
+    /// phase accumulate.
+    pub fn record(&mut self, phase: &'static str, micros: u64) {
+        if let Some(p) = self.phases.iter_mut().find(|p| p.0 == phase) {
+            p.1 += micros;
+        } else {
+            self.phases.push((phase, micros));
+        }
+    }
+
+    /// Recorded `(phase, micros)` pairs, in first-recorded order.
+    pub fn phases(&self) -> &[(&'static str, u64)] {
+        &self.phases
+    }
+
+    /// Mark whether the report cache answered this request.
+    pub fn set_cache_hit(&mut self, hit: bool) {
+        self.cache = Some(hit);
+    }
+
+    /// `Some(true)` on a report-cache hit, `Some(false)` on a miss,
+    /// `None` when the cache was not consulted.
+    pub fn cache_hit(&self) -> Option<bool> {
+        self.cache
+    }
+
+    /// `Server-Timing` header value: `phase;dur=<ms>` entries (fractional
+    /// milliseconds, per the header's convention) in recorded order.
+    pub fn server_timing(&self) -> String {
+        let mut out = String::new();
+        for (i, (phase, us)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{phase};dur={}.{:03}", us / 1000, us % 1000);
+        }
+        out
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<RequestTrace>> = const { RefCell::new(None) };
+}
+
+/// Install `trace` on the current thread, returning any displaced one.
+pub fn install(trace: RequestTrace) -> Option<RequestTrace> {
+    ACTIVE.with(|a| a.borrow_mut().replace(trace))
+}
+
+/// Remove and return the current thread's installed trace.
+pub fn take() -> Option<RequestTrace> {
+    ACTIVE.with(|a| a.borrow_mut().take())
+}
+
+/// Record onto the installed trace, if any.
+pub fn record(phase: &'static str, micros: u64) {
+    ACTIVE.with(|a| {
+        if let Some(trace) = a.borrow_mut().as_mut() {
+            trace.record(phase, micros);
+        }
+    });
+}
+
+/// Mark the installed trace (if any) as a report-cache hit or miss.
+pub fn set_cache_hit(hit: bool) {
+    ACTIVE.with(|a| {
+        if let Some(trace) = a.borrow_mut().as_mut() {
+            trace.set_cache_hit(hit);
+        }
+    });
+}
+
+/// RAII guard attributing its lifetime to `phase` on the installed
+/// trace. A no-op (beyond reading the clock) when no trace is installed
+/// at drop time.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+#[derive(Debug)]
+pub struct PhaseSpan {
+    phase: &'static str,
+    start: Instant,
+}
+
+impl PhaseSpan {
+    /// Start timing `phase` now.
+    pub fn start(phase: &'static str) -> PhaseSpan {
+        PhaseSpan {
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        let micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        record(self.phase, micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_prefixed_by_pid() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        let pid = format!("{:x}-", std::process::id());
+        assert!(a.starts_with(&pid) && b.starts_with(&pid));
+    }
+
+    #[test]
+    fn spans_accumulate_only_while_installed() {
+        drop(PhaseSpan::start("orphan")); // no trace installed: no-op
+        assert!(take().is_none());
+
+        install(RequestTrace::new());
+        drop(PhaseSpan::start("a"));
+        record("a", 5);
+        set_cache_hit(true);
+        let trace = take().expect("installed");
+        let a = trace
+            .phases()
+            .iter()
+            .find(|p| p.0 == "a")
+            .expect("recorded");
+        assert!(a.1 >= 5);
+        assert_eq!(trace.cache_hit(), Some(true));
+        assert!(!trace.phases().iter().any(|p| p.0 == "orphan"));
+    }
+
+    #[test]
+    fn server_timing_formats_fractional_millis() {
+        let mut t = RequestTrace::new();
+        t.record("parse", 1_234);
+        t.record("handle", 42);
+        assert_eq!(t.server_timing(), "parse;dur=1.234, handle;dur=0.042");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the histogram (bucket placement, merge,
+//! quantiles) and a golden test pinning the exposition format bytes.
+
+use gpa_telemetry::metrics::{BUCKETS, BUCKET_BOUNDS};
+use gpa_telemetry::{AdHoc, Histogram, Registry};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn expected_bucket(us: u64) -> usize {
+    BUCKET_BOUNDS
+        .iter()
+        .position(|&b| us <= b)
+        .unwrap_or(BUCKETS - 1)
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_sum_to_count_and_match_bounds(
+        values in collection::vec(0u64..200_000_000, 0..200),
+    ) {
+        let h = Histogram::new();
+        let mut expected = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for &v in &values {
+            h.observe_micros(v);
+            expected[expected_bucket(v)] += 1;
+            sum += v;
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets, expected);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, sum);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn merge_is_exactly_observing_everything_on_one_histogram(
+        a in collection::vec(0u64..200_000_000, 0..100),
+        b in collection::vec(0u64..200_000_000, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &a {
+            ha.observe_micros(v);
+            combined.observe_micros(v);
+        }
+        for &v in &b {
+            hb.observe_micros(v);
+            combined.observe_micros(v);
+        }
+        ha.merge(&hb);
+        let merged = ha.snapshot();
+        let oracle = combined.snapshot();
+        prop_assert_eq!(merged.buckets, oracle.buckets);
+        prop_assert_eq!(merged.sum, oracle.sum);
+        prop_assert_eq!(merged.count, oracle.count);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data(
+        values in collection::vec(1u64..100_000_000, 1..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe_micros(v);
+        }
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+        // Each estimate stays within the bucket bounds that bracket the
+        // true min/max of the data.
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let lo_bucket = expected_bucket(lo);
+        let floor = if lo_bucket == 0 { 0 } else { BUCKET_BOUNDS[lo_bucket - 1] };
+        let ceil = BUCKET_BOUNDS[expected_bucket(hi).min(BUCKET_BOUNDS.len() - 1)];
+        for q in [p50, p90, p99] {
+            prop_assert!(q >= floor as f64 && q <= ceil as f64,
+                "quantile {q} outside [{floor}, {ceil}]");
+        }
+    }
+}
+
+#[test]
+fn exposition_golden() {
+    let registry = Registry::new();
+    let requests = registry.counter("t_requests_total", "Requests answered.");
+    let h = registry.histogram_with("t_phase_us", "Phase latency.", &[("phase", "parse")]);
+    registry
+        .gauge_with("t_build_info", "Build metadata.", &[("version", "1.0")])
+        .set(1);
+    requests.add(3);
+    h.observe_micros(1); // le="1"
+    h.observe_micros(7); // le="10"
+    h.observe_micros(200_000_000); // +Inf
+
+    let extra = [AdHoc::gauge("t_uptime_seconds", "Process uptime.", 42)];
+    let text = registry.render(&extra);
+
+    let expected = "\
+# HELP t_build_info Build metadata.
+# TYPE t_build_info gauge
+t_build_info{version=\"1.0\"} 1
+# HELP t_phase_us Phase latency.
+# TYPE t_phase_us histogram
+t_phase_us_bucket{phase=\"parse\",le=\"1\"} 1
+t_phase_us_bucket{phase=\"parse\",le=\"2\"} 1
+t_phase_us_bucket{phase=\"parse\",le=\"5\"} 1
+t_phase_us_bucket{phase=\"parse\",le=\"10\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"20\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"50\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"100\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"200\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"500\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"1000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"2000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"5000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"10000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"20000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"50000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"100000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"200000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"500000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"1000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"2000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"5000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"10000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"20000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"50000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"100000000\"} 2
+t_phase_us_bucket{phase=\"parse\",le=\"+Inf\"} 3
+t_phase_us_sum{phase=\"parse\"} 200000008
+t_phase_us_count{phase=\"parse\"} 3
+# HELP t_requests_total Requests answered.
+# TYPE t_requests_total counter
+t_requests_total 3
+# HELP t_uptime_seconds Process uptime.
+# TYPE t_uptime_seconds gauge
+t_uptime_seconds 42
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn rendering_twice_is_byte_identical() {
+    let registry = Registry::new();
+    let h = registry.histogram("t_dur_us", "Duration.");
+    h.observe_micros(33);
+    let a = registry.render(&[]);
+    let b = registry.render(&[]);
+    assert_eq!(a, b);
+}
