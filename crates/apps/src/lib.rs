@@ -8,6 +8,12 @@
 //! | [`tridiag`] | cyclic-reduction tridiagonal solver | shared-memory-bound from doubling bank conflicts; padding (CR-NBC) removes them for ≈1.6× (§5.2) |
 //! | [`spmv`] | sparse matrix–vector multiply (ELL / blocked ELL) | global-memory-bound; interleaving the vector cuts gather bytes, +18% over the prior best (§5.3) |
 //!
+//! [`zoo`] complements the case studies with twelve small named
+//! workloads — one per canonical performance pattern (coalesced
+//! streaming, strided/uncoalesced access, bank conflicts, contended
+//! atomics, divergence, …) — addressable by name from the CLI and the
+//! service wire.
+//!
 //! Each module provides the kernels (built with `gpa_isa::KernelBuilder`),
 //! a CPU reference for functional verification, and a driver that runs the
 //! full paper workflow: functional simulation → info extraction → model
@@ -18,5 +24,6 @@ pub mod matmul;
 pub mod spmv;
 pub mod tridiag;
 pub mod workflow;
+pub mod zoo;
 
 pub use workflow::{CaseError, CaseOpts, CaseRun, CaseStudy, TraceMode};

@@ -73,6 +73,25 @@ impl Model<'_> {
         )
     }
 
+    /// Predict the benefit of privatizing contended shared-memory atomics
+    /// (per-warp/per-block partial results merged afterwards): every
+    /// active half-warp then issues one contention-free transaction, and
+    /// the serialization excess leaves the shared pipeline too.
+    pub fn what_if_privatized_atomics(&mut self, input: &ModelInput) -> WhatIf {
+        let mut modified = input.clone();
+        for s in &mut modified.stats.stages {
+            let excess = s.atomic_half_txns - s.atomic_half_accesses;
+            s.smem_half_txns -= excess;
+            s.atomic_half_txns = s.atomic_half_accesses;
+        }
+        self.what_if(
+            input,
+            "privatized-atomics",
+            "privatize contended atomics into per-warp partials",
+            modified,
+        )
+    }
+
     /// Predict the benefit of a smaller global transaction granularity
     /// (paper §5.3's 16-byte/4-byte experiments). `granularity_index`
     /// indexes [`gpa_sim::stats::GRANULARITIES`] (1 = 16 B, 2 = 4 B).

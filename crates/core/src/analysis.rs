@@ -8,7 +8,13 @@ use gpa_ubench::{GmemBench, MeasureOpts, ThroughputCurves};
 use std::borrow::Cow;
 use std::fmt;
 
-/// The three GPU execution components the model prices (paper §3).
+/// Relative cost of one serialized atomic transaction against one plain
+/// shared-memory transaction: a read plus a write through the bank.
+const ATOMIC_RMW_COST: f64 = 2.0;
+
+/// The GPU execution components the model prices: the paper's three (§3)
+/// plus the atomic unit, which serializes conflicting read-modify-write
+/// updates to the same shared-memory word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// Instruction issue/execution.
@@ -17,6 +23,8 @@ pub enum Component {
     SharedMemory,
     /// Off-chip global memory.
     GlobalMemory,
+    /// Shared-memory atomic unit (contended read-modify-write traffic).
+    AtomicUnit,
 }
 
 impl fmt::Display for Component {
@@ -25,6 +33,7 @@ impl fmt::Display for Component {
             Component::InstructionPipeline => "instruction pipeline",
             Component::SharedMemory => "shared memory",
             Component::GlobalMemory => "global memory",
+            Component::AtomicUnit => "atomic unit",
         };
         f.write_str(s)
     }
@@ -39,6 +48,8 @@ pub struct ComponentTimes {
     pub smem: f64,
     /// Global-memory seconds.
     pub gmem: f64,
+    /// Atomic-unit seconds (contended shared read-modify-write traffic).
+    pub atomic: f64,
 }
 
 impl ComponentTimes {
@@ -48,18 +59,21 @@ impl ComponentTimes {
             Component::InstructionPipeline => self.instr,
             Component::SharedMemory => self.smem,
             Component::GlobalMemory => self.gmem,
+            Component::AtomicUnit => self.atomic,
         }
     }
 
     /// The dominating time (the paper's perfect-overlap assumption).
     pub fn max(&self) -> f64 {
-        self.instr.max(self.smem).max(self.gmem)
+        self.instr.max(self.smem).max(self.gmem).max(self.atomic)
     }
 
     /// The dominating component.
     pub fn bottleneck(&self) -> Component {
-        if self.gmem >= self.instr && self.gmem >= self.smem {
+        if self.gmem >= self.instr && self.gmem >= self.smem && self.gmem >= self.atomic {
             Component::GlobalMemory
+        } else if self.atomic >= self.instr && self.atomic >= self.smem {
+            Component::AtomicUnit
         } else if self.smem >= self.instr {
             Component::SharedMemory
         } else {
@@ -73,6 +87,7 @@ impl ComponentTimes {
     pub fn second_bottleneck(&self) -> Component {
         let b = self.bottleneck();
         [
+            Component::AtomicUnit,
             Component::GlobalMemory,
             Component::SharedMemory,
             Component::InstructionPipeline,
@@ -80,7 +95,7 @@ impl ComponentTimes {
         .into_iter()
         .filter(|c| *c != b)
         .max_by(|a, z| self.get(*a).total_cmp(&self.get(*z)))
-        .expect("two candidates remain")
+        .expect("three candidates remain")
     }
 }
 
@@ -128,6 +143,11 @@ pub enum Cause {
         /// Achieved fraction of the machine's effective peak bandwidth.
         bandwidth_fraction: f64,
     },
+    /// Conflicting shared-memory atomics serialize within the warp.
+    AtomicContention {
+        /// Actual over contention-free atomic transactions (1.0 = none).
+        factor: f64,
+    },
 }
 
 impl fmt::Display for Cause {
@@ -173,6 +193,13 @@ impl fmt::Display for Cause {
                     f,
                     "insufficient memory parallelism ({:.0}% of effective bandwidth)",
                     bandwidth_fraction * 100.0
+                )
+            }
+            Cause::AtomicContention { factor } => {
+                write!(
+                    f,
+                    "atomic contention (×{factor:.2} serialization) — privatize \
+                     updates per warp/block or pad the shared layout"
                 )
             }
         }
@@ -240,6 +267,8 @@ pub struct Analysis {
     pub bank_conflict_factor: f64,
     /// Whole-program coalescing efficiency at GT200 granularity.
     pub coalescing_efficiency: f64,
+    /// Whole-program atomic contention factor (1.0 = contention-free).
+    pub atomic_contention_factor: f64,
 }
 
 /// The performance model: measured curves + the synthetic global-memory
@@ -328,6 +357,7 @@ impl<'m> Model<'m> {
                 Component::InstructionPipeline => attribution.instr += sa.times.max(),
                 Component::SharedMemory => attribution.smem += sa.times.max(),
                 Component::GlobalMemory => attribution.gmem += sa.times.max(),
+                Component::AtomicUnit => attribution.atomic += sa.times.max(),
             }
         }
         let serialized_mode = input.occupancy.blocks <= 1 && stages.len() > 1;
@@ -359,6 +389,7 @@ impl<'m> Model<'m> {
             computational_density: total_stats.computational_density(),
             bank_conflict_factor: total_stats.bank_conflict_factor(),
             coalescing_efficiency: total_stats.coalesce_efficiency(GRAN_GT200),
+            atomic_contention_factor: total_stats.atomic_contention_factor(),
         }
     }
 
@@ -397,10 +428,20 @@ impl<'m> Model<'m> {
             .instruction_throughput(InstrClass::TypeII, warps_instr);
 
         // Shared memory: conflict-corrected transactions over the measured
-        // bandwidth at this stage's warp parallelism (paper §4.2).
+        // bandwidth at this stage's warp parallelism (paper §4.2). Atomic
+        // traffic is folded into the shared counters because it occupies
+        // the same pipeline.
         let smem_bandwidth = self.curves.shared_bandwidth(warps_smem);
         let smem_bytes = s.smem_warp_equiv() * f64::from(m.warp_access_bytes());
         let smem_time = smem_bytes / smem_bandwidth / coverage;
+
+        // Atomic unit: the atomic share of the shared pipeline, priced at
+        // the read-modify-write cost (each serialized transaction performs
+        // a read and a write through the bank). The component overtakes
+        // plain shared traffic exactly when contended atomics dominate.
+        let atomic_bytes =
+            s.atomic_warp_equiv() * f64::from(m.warp_access_bytes()) * ATOMIC_RMW_COST;
+        let atomic_time = atomic_bytes / smem_bandwidth / coverage;
 
         // Global memory: run the synthetic benchmark at the same
         // configuration (paper §4.3).
@@ -423,6 +464,7 @@ impl<'m> Model<'m> {
             instr: instr_time,
             smem: smem_time,
             gmem: gmem_time,
+            atomic: atomic_time,
         };
         let bottleneck = times.bottleneck();
         let causes = self.diagnose(s, bottleneck, warps_instr, warps_smem, gmem_bandwidth);
@@ -470,6 +512,15 @@ impl<'m> Model<'m> {
                 let factor = s.bank_conflict_factor();
                 if factor > 1.1 {
                     causes.push(Cause::BankConflicts { factor });
+                }
+                if warps_smem < 12 {
+                    causes.push(Cause::InsufficientWarpsForSharedMemory { warps: warps_smem });
+                }
+            }
+            Component::AtomicUnit => {
+                let factor = s.atomic_contention_factor();
+                if factor > 1.1 {
+                    causes.push(Cause::AtomicContention { factor });
                 }
                 if warps_smem < 12 {
                     causes.push(Cause::InsufficientWarpsForSharedMemory { warps: warps_smem });

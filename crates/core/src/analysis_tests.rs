@@ -143,6 +143,7 @@ fn component_times_ordering() {
         instr: 3.0,
         smem: 2.0,
         gmem: 1.0,
+        atomic: 0.0,
     };
     assert_eq!(t.bottleneck(), Component::InstructionPipeline);
     assert_eq!(t.second_bottleneck(), Component::SharedMemory);
@@ -151,9 +152,20 @@ fn component_times_ordering() {
         instr: 1.0,
         smem: 1.0,
         gmem: 5.0,
+        atomic: 0.0,
     };
     assert_eq!(t.bottleneck(), Component::GlobalMemory);
     assert_eq!(t.get(Component::SharedMemory), 1.0);
+    let t = ComponentTimes {
+        instr: 1.0,
+        smem: 2.0,
+        gmem: 1.5,
+        atomic: 4.0,
+    };
+    assert_eq!(t.bottleneck(), Component::AtomicUnit);
+    assert_eq!(t.second_bottleneck(), Component::SharedMemory);
+    assert_eq!(t.max(), 4.0);
+    assert_eq!(t.get(Component::AtomicUnit), 4.0);
 }
 
 #[test]
@@ -240,6 +252,56 @@ fn streaming_kernel_is_global_memory_bound() {
         a.predicted_seconds,
         measured,
         err * 100.0
+    );
+}
+
+/// All 256 threads hammer one shared word with atomic adds: the atomic
+/// unit dominates and privatization is the predicted fix.
+fn atomic_hotspot_kernel(iters: i32) -> Kernel {
+    let mut b = KernelBuilder::new("hotspot");
+    b.set_threads(256);
+    let off = b.smem_alloc(4, 4).unwrap() as i32;
+    let one = b.alloc_reg().unwrap();
+    let old = b.alloc_reg().unwrap();
+    let i = b.alloc_reg().unwrap();
+    b.mov_imm(one, 1);
+    b.mov_imm(i, 0);
+    b.label("top");
+    for _ in 0..4 {
+        b.atom_shared_add(old, MemAddr::new(None, off), one);
+    }
+    b.iadd(i, Src::Reg(i), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Lt, NumTy::S32, Src::Reg(i), Src::Imm(iters));
+    b.bra_if(Pred(0), false, "top");
+    b.exit();
+    b.declare_resources(KernelResources::new(8, 4, 256));
+    b.finish().unwrap()
+}
+
+#[test]
+fn atomic_hotspot_is_atomic_unit_bound() {
+    let k = atomic_hotspot_kernel(10);
+    let launch = LaunchConfig::new_1d(60, 256);
+    let mut gmem = GlobalMemory::new();
+    let (input, _measured) = run_case(&k, launch, &[], &mut gmem);
+    let mut model = model();
+    let a = model.analyze(&input);
+    assert_eq!(a.bottleneck, Component::AtomicUnit);
+    assert!(
+        a.atomic_contention_factor > 10.0,
+        "same-word atomics from 16-lane half-warps should serialize ~16×, got ×{:.2}",
+        a.atomic_contention_factor
+    );
+    assert!(a.stages.iter().any(|s| s
+        .causes
+        .iter()
+        .any(|c| matches!(c, Cause::AtomicContention { .. }))));
+    // Privatizing the counter removes the serialization excess entirely.
+    let w = model.what_if_privatized_atomics(&input);
+    assert!(
+        w.speedup > 2.0,
+        "privatization should pay off heavily, got ×{:.2}",
+        w.speedup
     );
 }
 

@@ -22,17 +22,19 @@ pub fn render(a: &Analysis) -> String {
     );
     let _ = writeln!(
         out,
-        "component times: instruction {:.4} ms | shared {:.4} ms | global {:.4} ms",
+        "component times: instruction {:.4} ms | shared {:.4} ms | global {:.4} ms | atomic {:.4} ms",
         a.totals.instr * 1e3,
         a.totals.smem * 1e3,
-        a.totals.gmem * 1e3
+        a.totals.gmem * 1e3,
+        a.totals.atomic * 1e3
     );
     let _ = writeln!(
         out,
-        "computational density {:.0}% | bank-conflict factor ×{:.2} | coalescing {:.0}%",
+        "computational density {:.0}% | bank-conflict factor ×{:.2} | coalescing {:.0}% | atomic contention ×{:.2}",
         a.computational_density * 100.0,
         a.bank_conflict_factor,
-        a.coalescing_efficiency * 100.0
+        a.coalescing_efficiency * 100.0,
+        a.atomic_contention_factor
     );
     if a.stages.len() > 1 {
         let _ = writeln!(
@@ -42,17 +44,25 @@ pub fn render(a: &Analysis) -> String {
         );
         let _ = writeln!(
             out,
-            "  {:>5} {:>12} {:>12} {:>12}  {:<20} {:>6} {:>6}",
-            "stage", "instr ms", "shared ms", "global ms", "bottleneck", "w_ins", "w_sh"
+            "  {:>5} {:>12} {:>12} {:>12} {:>12}  {:<20} {:>6} {:>6}",
+            "stage",
+            "instr ms",
+            "shared ms",
+            "global ms",
+            "atomic ms",
+            "bottleneck",
+            "w_ins",
+            "w_sh"
         );
         for s in &a.stages {
             let _ = writeln!(
                 out,
-                "  {:>5} {:>12.5} {:>12.5} {:>12.5}  {:<20} {:>6} {:>6}",
+                "  {:>5} {:>12.5} {:>12.5} {:>12.5} {:>12.5}  {:<20} {:>6} {:>6}",
                 s.stage,
                 s.times.instr * 1e3,
                 s.times.smem * 1e3,
                 s.times.gmem * 1e3,
+                s.times.atomic * 1e3,
                 s.bottleneck.to_string(),
                 s.warps_instr,
                 s.warps_smem

@@ -48,8 +48,18 @@
 //! shl.b32 shr.b32 and.b32 or.b32 xor.b32 mov.b32 mov32 s2r
 //! setp.<cmp>.<s32|f32> sel.b32 i2f f2i rcp.f32 rsq.f32 sin.f32 cos.f32
 //! lg2.f32 ex2.f32 add.f64 mul.f64 fma.f64 ld.shared.<w> st.shared.<w>
-//! ld.global.<w> st.global.<w> ld.param.b32 bar.sync bra exit nop`, with
-//! `<cmp>` one of `eq ne lt le gt ge` and `<w>` one of `b32 b64 b128`.
+//! ld.global.<w> st.global.<w> ld.param.b32 atom.shared.add.b32
+//! atom.shared.cas.b32 bar.sync bra exit nop`, with `<cmp>` one of
+//! `eq ne lt le gt ge` and `<w>` one of `b32 b64 b128`.
+//!
+//! The shared-memory atomics take a destination register (receiving the
+//! old value), an `s[...]` address, and one (`add`) or two (`cas`:
+//! compare then swap source) register operands:
+//!
+//! ```text
+//! atom.shared.add.b32 r2, s[r1+0x40], r3   // r2 = old; [addr] += r3
+//! atom.shared.cas.b32 r2, s[r1], r4, r5    // r2 = old; if old == r4 { [addr] = r5 }
+//! ```
 //!
 //! Every malformed input is a clean [`AsmError`] naming the offending
 //! 1-based line — out-of-range numbers included (no value is silently
@@ -121,6 +131,12 @@ fn write_op(f: &mut fmt::Formatter<'_>, op: &Op) -> fmt::Result {
             write!(f, "st.global.{} g[{addr}], {src}", width.mnemonic())
         }
         Op::LdParam { d, offset } => write!(f, "ld.param.b32 {d}, c[{offset:#x}]"),
+        Op::AtomSharedAdd { d, addr, src } => {
+            write!(f, "atom.shared.add.b32 {d}, s[{addr}], {src}")
+        }
+        Op::AtomSharedCas { d, addr, cmp, src } => {
+            write!(f, "atom.shared.cas.b32 {d}, s[{addr}], {cmp}, {src}")
+        }
         Op::Bar => write!(f, "bar.sync"),
         Op::Bra { target } => write!(f, "bra {target}"),
         Op::Exit => write!(f, "exit"),
@@ -638,6 +654,30 @@ fn parse_instruction_with(
                 },
             }
         }
+        "atom.shared.add.b32" | "atom.shared.cas.b32" => {
+            let is_cas = mnemonic.contains(".cas.");
+            need(if is_cas { 4 } else { 3 })?;
+            let inner = ops[1]
+                .strip_prefix("s[")
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| AsmError::new(ln, format!("expected `s[...]`, got `{}`", ops[1])))?;
+            let d = parse_reg(&ops[0], ln)?;
+            let addr = parse_addr(inner, ln)?;
+            if is_cas {
+                Op::AtomSharedCas {
+                    d,
+                    addr,
+                    cmp: parse_reg(&ops[2], ln)?,
+                    src: parse_reg(&ops[3], ln)?,
+                }
+            } else {
+                Op::AtomSharedAdd {
+                    d,
+                    addr,
+                    src: parse_reg(&ops[2], ln)?,
+                }
+            }
+        }
         "ld.param.b32" => {
             need(2)?;
             let inner = ops[1]
@@ -915,6 +955,13 @@ mod tests {
                 d,
                 offset: (imm % 0x10000) as u16,
             },
+            Op::AtomSharedAdd { d, addr, src: d },
+            Op::AtomSharedCas {
+                d,
+                addr,
+                cmp: d,
+                src: d,
+            },
             Op::Bar,
             Op::Bra { target: imm },
             Op::Exit,
@@ -941,7 +988,7 @@ mod tests {
         seen.dedup();
         assert_eq!(
             seen.len(),
-            39,
+            41,
             "all_ops lists {} distinct Op variants; update it (and this count) \
              when the ISA grows",
             seen.len()

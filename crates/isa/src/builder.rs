@@ -450,6 +450,17 @@ impl KernelBuilder {
         self.emit(Op::LdParam { d, offset })
     }
 
+    /// Atomic `d = [addr]; [addr] += src` on a shared-memory word.
+    pub fn atom_shared_add(&mut self, d: Reg, addr: MemAddr, src: Reg) -> &mut Self {
+        self.emit(Op::AtomSharedAdd { d, addr, src })
+    }
+
+    /// Atomic `d = [addr]; if d == cmp { [addr] = src }` on a shared-memory
+    /// word.
+    pub fn atom_shared_cas(&mut self, d: Reg, addr: MemAddr, cmp: Reg, src: Reg) -> &mut Self {
+        self.emit(Op::AtomSharedCas { d, addr, cmp, src })
+    }
+
     /// Block-wide barrier.
     pub fn bar(&mut self) -> &mut Self {
         self.emit(Op::Bar)

@@ -140,6 +140,8 @@ const OP_BAR: u8 = 35;
 const OP_BRA: u8 = 36;
 const OP_EXIT: u8 = 37;
 const OP_NOP: u8 = 38;
+const OP_ATOM_ADD: u8 = 39;
+const OP_ATOM_CAS: u8 = 40;
 
 const KIND_REG: u64 = 0;
 const KIND_IMM: u64 = 1;
@@ -313,6 +315,55 @@ fn encode_mem(
     Ok(w)
 }
 
+/// Shared-memory atomics reuse the memory layout (destination at 44, base
+/// register at 36, signed 18-bit offset in bits 17..0) and carry their one
+/// or two register operands in the otherwise-unused bits 35..28 and 27..20.
+/// The access is always 32-bit, so no width field is needed.
+fn encode_atomic(
+    opcode: u8,
+    guard: Option<PredGuard>,
+    d: Reg,
+    addr: MemAddr,
+    x: Reg,
+    y: Reg,
+) -> Result<u64, EncodeError> {
+    check_reg(d)?;
+    check_reg(x)?;
+    check_reg(y)?;
+    if !addr.offset_encodable() {
+        return Err(EncodeError::MemOffsetOutOfRange(addr.offset));
+    }
+    let mut w = (u64::from(opcode)) << 56;
+    w |= encode_guard(guard)?;
+    w |= u64::from(d.0) << 44;
+    w |= match addr.base {
+        Some(r) => {
+            check_reg(r)?;
+            u64::from(r.0)
+        }
+        None => NO_BASE,
+    } << 36;
+    w |= u64::from(x.0) << 28;
+    w |= u64::from(y.0) << 20;
+    w |= (addr.offset as u64) & 0x3FFFF;
+    Ok(w)
+}
+
+fn decode_atomic(w: u64) -> (Reg, MemAddr, Reg, Reg) {
+    let d = Reg(((w >> 44) & 0xFF) as u8);
+    let base_raw = (w >> 36) & 0xFF;
+    let base = if base_raw == NO_BASE {
+        None
+    } else {
+        Some(Reg(base_raw as u8))
+    };
+    let raw = (w & 0x3FFFF) as i32;
+    let offset = (raw << 14) >> 14;
+    let x = Reg(((w >> 28) & 0xFF) as u8);
+    let y = Reg(((w >> 20) & 0xFF) as u8);
+    (d, MemAddr::new(base, offset), x, y)
+}
+
 fn decode_mem(w: u64) -> Result<(Reg, MemAddr, Width), DecodeError> {
     let reg = Reg(((w >> 44) & 0xFF) as u8);
     let base_raw = (w >> 36) & 0xFF;
@@ -437,6 +488,8 @@ pub fn encode(instr: &Instruction) -> Result<u64, EncodeError> {
         Op::StShared { addr, src, width } => encode_mem(OP_STS, g, src, addr, width),
         Op::LdGlobal { d, addr, width } => encode_mem(OP_LDG, g, d, addr, width),
         Op::StGlobal { addr, src, width } => encode_mem(OP_STG, g, src, addr, width),
+        Op::AtomSharedAdd { d, addr, src } => encode_atomic(OP_ATOM_ADD, g, d, addr, src, src),
+        Op::AtomSharedCas { d, addr, cmp, src } => encode_atomic(OP_ATOM_CAS, g, d, addr, cmp, src),
         Op::LdParam { d, offset } => {
             check_reg(d)?;
             if offset >= 16384 {
@@ -681,6 +734,14 @@ pub fn decode(w: u64) -> Result<Instruction, DecodeError> {
             d,
             offset: (w & 0x3FFF) as u16,
         },
+        OP_ATOM_ADD => {
+            let (d, addr, _, src) = decode_atomic(w);
+            Op::AtomSharedAdd { d, addr, src }
+        }
+        OP_ATOM_CAS => {
+            let (d, addr, cmp, src) = decode_atomic(w);
+            Op::AtomSharedCas { d, addr, cmp, src }
+        }
         OP_BAR => Op::Bar,
         OP_BRA => Op::Bra {
             target: (w & 0xFFFF_FFFF) as u32,
@@ -943,6 +1004,21 @@ mod tests {
                 Op::StShared { addr, src: r, width },
                 Op::LdGlobal { d: r, addr, width },
                 Op::StGlobal { addr, src: r, width },
+            ] {
+                let i = Instruction { guard: g, op };
+                let w = encode(&i).unwrap();
+                prop_assert_eq!(decode(w).unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn round_trip_atomics(g in arb_guard(), d in arb_reg(), x in arb_reg(), y in arb_reg(),
+                              base in proptest::option::of(arb_reg()),
+                              off in MemAddr::MIN_OFFSET..=MemAddr::MAX_OFFSET) {
+            let addr = MemAddr::new(base, off);
+            for op in [
+                Op::AtomSharedAdd { d, addr, src: x },
+                Op::AtomSharedCas { d, addr, cmp: x, src: y },
             ] {
                 let i = Instruction { guard: g, op };
                 let w = encode(&i).unwrap();

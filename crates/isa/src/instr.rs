@@ -466,6 +466,20 @@ pub enum Op {
     /// Load a 32-bit kernel parameter word (byte `offset` into the
     /// parameter block).
     LdParam { d: Reg, offset: u16 },
+    /// Atomic read-modify-write add on a shared-memory word:
+    /// `d = [addr]; [addr] = d + src` (s32, wrapping). Lanes of a warp
+    /// hitting the same word serialize in lane order, so the returned old
+    /// values are deterministic.
+    AtomSharedAdd { d: Reg, addr: MemAddr, src: Reg },
+    /// Atomic compare-and-swap on a shared-memory word:
+    /// `d = [addr]; if d == cmp then [addr] = src`. Same-word lanes
+    /// serialize in lane order.
+    AtomSharedCas {
+        d: Reg,
+        addr: MemAddr,
+        cmp: Reg,
+        src: Reg,
+    },
 
     // ---- Control ----
     /// Block-wide barrier (`bar.sync`). Splits the program into the stages
@@ -530,7 +544,9 @@ impl Op {
             | Op::Cos { d, .. }
             | Op::Lg2 { d, .. }
             | Op::Ex2 { d, .. }
-            | Op::LdParam { d, .. } => Some((d, 1)),
+            | Op::LdParam { d, .. }
+            | Op::AtomSharedAdd { d, .. }
+            | Op::AtomSharedCas { d, .. } => Some((d, 1)),
             Op::DAdd { d, .. } | Op::DMul { d, .. } | Op::DFma { d, .. } => Some((d, 2)),
             Op::LdShared { d, width, .. } | Op::LdGlobal { d, width, .. } => {
                 Some((d, width.regs()))
@@ -594,6 +610,14 @@ impl Op {
                 for i in 0..width.regs() {
                     out.push(Reg(src.0 + i));
                 }
+            }
+            Op::AtomSharedAdd { addr, src, .. } => {
+                out.extend(addr.base);
+                out.push(*src);
+            }
+            Op::AtomSharedCas { addr, cmp, src, .. } => {
+                out.extend(addr.base);
+                out.extend([*cmp, *src]);
             }
             Op::MovImm { .. }
             | Op::S2R { .. }
@@ -681,10 +705,21 @@ impl Op {
         }
     }
 
-    /// Returns `true` if this op touches shared memory (explicit `ld/st` or
-    /// an ALU shared operand).
+    /// Returns `true` if this op touches shared memory (explicit `ld/st`,
+    /// an atomic, or an ALU shared operand).
     pub fn touches_shared(&self) -> bool {
-        matches!(self, Op::LdShared { .. } | Op::StShared { .. }) || self.smem_operand().is_some()
+        matches!(
+            self,
+            Op::LdShared { .. }
+                | Op::StShared { .. }
+                | Op::AtomSharedAdd { .. }
+                | Op::AtomSharedCas { .. }
+        ) || self.smem_operand().is_some()
+    }
+
+    /// Returns `true` for shared-memory atomic read-modify-write ops.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Op::AtomSharedAdd { .. } | Op::AtomSharedCas { .. })
     }
 
     /// Returns `true` if this op touches global memory.
@@ -812,6 +847,31 @@ mod tests {
         };
         assert!(!add.touches_shared());
         assert_eq!(add.smem_operand(), None);
+    }
+
+    #[test]
+    fn atomic_ops_account_operands() {
+        let add = Op::AtomSharedAdd {
+            d: Reg(0),
+            addr: MemAddr::new(Some(Reg(1)), 4),
+            src: Reg(2),
+        };
+        assert!(add.touches_shared() && add.is_atomic());
+        assert_eq!(add.dst(), Some((Reg(0), 1)));
+        assert_eq!(add.src_regs(), vec![Reg(1), Reg(2)]);
+        assert_eq!(add.class(), InstrClass::TypeII);
+        let cas = Op::AtomSharedCas {
+            d: Reg(0),
+            addr: MemAddr::new(None, 8),
+            cmp: Reg(3),
+            src: Reg(4),
+        };
+        assert_eq!(cas.src_regs(), vec![Reg(3), Reg(4)]);
+        assert!(
+            cas.smem_operand().is_none(),
+            "atomics are not ALU shared operands"
+        );
+        assert!(!add.touches_global() && !add.is_control());
     }
 
     #[test]

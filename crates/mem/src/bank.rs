@@ -98,6 +98,34 @@ pub fn bank_transactions(addrs: &[Option<u64>], cfg: BankConfig) -> u32 {
     per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0)
 }
 
+/// Number of serialized transactions for one **half-warp** of shared-memory
+/// *atomic* read-modify-write accesses.
+///
+/// Unlike plain loads ([`bank_transactions`]), same-word lanes do **not**
+/// broadcast: every lane performs its own read-modify-write, so lanes
+/// hitting the same word — or different words of the same bank — serialize
+/// lane by lane. The degree is therefore the deepest bank's *lane* count,
+/// reaching the active-lane count when every lane hammers one address (the
+/// `atomic_hotspot` worst case).
+pub fn atomic_bank_transactions(addrs: &[Option<u64>], cfg: BankConfig) -> u32 {
+    debug_assert!(cfg.banks > 0 && cfg.width > 0);
+    const STACK_BANKS: usize = 64;
+    if (cfg.banks as usize) <= STACK_BANKS {
+        let mut depth = [0u32; STACK_BANKS];
+        for addr in addrs.iter().flatten() {
+            let word = addr / u64::from(cfg.width);
+            depth[(word % u64::from(cfg.banks)) as usize] += 1;
+        }
+        return depth.iter().copied().max().unwrap_or(0);
+    }
+    let mut depth = vec![0u32; cfg.banks as usize];
+    for addr in addrs.iter().flatten() {
+        let word = addr / u64::from(cfg.width);
+        depth[(word % u64::from(cfg.banks)) as usize] += 1;
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
 /// Number of serialized **half-warp** transactions for a full-warp access:
 /// the sum of both half-warps' serialization degrees.
 ///
@@ -228,6 +256,21 @@ mod tests {
     }
 
     #[test]
+    fn atomic_same_word_serializes_instead_of_broadcasting() {
+        let cfg = BankConfig::gt200();
+        // 16 lanes on one word: a load broadcasts (1 txn), an atomic
+        // serializes lane by lane (16 txns).
+        assert_eq!(bank_transactions(&hw(&[64; 16]), cfg), 1);
+        assert_eq!(atomic_bank_transactions(&hw(&[64; 16]), cfg), 16);
+        // Conflict-free stride-1 atomics behave like loads.
+        assert_eq!(atomic_bank_transactions(&stride_access(1, 16), cfg), 1);
+        // Two lanes per word, 8 words across 8 banks: depth 2.
+        let addrs: Vec<Option<u64>> = (0..16u64).map(|i| Some((i / 2) * 4)).collect();
+        assert_eq!(atomic_bank_transactions(&addrs, cfg), 2);
+        assert_eq!(atomic_bank_transactions(&[None; 16], cfg), 0);
+    }
+
+    #[test]
     fn warp_level_sums_half_warps() {
         let cfg = BankConfig::gt200();
         // Conflict-free full warp: 2 half-warp transactions.
@@ -254,6 +297,19 @@ mod tests {
             prop_assert!(d <= active);
             prop_assert!(d <= cfg.banks);
             prop_assert_eq!(d == 0, active == 0);
+        }
+
+        /// Atomics serialize at least as much as loads on the same address
+        /// pattern, and never beyond the active-lane count.
+        #[test]
+        fn atomic_degree_dominates_load_degree(addrs in arb_addrs()) {
+            let cfg = BankConfig::gt200();
+            let load = bank_transactions(&addrs, cfg);
+            let atomic = atomic_bank_transactions(&addrs, cfg);
+            let active = addrs.iter().flatten().count() as u32;
+            prop_assert!(atomic >= load);
+            prop_assert!(atomic <= active);
+            prop_assert_eq!(atomic == 0, active == 0);
         }
 
         /// Lane permutation never changes the serialization degree.

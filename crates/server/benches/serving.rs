@@ -24,6 +24,13 @@ const ANALYZE_BODY: &str = r#"{
   "machine": "gtx285"
 }"#;
 
+/// A workload-zoo request by name: the registry constructor plus the
+/// atomic-unit accounting, the serving cost of `{"case": "named"}`.
+const ZOO_BODY: &str = r#"{
+  "kernel": {"case": "named", "name": "histogram", "n": 1024, "seed": 1},
+  "machine": "gtx285"
+}"#;
+
 fn bench_http_parse(c: &mut Criterion) {
     let mut raw = format!(
         "POST /v1/analyze HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
@@ -87,6 +94,17 @@ fn bench_loopback(c: &mut Criterion) {
     c.bench_function("serve/analyze_roundtrip", |b| {
         b.iter(|| {
             let resp = client.post_json("/v1/analyze", ANALYZE_BODY).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        })
+    });
+
+    // A named zoo workload through the same path: the contended
+    // histogram exercises the registry constructor, the shared-memory
+    // atomic replay, and the atomic-unit component end to end.
+    c.bench_function("zoo/analyze_histogram", |b| {
+        b.iter(|| {
+            let resp = client.post_json("/v1/analyze", ZOO_BODY).unwrap();
             assert_eq!(resp.status, 200);
             resp
         })

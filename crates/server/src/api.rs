@@ -5,6 +5,7 @@
 //! |-------|--------|
 //! | `POST /v1/analyze` | report JSON for one request object, or an array of per-request reports/`{"error"}` elements for a batch array — the same `gpa_service::wire` JSON as `gpa-analyze` |
 //! | `GET /v1/machines` | `{"machines": [...]}`, the calibrated machine names |
+//! | `GET /v1/workloads` | `{"workloads": [{"name", "description", "default_n"}, ...]}`, the workload zoo addressable via `{"case": "named"}` |
 //! | `GET /healthz` | `{"status": "ok", "machines": N}` |
 //! | `GET /v1/stats` | served/error/rejected/timeout/deadline/admission counters, queue depth, open/idle connection gauges, workers, uptime, build version, the selected io model |
 //! | `GET /v1/metrics` | Prometheus text exposition (see [`gpa_telemetry::Registry::render`]): request counter, latency and per-phase histograms, server counters/gauges, report-cache counters when enabled |
@@ -148,6 +149,26 @@ impl AnalyzeApi {
         )
     }
 
+    /// The workload zoo: static (the library is compiled in), but served
+    /// as a route so clients can discover names/defaults before posting
+    /// a `{"case": "named"}` request.
+    fn workloads() -> Response {
+        let items = gpa_service::zoo::WORKLOADS
+            .iter()
+            .map(|w| {
+                Value::Object(vec![
+                    ("name".into(), Value::from(w.name)),
+                    ("description".into(), Value::from(w.description)),
+                    ("default_n".into(), Value::from(w.default_n)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Value::Object(vec![("workloads".into(), Value::Array(items))]).to_string_pretty(),
+        )
+    }
+
     fn healthz(&self) -> Response {
         Response::json(
             200,
@@ -236,7 +257,7 @@ impl Handler for AnalyzeApi {
         // the right one, not a 404.
         let allowed: &'static str = match req.target.as_str() {
             "/v1/analyze" => "POST",
-            "/v1/machines" | "/v1/stats" | "/v1/metrics" | "/healthz" => "GET",
+            "/v1/machines" | "/v1/workloads" | "/v1/stats" | "/v1/metrics" | "/healthz" => "GET",
             _ => return Response::error(404, &format!("no such path `{}`", req.target)),
         };
         if req.method != allowed {
@@ -246,6 +267,7 @@ impl Handler for AnalyzeApi {
         match req.target.as_str() {
             "/v1/analyze" => self.analyze(req),
             "/v1/machines" => self.machines(),
+            "/v1/workloads" => Self::workloads(),
             "/v1/stats" => self.stats(ctx),
             "/v1/metrics" => self.metrics(ctx),
             "/healthz" => self.healthz(),

@@ -34,6 +34,7 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage: gpa-analyze [--cache-dir DIR | --no-cache] [--no-report-cache] [REQUEST.json | -]
        gpa-analyze --kernel-asm FILE.asm [--machine SEL] [--grid X[xY]]
+       gpa-analyze --workload NAME [--n N] [--seed S] [--machine SEL]
 
 Reads an analysis request (JSON object) or batch (JSON array) from the
 given file or stdin and writes the report JSON to stdout. See the
@@ -57,7 +58,15 @@ Options:
                     machine from --machine (default gtx285). Kernels
                     needing parameters or device memory must use the
                     full request JSON instead.
-  --machine SEL     machine selector for --kernel-asm
+  --workload NAME   analyze a workload-zoo kernel by name (vector_add,
+                    saxpy, strided_copy, naive_transpose,
+                    shared_transpose, reduce_sum, dot_product, histogram,
+                    atomic_hotspot, shared_bank_conflict, random_access,
+                    vector_add_divergent); equivalent to a request with
+                    {\"case\": \"named\"}
+  --n N             problem size for --workload (default: per workload)
+  --seed S          input-data seed for --workload (default 1)
+  --machine SEL     machine selector for --kernel-asm / --workload
   --grid X[xY]      grid shape in blocks for --kernel-asm
   --log-format FMT  log line format: text | json (default text)
   -v, --verbose     log at DEBUG
@@ -84,6 +93,13 @@ fn main() -> ExitCode {
         }
     };
     let report_cache = extract_report_cache(&mut args);
+    let workload_request = match extract_workload(&mut args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gpa-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let asm_request = match extract_kernel_asm(&mut args) {
         Ok(r) => r,
         Err(e) => {
@@ -91,9 +107,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (reqs, batch) = if let Some(req) = asm_request {
+    if workload_request.is_some() && asm_request.is_some() {
+        eprintln!("gpa-analyze: choose one of --workload / --kernel-asm\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let (reqs, batch) = if let Some(req) = workload_request.or(asm_request) {
         if !args.is_empty() {
-            eprintln!("gpa-analyze: --kernel-asm takes no request file\n{USAGE}");
+            eprintln!("gpa-analyze: --workload/--kernel-asm take no request file\n{USAGE}");
             return ExitCode::from(2);
         }
         (vec![req], false)
@@ -329,6 +349,66 @@ fn extract_report_cache(args: &mut Vec<String>) -> bool {
         }
     }
     enabled
+}
+
+/// Handle `--workload NAME [--n N] [--seed S] [--machine SEL]`: wrap a
+/// workload-zoo name into a [`gpa_service::KernelSpec::Named`] request —
+/// the CLI twin of a `{"case": "named"}` wire request, so both produce
+/// byte-identical reports. `--machine` is only consumed when
+/// `--workload` is present (it otherwise belongs to `--kernel-asm`).
+fn extract_workload(args: &mut Vec<String>) -> Result<Option<AnalysisRequest>, String> {
+    let mut name: Option<String> = None;
+    let mut n: Option<u32> = None;
+    let mut seed: Option<u32> = None;
+    let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, String> {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires an argument"));
+        }
+        args.remove(i);
+        Ok(args.remove(i))
+    };
+    let parse_u32 = |spec: String, flag: &str| -> Result<u32, String> {
+        spec.parse()
+            .map_err(|_| format!("{flag} expects a non-negative integer, got `{spec}`"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => name = Some(take_value(args, i, "--workload")?),
+            "--n" => n = Some(parse_u32(take_value(args, i, "--n")?, "--n")?),
+            "--seed" => seed = Some(parse_u32(take_value(args, i, "--seed")?, "--seed")?),
+            _ => i += 1,
+        }
+    }
+    let Some(name) = name else {
+        if n.is_some() || seed.is_some() {
+            return Err("--n/--seed require --workload".into());
+        }
+        return Ok(None);
+    };
+    let mut machine: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--machine" {
+            machine = Some(take_value(args, i, "--machine")?);
+        } else {
+            i += 1;
+        }
+    }
+    let workload = gpa_apps::zoo::find(&name).ok_or_else(|| {
+        let names: Vec<&str> = gpa_apps::zoo::WORKLOADS.iter().map(|w| w.name).collect();
+        format!("unknown workload `{name}`; available: {}", names.join(", "))
+    })?;
+    let n = n.unwrap_or(workload.default_n);
+    gpa_apps::zoo::validate(&name, n)?;
+    Ok(Some(AnalysisRequest::new(
+        gpa_service::KernelSpec::Named {
+            name,
+            n,
+            seed: seed.unwrap_or(1),
+        },
+        machine.unwrap_or_else(|| "gtx285".into()),
+    )))
 }
 
 /// Handle `--kernel-asm FILE [--machine SEL] [--grid X[xY]]`: wrap a

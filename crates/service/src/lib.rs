@@ -61,6 +61,7 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use gpa_apps::workflow::TraceMode as RequestTraceMode;
+pub use gpa_apps::zoo;
 pub use report_cache::{ReportCache, ReportCacheConfig, ReportCacheStats};
 
 /// Why the service refused or failed a request.
@@ -171,6 +172,18 @@ pub enum KernelSpec {
         format: spmv::Format,
         /// Route vector gathers through the texture cache.
         texture: bool,
+    },
+    /// A workload-zoo kernel addressed by name (see [`gpa_apps::zoo`]):
+    /// twelve canonical performance patterns, each parameterized by a
+    /// problem size and a data seed.
+    Named {
+        /// Workload name (one of [`zoo::WORKLOADS`]).
+        name: String,
+        /// Problem size (elements, or matrix dimension for the
+        /// transposes); see [`zoo::validate`] for the per-workload range.
+        n: u32,
+        /// Deterministic input-data seed.
+        seed: u32,
     },
     /// An arbitrary kernel in the portable wire encoding (boxed: the
     /// payload is much larger than the case-study selectors).
@@ -539,6 +552,9 @@ impl KernelSpec {
         let bad = |msg: String| Err(ServiceError::InvalidRequest(msg));
         match *self {
             KernelSpec::Custom(ref custom) => custom.validate(),
+            KernelSpec::Named { ref name, n, .. } => {
+                zoo::validate(name, n).map_err(ServiceError::InvalidRequest)
+            }
             KernelSpec::Matmul { n, tile } => {
                 if !matmul::TILES.contains(&tile) {
                     return bad(format!("matmul tile {tile} not in {:?}", matmul::TILES));
@@ -597,6 +613,7 @@ impl KernelSpec {
         self.validate()?;
         Ok(match *self {
             KernelSpec::Custom(ref custom) => return custom.build(),
+            KernelSpec::Named { ref name, n, seed } => zoo::case(name, n, seed),
             KernelSpec::Matmul { n, tile } => matmul::case(n, tile),
             KernelSpec::Tridiag { n, nsys, padded } => tridiag::case(n, nsys, padded),
             KernelSpec::Spmv {
@@ -643,6 +660,8 @@ pub enum WhatIfSpec {
     Granularity16,
     /// Shrink the global transaction granularity to 4 bytes (§5.3).
     Granularity4,
+    /// Privatize contended shared-memory atomics into per-warp partials.
+    PrivatizedAtomics,
     /// Raise the resident-block ceiling (§5.1's architectural ask).
     MaxBlocks(u32),
     /// Scale the per-SM register file and shared memory (§5.1).
@@ -656,6 +675,7 @@ impl WhatIfSpec {
             WhatIfSpec::PerfectCoalescing => model.what_if_perfect_coalescing(input),
             WhatIfSpec::Granularity16 => model.what_if_granularity(input, 1),
             WhatIfSpec::Granularity4 => model.what_if_granularity(input, 2),
+            WhatIfSpec::PrivatizedAtomics => model.what_if_privatized_atomics(input),
             WhatIfSpec::MaxBlocks(b) => model.what_if_max_blocks(input, b),
             WhatIfSpec::ResourcesScaled(f) => model.what_if_resources_scaled(input, f),
         }

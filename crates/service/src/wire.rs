@@ -34,6 +34,7 @@ use crate::{
 };
 use gpa_apps::spmv::Format;
 use gpa_apps::workflow::TraceMode;
+use gpa_apps::zoo;
 use gpa_core::{Analysis, Cause, Component, ComponentTimes, StageAnalysis, WhatIf};
 use gpa_json::Value;
 use gpa_sim::{LaunchConfig, Threads};
@@ -58,6 +59,7 @@ fn component_to_value(c: Component) -> Value {
         Component::InstructionPipeline => "instruction-pipeline",
         Component::SharedMemory => "shared-memory",
         Component::GlobalMemory => "global-memory",
+        Component::AtomicUnit => "atomic-unit",
     })
 }
 
@@ -66,6 +68,7 @@ fn component_from_value(v: &Value) -> Result<Component, ServiceError> {
         "instruction-pipeline" => Ok(Component::InstructionPipeline),
         "shared-memory" => Ok(Component::SharedMemory),
         "global-memory" => Ok(Component::GlobalMemory),
+        "atomic-unit" => Ok(Component::AtomicUnit),
         other => Err(wire_err(format!("unknown component `{other}`"))),
     }
 }
@@ -144,6 +147,7 @@ fn what_if_spec_to_value(w: WhatIfSpec) -> Value {
         WhatIfSpec::PerfectCoalescing => obj(vec![("kind", Value::from("perfect-coalescing"))]),
         WhatIfSpec::Granularity16 => obj(vec![("kind", Value::from("granularity-16b"))]),
         WhatIfSpec::Granularity4 => obj(vec![("kind", Value::from("granularity-4b"))]),
+        WhatIfSpec::PrivatizedAtomics => obj(vec![("kind", Value::from("privatized-atomics"))]),
         WhatIfSpec::MaxBlocks(b) => obj(vec![
             ("kind", Value::from("max-blocks")),
             ("blocks", Value::from(b)),
@@ -161,6 +165,7 @@ fn what_if_spec_from_value(v: &Value) -> Result<WhatIfSpec, ServiceError> {
         "perfect-coalescing" => Ok(WhatIfSpec::PerfectCoalescing),
         "granularity-16b" => Ok(WhatIfSpec::Granularity16),
         "granularity-4b" => Ok(WhatIfSpec::Granularity4),
+        "privatized-atomics" => Ok(WhatIfSpec::PrivatizedAtomics),
         "max-blocks" => Ok(WhatIfSpec::MaxBlocks(v.get("blocks")?.as_u32()?)),
         "resources-scaled" => Ok(WhatIfSpec::ResourcesScaled(v.get("factor")?.as_u32()?)),
         other => Err(wire_err(format!("unknown what-if kind `{other}`"))),
@@ -363,6 +368,12 @@ fn kernel_spec_to_value(k: &KernelSpec) -> Value {
             ("format", format_to_value(format)),
             ("texture", Value::from(texture)),
         ]),
+        KernelSpec::Named { ref name, n, seed } => obj(vec![
+            ("case", Value::from("named")),
+            ("name", Value::from(name.as_str())),
+            ("n", Value::from(n)),
+            ("seed", Value::from(seed)),
+        ]),
         KernelSpec::Custom(ref custom) => custom_to_value(custom),
     }
 }
@@ -384,6 +395,21 @@ fn kernel_spec_from_value(v: &Value) -> Result<KernelSpec, ServiceError> {
             format: format_from_value(v.get("format")?)?,
             texture: v.get("texture")?.as_bool()?,
         }),
+        "named" => {
+            let name = v.get("name")?.as_str()?.to_owned();
+            // `n` and `seed` are optional on the way in: the defaults
+            // (the workload's default size, seed 1) keep the common
+            // "analyze histogram" request a two-field object.
+            let n = match v.get("n") {
+                Ok(n) => n.as_u32()?,
+                Err(_) => zoo::find(&name).map_or(0, |w| w.default_n),
+            };
+            let seed = match v.get("seed") {
+                Ok(s) => s.as_u32()?,
+                Err(_) => 1,
+            };
+            Ok(KernelSpec::Named { name, n, seed })
+        }
         "custom" => Ok(KernelSpec::Custom(Box::new(custom_from_value(v)?))),
         other => Err(wire_err(format!("unknown case `{other}`"))),
     }
@@ -514,6 +540,7 @@ fn times_to_value(t: &ComponentTimes) -> Value {
         ("instr", Value::from(t.instr)),
         ("smem", Value::from(t.smem)),
         ("gmem", Value::from(t.gmem)),
+        ("atomic", Value::from(t.atomic)),
     ])
 }
 
@@ -522,6 +549,7 @@ fn times_from_value(v: &Value) -> Result<ComponentTimes, ServiceError> {
         instr: v.get("instr")?.as_f64()?,
         smem: v.get("smem")?.as_f64()?,
         gmem: v.get("gmem")?.as_f64()?,
+        atomic: v.get("atomic")?.as_f64()?,
     })
 }
 
@@ -546,6 +574,10 @@ fn cause_to_value(c: &Cause) -> Value {
         Cause::InsufficientWarpsForSharedMemory { warps } => obj(vec![
             ("kind", Value::from("insufficient-warps-smem")),
             ("warps", Value::from(warps)),
+        ]),
+        Cause::AtomicContention { factor } => obj(vec![
+            ("kind", Value::from("atomic-contention")),
+            ("factor", Value::from(factor)),
         ]),
         Cause::UncoalescedAccesses { efficiency } => obj(vec![
             ("kind", Value::from("uncoalesced-accesses")),
@@ -578,6 +610,9 @@ fn cause_from_value(v: &Value) -> Result<Cause, ServiceError> {
         }),
         "insufficient-warps-smem" => Ok(Cause::InsufficientWarpsForSharedMemory {
             warps: v.get("warps")?.as_u32()?,
+        }),
+        "atomic-contention" => Ok(Cause::AtomicContention {
+            factor: v.get("factor")?.as_f64()?,
         }),
         "uncoalesced-accesses" => Ok(Cause::UncoalescedAccesses {
             efficiency: v.get("efficiency")?.as_f64()?,
@@ -657,6 +692,10 @@ fn analysis_to_value(a: &Analysis) -> Value {
             "coalescing_efficiency",
             Value::from(a.coalescing_efficiency),
         ),
+        (
+            "atomic_contention_factor",
+            Value::from(a.atomic_contention_factor),
+        ),
     ])
 }
 
@@ -682,6 +721,7 @@ fn analysis_from_value(v: &Value) -> Result<Analysis, ServiceError> {
         computational_density: v.get("computational_density")?.as_f64()?,
         bank_conflict_factor: v.get("bank_conflict_factor")?.as_f64()?,
         coalescing_efficiency: v.get("coalescing_efficiency")?.as_f64()?,
+        atomic_contention_factor: v.get("atomic_contention_factor")?.as_f64()?,
     })
 }
 

@@ -241,6 +241,56 @@ fn disk_tier_shares_answers_across_analyzers() {
     assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
 }
 
+/// Named zoo workloads are cacheable like any other spec: repeats hit
+/// with byte-identical answers, and the key covers the name AND the
+/// scale knobs — same name at a different `n` or `seed` must miss, and
+/// a named request never collides with its custom twin (different
+/// canonical encodings, even though their reports are byte-identical).
+#[test]
+fn named_workloads_cache_by_name_and_knobs() {
+    let analyzer = cached_analyzer();
+    let named = |name: &str, n: u32, seed: u32| {
+        AnalysisRequest::new(
+            KernelSpec::Named {
+                name: name.to_owned(),
+                n,
+                seed,
+            },
+            "gtx285",
+        )
+    };
+
+    let first = analyzer
+        .analyze(&named("histogram", 1024, 1))
+        .unwrap()
+        .to_json();
+    let hit = analyzer
+        .analyze(&named("histogram", 1024, 1))
+        .unwrap()
+        .to_json();
+    assert_eq!(first, hit, "hit must reproduce the miss byte-for-byte");
+    assert_eq!(
+        first,
+        fresh_analyzer()
+            .analyze(&named("histogram", 1024, 1))
+            .unwrap()
+            .to_json()
+    );
+    let stats = analyzer.report_cache_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
+
+    for variant in [
+        named("histogram", 2048, 1), // different n
+        named("histogram", 1024, 2), // different seed
+        named("saxpy", 1024, 1),     // different workload
+    ] {
+        analyzer.analyze(&variant).unwrap();
+    }
+    let stats = analyzer.report_cache_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (1, 4), "{stats:?}");
+    assert_eq!(stats.entries, 4);
+}
+
 #[test]
 fn hits_skip_the_simulator() {
     // A lenient in-process floor under the Criterion bench's ≥100×

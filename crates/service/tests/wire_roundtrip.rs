@@ -68,11 +68,14 @@ fn cause() -> impl Strategy<Value = Cause> {
 }
 
 fn times() -> impl Strategy<Value = ComponentTimes> {
-    (finite_f64(), finite_f64(), finite_f64()).prop_map(|(instr, smem, gmem)| ComponentTimes {
-        instr,
-        smem,
-        gmem,
-    })
+    (finite_f64(), finite_f64(), finite_f64(), finite_f64()).prop_map(
+        |(instr, smem, gmem, atomic)| ComponentTimes {
+            instr,
+            smem,
+            gmem,
+            atomic,
+        },
+    )
 }
 
 fn stage() -> impl Strategy<Value = StageAnalysis> {
@@ -109,7 +112,7 @@ fn analysis() -> impl Strategy<Value = Analysis> {
         (times(), times()),
         (finite_f64(), finite_f64(), finite_f64()),
         (component(), component()),
-        (finite_f64(), finite_f64(), finite_f64()),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
     )
         .prop_map(
             |(
@@ -118,7 +121,12 @@ fn analysis() -> impl Strategy<Value = Analysis> {
                 (totals, serialized_attribution),
                 (serialized_seconds, overlapped_seconds, predicted_seconds),
                 (bottleneck, next_bottleneck),
-                (computational_density, bank_conflict_factor, coalescing_efficiency),
+                (
+                    computational_density,
+                    bank_conflict_factor,
+                    coalescing_efficiency,
+                    atomic_contention_factor,
+                ),
             )| Analysis {
                 kernel_name,
                 machine_name,
@@ -135,6 +143,7 @@ fn analysis() -> impl Strategy<Value = Analysis> {
                 computational_density,
                 bank_conflict_factor,
                 coalescing_efficiency,
+                atomic_contention_factor,
             },
         )
 }

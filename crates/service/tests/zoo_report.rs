@@ -1,0 +1,313 @@
+//! Workload-zoo wire tests: a golden report per zoo workload (pins the
+//! named encoding, the atomic-unit component, and the per-workload
+//! bottleneck classes byte for byte), plus the named ≡ custom
+//! equivalence property — a `{"case": "named"}` request and a hand-built
+//! `{"case": "custom"}` request describing the same kernel, data, and
+//! regions analyze to byte-identical reports. Regenerate goldens with
+//! `GPA_BLESS=1 cargo test -p gpa-service --test zoo_report`.
+
+use gpa_core::Component;
+use gpa_hw::Machine;
+use gpa_isa::asm::kernel_to_asm;
+use gpa_service::{
+    zoo, AnalysisOptions, AnalysisRequest, Analyzer, CustomKernel, KernelSpec, MemInit,
+    MemRegionSpec, ParamValue, WhatIfSpec,
+};
+use gpa_sim::{LaunchConfig, Threads};
+use gpa_ubench::MeasureOpts;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/zoo/{name}.json"))
+}
+
+fn analyzer() -> Analyzer {
+    let mut analyzer = Analyzer::new();
+    analyzer.calibrate(Machine::gtx285(), MeasureOpts::quick());
+    analyzer
+}
+
+/// Golden sizes: small enough to keep the suite fast, large enough for
+/// several blocks per workload.
+fn golden_n(name: &str) -> u32 {
+    match name {
+        "naive_transpose" | "shared_transpose" => 64,
+        _ => 1024,
+    }
+}
+
+fn named_request(name: &str, n: u32) -> AnalysisRequest {
+    let what_ifs = match name {
+        // The atomic workloads carry the advisor estimate the report
+        // should recommend: privatizing the contended updates.
+        "histogram" | "atomic_hotspot" => vec![WhatIfSpec::PrivatizedAtomics],
+        _ => Vec::new(),
+    };
+    AnalysisRequest::new(
+        KernelSpec::Named {
+            name: name.to_owned(),
+            n,
+            seed: 1,
+        },
+        "gtx285",
+    )
+    .with_options(AnalysisOptions {
+        threads: Threads::sequential(),
+        verify: true,
+        what_ifs,
+        ..AnalysisOptions::default()
+    })
+}
+
+#[test]
+fn zoo_reports_match_golden_files() {
+    let analyzer = analyzer();
+    let mut times = std::collections::BTreeMap::new();
+    for w in zoo::WORKLOADS {
+        let n = golden_n(w.name);
+        let report = analyzer
+            .analyze(&named_request(w.name, n))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(report.verified, Some(true), "{} oracle", w.name);
+        // Only workloads doing float arithmetic report flops; the data
+        // movers (copies, transposes, histogram, atomics) honestly
+        // report zero.
+        if matches!(
+            w.name,
+            "vector_add" | "saxpy" | "reduce_sum" | "dot_product" | "vector_add_divergent"
+        ) {
+            assert!(report.flops > 0, "{} flops", w.name);
+        }
+        times.insert(w.name, report.analysis.totals);
+
+        let json = report.to_json();
+        let path = golden_path(w.name);
+        if std::env::var_os("GPA_BLESS").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &json).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); bless with GPA_BLESS=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            json,
+            golden,
+            "{} report drifted from {}; if intended, regenerate with GPA_BLESS=1",
+            w.name,
+            path.display()
+        );
+        let parsed = gpa_service::AnalysisReport::from_json(&golden).unwrap();
+        assert_eq!(parsed, report);
+
+        // The zoo exists to exhibit bottleneck classes; pin the ones the
+        // workloads are named after.
+        let a = &report.analysis;
+        match w.name {
+            "histogram" | "atomic_hotspot" => {
+                assert_eq!(a.bottleneck, Component::AtomicUnit, "{}", w.name);
+                assert!(
+                    a.atomic_contention_factor > 1.1,
+                    "{} contention ×{:.2}",
+                    w.name,
+                    a.atomic_contention_factor
+                );
+                let wi = &report.what_ifs[0];
+                assert_eq!(wi.name, "privatized-atomics", "{}", w.name);
+                assert!(wi.speedup > 1.0, "{} speedup ×{:.2}", w.name, wi.speedup);
+            }
+            "shared_bank_conflict" => {
+                assert_eq!(a.bottleneck, Component::SharedMemory, "{}", w.name);
+                assert!(
+                    a.bank_conflict_factor > 1.5,
+                    "{} conflicts ×{:.2}",
+                    w.name,
+                    a.bank_conflict_factor
+                );
+            }
+            "naive_transpose" | "random_access" | "strided_copy" => {
+                assert_eq!(a.bottleneck, Component::GlobalMemory, "{}", w.name);
+                assert!(
+                    a.coalescing_efficiency < 0.7,
+                    "{} coalescing {:.0}%",
+                    w.name,
+                    a.coalescing_efficiency * 100.0
+                );
+            }
+            _ => {}
+        }
+    }
+    // Divergence shows up as pure instruction-pipeline overhead: the
+    // divergent variant re-executes the split paths per warp while its
+    // global traffic stays that of plain vector_add.
+    let plain = times["vector_add"];
+    let div = times["vector_add_divergent"];
+    assert!(
+        div.instr > plain.instr * 1.05,
+        "divergence penalty: instr {:.3e} vs {:.3e}",
+        div.instr,
+        plain.instr
+    );
+    assert_eq!(div.gmem, plain.gmem, "same global traffic");
+}
+
+/// Build the `{"case": "custom"}` twin of a zoo workload from public
+/// zoo contracts only: the kernel's canonical assembly text, the same
+/// launch, the same region order/lengths, and `MemInit::Words` holding
+/// the same generated data.
+fn custom_twin(name: &str, n: u32, seed: u32) -> CustomKernel {
+    let asm = kernel_to_asm(&zoo::kernel(name, n).unwrap());
+    let words = |v: Vec<f32>| -> Vec<u32> { v.iter().map(|x| x.to_bits()).collect() };
+    let region = |name: &str, len: u64, init: MemInit| MemRegionSpec {
+        name: name.to_owned(),
+        len,
+        init,
+        texture: false,
+        readback: false,
+    };
+    let base = |name: &str| ParamValue::RegionBase(name.to_owned());
+    let len = u64::from(n) * 4;
+    let blocks = n / zoo::THREADS;
+    match name {
+        "saxpy" => CustomKernel {
+            asm,
+            launch: LaunchConfig::new_1d(blocks, zoo::THREADS),
+            params: vec![base("x"), base("y"), ParamValue::Word(1.5f32.to_bits())],
+            memory: vec![
+                region(
+                    "x",
+                    len,
+                    MemInit::Words(words(zoo::data_f32(seed, n as usize))),
+                ),
+                region(
+                    "y",
+                    len,
+                    MemInit::Words(words(zoo::data_f32(seed.wrapping_add(1), n as usize))),
+                ),
+            ],
+        },
+        "histogram" => {
+            let data: Vec<u32> = zoo::data_u32(seed, n as usize)
+                .into_iter()
+                .map(|v| v & (zoo::HISTOGRAM_HOT_BINS - 1))
+                .collect();
+            CustomKernel {
+                asm,
+                launch: LaunchConfig::new_1d(blocks, zoo::THREADS),
+                params: vec![base("in"), base("out")],
+                memory: vec![
+                    region("in", len, MemInit::Words(data)),
+                    region(
+                        "out",
+                        u64::from(blocks * zoo::HISTOGRAM_BINS) * 4,
+                        MemInit::Zero,
+                    ),
+                ],
+            }
+        }
+        "shared_transpose" => {
+            let elems = (n * n) as usize;
+            let tiles = n / 16;
+            CustomKernel {
+                asm,
+                launch: LaunchConfig::new_1d(tiles * tiles, zoo::THREADS),
+                params: vec![base("in"), base("out")],
+                memory: vec![
+                    region(
+                        "in",
+                        elems as u64 * 4,
+                        MemInit::Words(words(zoo::data_f32(seed, elems))),
+                    ),
+                    region("out", elems as u64 * 4, MemInit::Zero),
+                ],
+            }
+        }
+        other => panic!("no custom twin defined for `{other}`"),
+    }
+}
+
+/// The equivalence property behind the zoo's wire design: a named
+/// request and its hand-built custom twin take different code paths
+/// (registry constructor vs asm parsing + declarative memory image) but
+/// must produce byte-identical report JSON — same region bases (both
+/// allocate in declaration order at 256-byte alignment), same dynamic
+/// flop fallback, same trace-mode default.
+#[test]
+fn named_and_custom_twin_reports_are_byte_identical() {
+    let analyzer = analyzer();
+    for (name, n, seed) in [
+        ("saxpy", 1024, 7),
+        ("histogram", 1024, 7),
+        ("shared_transpose", 64, 7),
+    ] {
+        let opts = AnalysisOptions {
+            threads: Threads::sequential(),
+            ..AnalysisOptions::default()
+        };
+        let named = AnalysisRequest::new(
+            KernelSpec::Named {
+                name: name.to_owned(),
+                n,
+                seed,
+            },
+            "gtx285",
+        )
+        .with_options(opts.clone());
+        let custom = AnalysisRequest::new(
+            KernelSpec::Custom(Box::new(custom_twin(name, n, seed))),
+            "gtx285",
+        )
+        .with_options(opts);
+        let named_json = analyzer.analyze(&named).unwrap().to_json();
+        let custom_json = analyzer.analyze(&custom).unwrap().to_json();
+        assert_eq!(named_json, custom_json, "{name} named vs custom twin");
+    }
+}
+
+/// `n`/`seed` are optional in the named wire encoding; omitting them
+/// resolves to the workload's default size and seed 1.
+#[test]
+fn named_wire_defaults_fill_in() {
+    let req = AnalysisRequest::from_json(
+        r#"{"kernel": {"case": "named", "name": "saxpy"}, "machine": "gtx285"}"#,
+    )
+    .unwrap();
+    assert_eq!(
+        req.kernel,
+        KernelSpec::Named {
+            name: "saxpy".into(),
+            n: 4096,
+            seed: 1
+        }
+    );
+    // And the canonical encoding round-trips through the wire.
+    let back = AnalysisRequest::from_json(&req.to_json()).unwrap();
+    assert_eq!(back, req);
+}
+
+#[test]
+fn named_validation_errors_surface() {
+    let analyzer = analyzer();
+    for (name, n) in [
+        ("warp_drive", 256),
+        ("vector_add", 100),
+        ("naive_transpose", 96),
+    ] {
+        let req = AnalysisRequest::new(
+            KernelSpec::Named {
+                name: name.to_owned(),
+                n,
+                seed: 1,
+            },
+            "gtx285",
+        );
+        let err = analyzer.analyze(&req).unwrap_err();
+        assert!(
+            matches!(err, gpa_service::ServiceError::InvalidRequest(_)),
+            "{name}: {err}"
+        );
+    }
+}

@@ -20,7 +20,7 @@ use gpa_hw::Machine;
 use gpa_isa::cfg::Cfg;
 use gpa_isa::instr::{Instruction, MemAddr, NumTy, Op, Reg, SpecialReg, Src};
 use gpa_isa::kernel::Kernel;
-use gpa_mem::bank::{bank_transactions, BankConfig};
+use gpa_mem::bank::{atomic_bank_transactions, bank_transactions, BankConfig};
 use gpa_mem::coalesce::{coalesce_half_warp_with, CoalesceConfig};
 
 /// Hardware fused-multiply-add dispatch.
@@ -631,6 +631,53 @@ impl<'a> FunctionalSim<'a> {
             }
         }
 
+        // Shared-memory atomic traffic: lanes of a half-warp hitting the
+        // same word (or the same bank) serialize lane by lane — there is
+        // no broadcast for a read-modify-write. The serialized weight
+        // occupies the shared-memory pipeline (folded into the smem
+        // counters and the trace entry) and is additionally attributed to
+        // the atomic counters so the analysis can tell contention apart
+        // from ordinary bank conflicts.
+        if ins.op.is_atomic() && exec_mask != 0 {
+            let addr = match ins.op {
+                Op::AtomSharedAdd { addr, .. } | Op::AtomSharedCas { addr, .. } => addr,
+                _ => unreachable!("is_atomic covers exactly the atomic ops"),
+            };
+            let mut addrs = [None::<u64>; WARP];
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                if exec_mask & (1 << lane) != 0 {
+                    let a = self.smem_lane_addr(w, lane, addr)?;
+                    self.check_smem(a, 4, smem.len(), pc)?;
+                    *slot = Some(a as u64);
+                }
+            }
+            let mut half_txns = 0u32;
+            let mut half_accesses = 0u32;
+            for hw_chunk in addrs.chunks(self.bank_cfg.half_warp) {
+                let d = atomic_bank_transactions(hw_chunk, self.bank_cfg);
+                half_txns += d;
+                if d > 0 {
+                    half_accesses += 1;
+                }
+            }
+            let s = self.stage_mut(stats, stage);
+            s.smem_half_txns += u64::from(half_txns);
+            s.smem_half_accesses += u64::from(half_accesses);
+            s.smem_instrs += 1;
+            s.atomic_half_txns += u64::from(half_txns);
+            s.atomic_half_accesses += u64::from(half_accesses);
+            s.atomic_instrs += 1;
+            if w.counted_smem != Some(stage) {
+                w.counted_smem = Some(stage);
+                s.warps_smem += 1;
+            }
+            if w.counted_atomic != Some(stage) {
+                w.counted_atomic = Some(stage);
+                s.warps_atomic += 1;
+            }
+            smem_half_txns_entry = half_txns.min(u32::from(u16::MAX)) as u16;
+        }
+
         // Global-memory traffic.
         let mut gmem_txns: Option<Box<[gpa_mem::coalesce::Transaction]>> = None;
         if let Op::LdGlobal { addr, width, .. } | Op::StGlobal { addr, width, .. } = ins.op {
@@ -695,7 +742,7 @@ impl<'a> FunctionalSim<'a> {
         if self.collect_trace {
             let mut e = self.alu_entry(ins);
             e.smem_half_txns = smem_half_txns_entry;
-            if smem_access.is_some() {
+            if smem_access.is_some() || ins.op.is_atomic() {
                 e.dst_lat = DstLatency::Smem;
             }
             if let Op::LdGlobal { .. } = ins.op {
@@ -974,6 +1021,33 @@ impl<'a> FunctionalSim<'a> {
                     }
                 })
             }
+            AtomSharedAdd { d, addr, src } => {
+                // Same-word lanes serialize in lane order, so the returned
+                // old values are deterministic.
+                lanes!(|l| {
+                    let a = self.smem_lane_addr(w, l, addr)?;
+                    self.check_smem(a, 4, smem.len(), pc)?;
+                    let i = a as usize;
+                    let old = u32::from_le_bytes(smem[i..i + 4].try_into().unwrap());
+                    let add = w.reg(l, src.0);
+                    let new = (old as i32).wrapping_add(add as i32) as u32;
+                    smem[i..i + 4].copy_from_slice(&new.to_le_bytes());
+                    set!(l, d, old);
+                })
+            }
+            AtomSharedCas { d, addr, cmp, src } => {
+                lanes!(|l| {
+                    let a = self.smem_lane_addr(w, l, addr)?;
+                    self.check_smem(a, 4, smem.len(), pc)?;
+                    let i = a as usize;
+                    let old = u32::from_le_bytes(smem[i..i + 4].try_into().unwrap());
+                    if old == w.reg(l, cmp.0) {
+                        let v = w.reg(l, src.0);
+                        smem[i..i + 4].copy_from_slice(&v.to_le_bytes());
+                    }
+                    set!(l, d, old);
+                })
+            }
             LdParam { d, offset } => {
                 if exec_mask != 0 {
                     let idx = usize::from(offset) / 4;
@@ -1160,6 +1234,7 @@ struct WarpState {
     trace: Vec<TraceEntry>,
     counted_any: Option<usize>,
     counted_smem: Option<usize>,
+    counted_atomic: Option<usize>,
 }
 
 impl WarpState {
@@ -1188,6 +1263,7 @@ impl WarpState {
             trace: Vec::new(),
             counted_any: None,
             counted_smem: None,
+            counted_atomic: None,
         }
     }
 

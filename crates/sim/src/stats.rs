@@ -41,6 +41,17 @@ pub struct StageStats {
     pub smem_half_accesses: u64,
     /// Warp-level instructions that touched shared memory.
     pub smem_instrs: u64,
+    /// Half-warp transactions from shared-memory *atomics* after
+    /// same-address/same-bank serialization. Also included in
+    /// [`StageStats::smem_half_txns`] (atomics occupy the shared-memory
+    /// pipeline); kept separately so the analysis can attribute
+    /// serialization to contention rather than ordinary bank conflicts.
+    pub atomic_half_txns: u64,
+    /// Half-warp transactions a contention-free atomic unit would need
+    /// (one per active half-warp — the privatized/padded ideal).
+    pub atomic_half_accesses: u64,
+    /// Warp-level atomic instructions.
+    pub atomic_instrs: u64,
     /// Global-memory statistics per [`GRANULARITIES`] entry.
     pub gmem: [GmemGranStats; 3],
     /// Bytes the lanes actually asked for (coalescing-independent).
@@ -56,6 +67,9 @@ pub struct StageStats {
     /// access in this stage — the paper's per-step warp parallelism for the
     /// Figure 7a bandwidth lookup.
     pub warps_smem: u64,
+    /// Warps (summed over blocks) that issued at least one shared-memory
+    /// atomic in this stage.
+    pub warps_atomic: u64,
 }
 
 impl StageStats {
@@ -87,6 +101,22 @@ impl StageStats {
             1.0
         } else {
             self.smem_half_txns as f64 / self.smem_half_accesses as f64
+        }
+    }
+
+    /// Shared-memory atomic transactions in the paper's warp-equivalent
+    /// unit (contention-free full-warp atomic = 1.0).
+    pub fn atomic_warp_equiv(&self) -> f64 {
+        self.atomic_half_txns as f64 / 2.0
+    }
+
+    /// Atomic-contention penalty: serialized transactions over the
+    /// contention-free count (1.0 = no same-word or same-bank collisions).
+    pub fn atomic_contention_factor(&self) -> f64 {
+        if self.atomic_half_accesses == 0 {
+            1.0
+        } else {
+            self.atomic_half_txns as f64 / self.atomic_half_accesses as f64
         }
     }
 
@@ -122,6 +152,7 @@ impl StageStats {
         self.add_counts(other);
         self.warps_any = self.warps_any.max(other.warps_any);
         self.warps_smem = self.warps_smem.max(other.warps_smem);
+        self.warps_atomic = self.warps_atomic.max(other.warps_atomic);
     }
 
     /// Combine the same stage observed over **disjoint sets of blocks**
@@ -132,6 +163,7 @@ impl StageStats {
         self.add_counts(other);
         self.warps_any += other.warps_any;
         self.warps_smem += other.warps_smem;
+        self.warps_atomic += other.warps_atomic;
     }
 
     fn add_counts(&mut self, other: &StageStats) {
@@ -143,6 +175,9 @@ impl StageStats {
         self.smem_half_txns += other.smem_half_txns;
         self.smem_half_accesses += other.smem_half_accesses;
         self.smem_instrs += other.smem_instrs;
+        self.atomic_half_txns += other.atomic_half_txns;
+        self.atomic_half_accesses += other.atomic_half_accesses;
+        self.atomic_instrs += other.atomic_instrs;
         for g in 0..3 {
             self.gmem[g].transactions += other.gmem[g].transactions;
             self.gmem[g].bytes += other.gmem[g].bytes;

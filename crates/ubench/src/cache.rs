@@ -46,7 +46,10 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// produces: processes built after the bump then see old entries as
 /// misses and recalibrate, instead of silently serving stale curves
 /// measured by an older binary.
-pub const CACHE_GENERATION: u32 = 3;
+// Generation 4: the atomic-unit component changed report content (new
+// `atomic` time, contention factor, causes), so reports memoized by
+// older binaries must not be served.
+pub const CACHE_GENERATION: u32 = 4;
 
 /// Content-hashed cache file for one `(machine, effort)` combination:
 /// `<dir>/curves-<name-slug>-<hash>.json`.

@@ -48,3 +48,38 @@ fn quickstart_runs_to_completion() {
         "missing what-if section:\n{stdout}"
     );
 }
+
+/// The workload-zoo sweep exhibit must run to completion and land every
+/// workload on its intended bottleneck class on the flagship SKU (the
+/// zoo's whole purpose is exhibiting those classes).
+#[test]
+fn zoo_sweep_runs_and_classifies() {
+    let out = cargo()
+        .args(["run", "-p", "gpa-bench", "--bin", "zoo"])
+        .output()
+        .expect("spawn cargo run -p gpa-bench --bin zoo");
+    assert!(
+        out.status.success(),
+        "zoo sweep exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for (workload, class) in [
+        ("vector_add ", "gmem"),
+        ("histogram ", "atomic"),
+        ("atomic_hotspot ", "atomic"),
+        ("shared_bank_conflict ", "smem"),
+        ("naive_transpose ", "gmem"),
+        ("random_access ", "gmem"),
+    ] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(workload))
+            .unwrap_or_else(|| panic!("no row for {workload}:\n{stdout}"));
+        assert!(
+            line.contains(class),
+            "{workload} row missing class `{class}`: {line}"
+        );
+    }
+}
